@@ -1,0 +1,273 @@
+package eagr
+
+// One benchmark per table/figure of the paper's evaluation (§5). Each bench
+// drives the same harness as cmd/eagr-bench at a laptop-quick scale and
+// reports the figure's headline quantity as a custom metric, so
+//
+//	go test -bench=Fig -benchmem
+//
+// regenerates every experiment. The full-size series (with the printed
+// rows the paper plots) come from `go run ./cmd/eagr-bench -experiment all`.
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/bipartite"
+	"repro/internal/construct"
+	"repro/internal/dataflow"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+	"repro/internal/workload"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Quick: true, Scale: 1, Events: 10000, Iterations: 3, Seed: 1}
+}
+
+// runExperiment executes a registered experiment b.N times and reports a
+// metric extracted from the final table.
+func runExperiment(b *testing.B, name string, metric string, extract func([]experiments.Table) float64) {
+	b.Helper()
+	e, ok := experiments.Get(name)
+	if !ok {
+		b.Fatalf("experiment %s not registered", name)
+	}
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = e.Run(benchCfg())
+	}
+	if extract != nil && len(tables) > 0 {
+		b.ReportMetric(extract(tables), metric)
+	}
+}
+
+// lastCell parses the last row's given column as a float.
+func lastCell(t experiments.Table, col int) float64 {
+	row := t.Rows[len(t.Rows)-1]
+	v, _ := strconv.ParseFloat(row[col], 64)
+	return v
+}
+
+func BenchmarkFig08_SharingIndex(b *testing.B) {
+	runExperiment(b, "fig8", "web-SI-%", func(ts []experiments.Table) float64 {
+		return lastCell(ts[2], 4) // web-eu, IOB column
+	})
+}
+
+func BenchmarkFig09_ChunkSize(b *testing.B) {
+	runExperiment(b, "fig9", "vnma-SI-%", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 1)
+	})
+}
+
+func BenchmarkFig10a_ConstructionTime(b *testing.B) {
+	runExperiment(b, "fig10a", "vnma-cum-ms", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 1)
+	})
+}
+
+func BenchmarkFig10b_Memory(b *testing.B) {
+	runExperiment(b, "fig10b", "iob-MB", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 1)
+	})
+}
+
+func BenchmarkFig11a_Depth(b *testing.B) {
+	runExperiment(b, "fig11a", "max-depth", func(ts []experiments.Table) float64 {
+		return float64(len(ts[0].Rows) - 1)
+	})
+}
+
+func BenchmarkFig11b_NegativeEdges(b *testing.B) {
+	runExperiment(b, "fig11b", "SI@k1=5-%", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 1)
+	})
+}
+
+func BenchmarkFig12a_Pruning(b *testing.B) {
+	runExperiment(b, "fig12a", "survivors-%", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 5)
+	})
+}
+
+func BenchmarkFig12b_PruningRatio(b *testing.B) {
+	runExperiment(b, "fig12b", "survivors-%@w:r10", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 3)
+	})
+}
+
+func BenchmarkFig13a_Adaptive(b *testing.B) {
+	runExperiment(b, "fig13a", "adaptive-last-chunk-ms", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 4)
+	})
+}
+
+func BenchmarkFig13b_DataflowBaseline(b *testing.B) {
+	runExperiment(b, "fig13b", "topk-dataflow-ops/s", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 2)
+	})
+}
+
+func BenchmarkFig13c_Latency(b *testing.B) {
+	runExperiment(b, "fig13c", "allpush-avg-us", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 1)
+	})
+}
+
+func BenchmarkFig13d_Parallelism(b *testing.B) {
+	runExperiment(b, "fig13d", "48thr-dataflow-ops/s", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 1)
+	})
+}
+
+func BenchmarkFig14a_Throughput(b *testing.B) {
+	runExperiment(b, "fig14a", "sum-vnma@w:r10-ops/s", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 3)
+	})
+}
+
+func BenchmarkFig14b_Splitting(b *testing.B) {
+	runExperiment(b, "fig14b", "sum-split-ratio@w:r10", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 1)
+	})
+}
+
+func BenchmarkFig14c_TwoHop(b *testing.B) {
+	runExperiment(b, "fig14c", "topk-dataflow-ops/s", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 2)
+	})
+}
+
+func BenchmarkHeadline_Throughput(b *testing.B) {
+	runExperiment(b, "headline", "ops/s", func(ts []experiments.Table) float64 {
+		return lastCell(ts[0], 4)
+	})
+}
+
+// --- Micro-benchmarks: the primitive operations behind the figures ---
+
+func microEngine(b *testing.B, alg, mode string, a agg.Aggregate) (*exec.Engine, []graph.Event) {
+	b.Helper()
+	g := workload.SocialGraph(2000, 8, 1)
+	ag := bipartite.Build(g, graph.InNeighbors{}, graph.AllNodes)
+	var ov *overlay.Overlay
+	if alg == "baseline" {
+		ov = construct.Baseline(ag)
+	} else {
+		res, err := construct.Build(alg, ag, construct.Config{Iterations: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ov = res.Overlay
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	switch mode {
+	case "push":
+		dataflow.DecideAll(ov, overlay.Push)
+	case "pull":
+		dataflow.DecideAll(ov, overlay.Pull)
+	default:
+		f, err := dataflow.ComputeFreqs(ov, wl, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dataflow.Decide(ov, f, dataflow.ModelFor(a)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng, err := exec.New(ov, a, agg.NewTupleWindow(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := workload.Events(wl, 1<<16, 2)
+	return eng, events
+}
+
+func benchOps(b *testing.B, alg, mode string, a agg.Aggregate) {
+	eng, events := microEngine(b, alg, mode, a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i&(len(events)-1)]
+		if ev.Kind == graph.Read {
+			_, _ = eng.Read(ev.Node)
+		} else {
+			_ = eng.Write(ev.Node, ev.Value, ev.TS)
+		}
+	}
+}
+
+func BenchmarkOpSumDataflow(b *testing.B) { benchOps(b, construct.AlgVNMA, "dataflow", agg.Sum{}) }
+func BenchmarkOpSumAllPush(b *testing.B)  { benchOps(b, "baseline", "push", agg.Sum{}) }
+func BenchmarkOpSumAllPull(b *testing.B)  { benchOps(b, "baseline", "pull", agg.Sum{}) }
+func BenchmarkOpMaxDataflow(b *testing.B) { benchOps(b, construct.AlgVNMD, "dataflow", agg.Max{}) }
+func BenchmarkOpTopKDataflow(b *testing.B) {
+	benchOps(b, construct.AlgVNMA, "dataflow", agg.TopK{K: 3})
+}
+
+func BenchmarkOverlayConstructVNMA(b *testing.B) {
+	g := workload.WebGraph(2000, 24, 12, 1)
+	ag := bipartite.Build(g, graph.InNeighbors{}, graph.AllNodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := construct.Build(construct.AlgVNMA, ag, construct.Config{Iterations: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverlayConstructIOB(b *testing.B) {
+	g := workload.WebGraph(2000, 24, 12, 1)
+	ag := bipartite.Build(g, graph.InNeighbors{}, graph.AllNodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := construct.Build(construct.AlgIOB, ag, construct.Config{Iterations: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDataflowDecide(b *testing.B) {
+	g := workload.SocialGraph(5000, 10, 1)
+	ag := bipartite.Build(g, graph.InNeighbors{}, graph.AllNodes)
+	res, err := construct.Build(construct.AlgVNMA, ag, construct.Config{Iterations: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ov := res.Overlay.Clone()
+		f, err := dataflow.ComputeFreqs(ov, wl, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dataflow.Decide(ov, f, dataflow.ConstLinear{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStructuralEdgeAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := workload.SocialGraph(1000, 6, 1)
+	sys, err := Open(g, QuerySpec{Aggregate: "sum"}, Options{Algorithm: "iob", Iterations: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NodeID(rng.Intn(1000))
+		v := NodeID(rng.Intn(1000))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := sys.AddEdge(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command eagr-overlay builds an aggregation overlay for a synthetic graph
+// and reports its structure: sharing index, node/edge counts, depth
+// distribution, and the effect of the dataflow decisions.
+//
+// Usage:
+//
+//	eagr-overlay -graph social -nodes 5000 -alg vnma
+//	eagr-overlay -graph web -alg iob -iterations 5 -ratio 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/construct"
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind  = flag.String("graph", "social", "graph family: social | web")
+		nodes = flag.Int("nodes", 5000, "number of nodes")
+		deg   = flag.Int("degree", 10, "average degree (social) / template size (web)")
+		alg   = flag.String("alg", "vnma", "overlay algorithm: vnm | vnma | vnmn | vnmd | iob | baseline")
+		iters = flag.Int("iterations", 10, "construction iterations")
+		hops  = flag.Int("hops", 1, "neighborhood hops")
+		ratio = flag.Float64("ratio", 1, "write:read ratio for dataflow decisions")
+		seed  = flag.Int64("seed", 1, "random seed")
+		save  = flag.String("save", "", "write the compiled overlay (with decisions) to this file")
+		load  = flag.String("load", "", "load a previously saved overlay instead of constructing")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "social":
+		g = workload.SocialGraph(*nodes, *deg, *seed)
+	case "web":
+		g = workload.WebGraph(*nodes, 4**deg, *deg, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown graph family %q\n", *kind)
+		os.Exit(2)
+	}
+	fmt.Printf("graph: %s, %d nodes, %d edges\n", *kind, g.NumNodes(), g.NumEdges())
+
+	var n graph.Neighborhood = graph.InNeighbors{}
+	if *hops > 1 {
+		n = graph.KHopIn{K: *hops}
+	}
+	ag := bipartite.Build(g, n, graph.AllNodes)
+	fmt.Printf("AG: %d readers, %d writers, %d edges\n",
+		ag.NumReaders(), ag.NumWriters(), ag.NumEdges())
+
+	start := time.Now()
+	var ov *overlay.Overlay
+	switch {
+	case *load != "":
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ov, err = overlay.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded overlay from %s in %.2fs\n", *load, time.Since(start).Seconds())
+	case *alg == "baseline":
+		ov = construct.Baseline(ag)
+		fmt.Printf("construction took %.2fs\n", time.Since(start).Seconds())
+	default:
+		res, err := construct.Build(*alg, ag, construct.Config{Iterations: *iters})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ov = res.Overlay
+		fmt.Printf("SI per iteration: ")
+		for _, si := range res.SharingIndexHistory {
+			fmt.Printf("%.1f%% ", si*100)
+		}
+		fmt.Println()
+		fmt.Printf("construction took %.2fs\n", time.Since(start).Seconds())
+	}
+
+	st := ov.ComputeStats()
+	fmt.Printf("overlay: %d writers, %d readers, %d partial aggregators\n",
+		st.Writers, st.Readers, st.Partials)
+	fmt.Printf("edges: %d (%d negative) vs %d in AG -> sharing index %.1f%%\n",
+		st.Edges, st.NegEdges, st.AGEdges, st.SharingIndex*100)
+	fmt.Printf("depth: avg %.2f, max %d\n", st.AvgDepth, st.MaxDepth)
+
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, *ratio, *seed)
+	f, err := dataflow.ComputeFreqs(ov, wl, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ps, err := dataflow.Decide(ov, f, dataflow.ConstLinear{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	push, pull := 0, 0
+	ov.ForEachNode(func(_ overlay.NodeRef, nd *overlay.Node) {
+		if nd.Dec == overlay.Push {
+			push++
+		} else {
+			pull++
+		}
+	})
+	fmt.Printf("dataflow decisions (w:r %g): %d push, %d pull\n", *ratio, push, pull)
+	fmt.Printf("pruning: %d -> %d nodes (%.1f%%), %d components, largest %d\n",
+		ps.NodesBefore, ps.NodesAfter,
+		100*float64(ps.NodesAfter)/float64(max(ps.NodesBefore, 1)),
+		ps.Components, ps.LargestComponent)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := ov.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved compiled overlay to %s\n", *save)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+// Command eagr-serve runs an EAGr instance as an HTTP service over a
+// synthetic or edge-list graph. See internal/server for the JSON API.
+//
+// Usage:
+//
+//	eagr-serve -listen :8080 -graph social -nodes 10000 -aggregate "topk(3)"
+//	eagr-serve -edgelist graph.el -aggregate sum -window 10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "listen address")
+		kind     = flag.String("graph", "social", "graph family: social | web")
+		nodes    = flag.Int("nodes", 10000, "synthetic graph size")
+		deg      = flag.Int("degree", 10, "average degree")
+		edgelist = flag.String("edgelist", "", "load graph from an edge-list file instead")
+		aggSpec  = flag.String("aggregate", "sum", "aggregate: sum|count|avg|max|min|distinct|topk(k)|stddev|topk~(k)|distinct~")
+		window   = flag.Int("window", 1, "tuple window size per writer")
+		alg      = flag.String("alg", "", "overlay algorithm (empty = auto)")
+		seed     = flag.Int64("seed", 1, "random seed for synthetic graphs")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *edgelist != "":
+		var err error
+		g, err = loadEdgeList(*edgelist)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *kind == "social":
+		g = workload.SocialGraph(*nodes, *deg, *seed)
+	case *kind == "web":
+		g = workload.WebGraph(*nodes, 4**deg, *deg, *seed)
+	default:
+		log.Fatalf("unknown graph family %q", *kind)
+	}
+	log.Printf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+
+	a, err := agg.Parse(*aggSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.Compile(g, core.Query{
+		Aggregate: a,
+		Window:    agg.NewTupleWindow(*window),
+	}, core.Options{
+		Algorithm: *alg,
+		Construct: construct.Config{Iterations: 6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	log.Printf("compiled: algorithm=%s sharing-index=%.1f%% partials=%d maintainable=%v",
+		st.Algorithm, st.Overlay.SharingIndex*100, st.Overlay.Partials, st.Maintainable)
+
+	log.Printf("serving on %s", *listen)
+	if err := http.ListenAndServe(*listen, server.New(sys)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadEdgeList reads "src dst" pairs (one per line, '#' comments), sizing
+// the graph to the largest id seen.
+func loadEdgeList(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type edge struct{ u, v int }
+	var edges []edge
+	maxID := -1
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscan(text, &u, &v); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("%s:%d: negative node id", path, line)
+		}
+		edges = append(edges, edge{u, v})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := graph.NewWithNodes(maxID + 1)
+	for _, e := range edges {
+		if err := g.AddEdge(graph.NodeID(e.u), graph.NodeID(e.v)); err != nil {
+			// Tolerate duplicate edges in input files.
+			continue
+		}
+	}
+	return g, nil
+}

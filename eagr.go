@@ -1,0 +1,246 @@
+// Package eagr is a Go implementation of EAGr (Mondal & Deshpande, SIGMOD
+// 2014): a system for supporting large numbers of continuous and
+// quasi-continuous ego-centric aggregate queries over large, dynamic
+// graphs.
+//
+// An ego-centric aggregate query ⟨F, w, N, pred⟩ continuously computes, for
+// every graph node v with pred(v), the aggregate F over the sliding window
+// w of the content streams of v's neighborhood N(v). EAGr compiles such a
+// query into an aggregation overlay graph — a DAG of writers, partial
+// aggregators and readers that shares partial aggregates across queries —
+// and annotates every overlay node with a push (incrementally maintained)
+// or pull (computed on demand) decision chosen optimally by a max-flow
+// computation over expected read/write frequencies.
+//
+// Basic usage:
+//
+//	g := eagr.NewGraph(n)            // build the data graph
+//	g.AddEdge(u, v)                  // v's ego network gains u
+//	sys, err := eagr.Open(g, eagr.QuerySpec{Aggregate: "sum"})
+//	sys.Write(u, 42, ts)             // content update on u
+//	res, err := sys.Read(v)          // F(N(v)) right now
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping from the paper's sections to packages.
+package eagr
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+)
+
+// NodeID identifies a node in the data graph.
+type NodeID = graph.NodeID
+
+// Result is a finalized aggregate answer.
+type Result = agg.Result
+
+// Graph is the dynamic data graph G(V,E).
+type Graph = graph.Graph
+
+// NewGraph returns a graph pre-populated with nodes 0..n-1.
+func NewGraph(n int) *Graph { return graph.NewWithNodes(n) }
+
+// Aggregate is the user-defined aggregate interface (paper §2.2.3); see
+// RegisterAggregate for installing custom aggregates.
+type Aggregate = agg.Aggregate
+
+// PAO is the partial aggregate object maintained at overlay nodes.
+type PAO = agg.PAO
+
+// Properties describe an aggregate's algebraic structure (which overlay
+// optimizations are legal for it).
+type Properties = agg.Properties
+
+// RegisterAggregate installs a user-defined aggregate under the given name
+// so QuerySpec.Aggregate can refer to it.
+func RegisterAggregate(name string, factory func(param int) Aggregate) {
+	agg.Register(name, agg.Factory(factory))
+}
+
+// Neighborhood is the neighborhood selection function N of a query; use
+// KHop or Filtered for the built-in shapes, or implement the interface for
+// custom ego networks.
+type Neighborhood = graph.Neighborhood
+
+// KHop returns the neighborhood of nodes that reach v within k hops
+// (k=1 gives the in-neighbors of the running example).
+func KHop(k int) Neighborhood {
+	if k <= 1 {
+		return graph.InNeighbors{}
+	}
+	return graph.KHopIn{K: k}
+}
+
+// Filtered restricts a base neighborhood to the candidates accepted by
+// keep — the paper's "filtering neighborhoods" (e.g. only geographically
+// close neighbors in a spatio-temporal network).
+func Filtered(base Neighborhood, keep func(g *Graph, center, candidate NodeID) bool, tag string) Neighborhood {
+	return graph.Filtered{Base: base, Keep: keep, Tag: tag}
+}
+
+// QuerySpec describes an ego-centric aggregate query in plain values; it is
+// resolved into a compiled query by Open.
+type QuerySpec struct {
+	// Aggregate names the aggregate function: "sum", "count", "avg",
+	// "max", "min", "distinct", "topk(k)", or a registered custom name.
+	Aggregate string
+	// WindowTuples > 0 selects a count-based window of that many values
+	// per writer; WindowTime > 0 selects a time-based window. Both zero
+	// means most-recent-value (c = 1).
+	WindowTuples int
+	WindowTime   int64
+	// Hops selects the neighborhood: 1 (default) aggregates over 1-hop
+	// in-neighbors, 2 over 2-hop in-neighborhoods, etc.
+	Hops int
+	// Continuous requests continuous rather than quasi-continuous
+	// semantics (results maintained on every update).
+	Continuous bool
+}
+
+// Options tune compilation; the zero value picks sensible defaults
+// (automatic overlay algorithm, optimal dataflow decisions, uniform 1:1
+// workload estimate).
+type Options struct {
+	// Algorithm: "vnm", "vnma", "vnmn", "vnmd", "iob", "baseline", or ""
+	// for automatic selection.
+	Algorithm string
+	// Mode: "dataflow" (optimal, default), "greedy", "all-push",
+	// "all-pull".
+	Mode string
+	// Iterations for overlay construction (default 10).
+	Iterations int
+	// SplitNodes enables partial pre-computation by node splitting.
+	SplitNodes bool
+	// ReadFreq/WriteFreq, when non-nil, give expected per-node read and
+	// write frequencies for the dataflow decisions.
+	ReadFreq, WriteFreq []float64
+	// Neighborhood overrides QuerySpec.Hops with a custom neighborhood
+	// function (e.g. a Filtered neighborhood).
+	Neighborhood Neighborhood
+	// MaxReadCost, when positive, bounds every reader's estimated
+	// on-demand read cost (in cost-model units); pull subtrees over the
+	// bound are pre-computed instead.
+	MaxReadCost float64
+}
+
+// System is a compiled, executable EAGr instance.
+type System struct {
+	inner *core.System
+}
+
+// Open compiles spec over g and returns a ready system.
+func Open(g *Graph, spec QuerySpec, opts ...Options) (*System, error) {
+	var o Options
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("eagr: at most one Options value")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	a, err := agg.Parse(specOrDefault(spec.Aggregate, "sum"))
+	if err != nil {
+		return nil, err
+	}
+	q := core.Query{Aggregate: a, Continuous: spec.Continuous}
+	switch {
+	case spec.WindowTuples > 0:
+		q.Window = agg.NewTupleWindow(spec.WindowTuples)
+	case spec.WindowTime > 0:
+		q.Window = agg.NewTimeWindow(spec.WindowTime)
+	}
+	if spec.Hops > 1 {
+		q.Neighborhood = graph.KHopIn{K: spec.Hops}
+	}
+	if o.Neighborhood != nil {
+		q.Neighborhood = o.Neighborhood
+	}
+	co := core.Options{
+		Algorithm:   o.Algorithm,
+		Mode:        core.Mode(specOrDefault(o.Mode, string(core.ModeDataflow))),
+		SplitNodes:  o.SplitNodes,
+		MaxReadCost: o.MaxReadCost,
+		Construct:   construct.Config{Iterations: o.Iterations},
+	}
+	if o.ReadFreq != nil || o.WriteFreq != nil {
+		wl := dataflow.NewWorkload(g.MaxID())
+		copy(wl.Read, o.ReadFreq)
+		copy(wl.Write, o.WriteFreq)
+		co.Workload = wl
+	}
+	inner, err := core.Compile(g, q, co)
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
+func specOrDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+// Write ingests a content update (a write on v) with a caller-supplied
+// timestamp (used by time-based windows).
+func (s *System) Write(v NodeID, value int64, ts int64) error {
+	return s.inner.Write(v, value, ts)
+}
+
+// Read returns the current value of the standing query at v.
+func (s *System) Read(v NodeID) (Result, error) { return s.inner.Read(v) }
+
+// AddEdge applies a structural edge addition u→v (v's ego network gains u
+// under the default neighborhood) and incrementally repairs the overlay.
+func (s *System) AddEdge(u, v NodeID) error { return s.inner.AddGraphEdge(u, v) }
+
+// RemoveEdge applies a structural edge deletion.
+func (s *System) RemoveEdge(u, v NodeID) error { return s.inner.RemoveGraphEdge(u, v) }
+
+// AddNode adds a fresh node to the data graph and overlay.
+func (s *System) AddNode() (NodeID, error) { return s.inner.AddGraphNode() }
+
+// RemoveNode deletes a node and its edges everywhere.
+func (s *System) RemoveNode(v NodeID) error { return s.inner.RemoveGraphNode(v) }
+
+// Rebalance applies the adaptive dataflow scheme (§4.8) using the activity
+// observed since the last call, returning the number of decision flips.
+func (s *System) Rebalance() (int, error) { return s.inner.Rebalance() }
+
+// Stats summarizes the compiled system.
+type Stats struct {
+	Writers, Readers, Partials int
+	Edges, NegativeEdges       int
+	SharingIndex               float64
+	AvgDepth                   float64
+	Algorithm                  string
+	Mode                       string
+	Maintainable               bool
+}
+
+// Stats returns current overlay and configuration statistics.
+func (s *System) Stats() Stats {
+	st := s.inner.Stats()
+	return Stats{
+		Writers:       st.Overlay.Writers,
+		Readers:       st.Overlay.Readers,
+		Partials:      st.Overlay.Partials,
+		Edges:         st.Overlay.Edges,
+		NegativeEdges: st.Overlay.NegEdges,
+		SharingIndex:  st.Overlay.SharingIndex,
+		AvgDepth:      st.Overlay.AvgDepth,
+		Algorithm:     st.Algorithm,
+		Mode:          string(st.Mode),
+		Maintainable:  st.Maintainable,
+	}
+}
+
+// Internal exposes the underlying core system for advanced use (runners,
+// benchmarks, custom cost models).
+func (s *System) Internal() *core.System { return s.inner }

@@ -1,0 +1,175 @@
+package eagr
+
+import (
+	"testing"
+)
+
+// ring builds a small graph where node i follows (receives content from)
+// nodes i-1 and i+1.
+func ring(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		_ = g.AddEdge(NodeID((i+1)%n), NodeID(i))
+		_ = g.AddEdge(NodeID((i+n-1)%n), NodeID(i))
+	}
+	return g
+}
+
+func TestOpenDefaultsAndReadWrite(t *testing.T) {
+	g := ring(8)
+	sys, err := Open(g, QuerySpec{Aggregate: "sum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := sys.Write(NodeID(i), int64(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// N(3) = {2, 4}: sum = 6.
+	got, err := sys.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar != 6 {
+		t.Fatalf("read(3) = %v, want 6", got)
+	}
+}
+
+func TestOpenTopKAndWindow(t *testing.T) {
+	g := ring(6)
+	sys, err := Open(g, QuerySpec{Aggregate: "topk(1)", WindowTuples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 and 3 feed node 2. Write 7 twice on node 1.
+	_ = sys.Write(1, 7, 0)
+	_ = sys.Write(1, 7, 1)
+	_ = sys.Write(3, 9, 2)
+	got, err := sys.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.List) != 1 || got.List[0] != 7 {
+		t.Fatalf("top1 = %v, want [7]", got)
+	}
+}
+
+func TestOpenTwoHop(t *testing.T) {
+	// Chain 0 -> 1 -> 2: with Hops=2, N(2) = {1, 0}.
+	g := NewGraph(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	sys, err := Open(g, QuerySpec{Aggregate: "sum", Hops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys.Write(0, 5, 0)
+	_ = sys.Write(1, 7, 1)
+	got, err := sys.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar != 12 {
+		t.Fatalf("2-hop sum = %v, want 12", got)
+	}
+}
+
+func TestOpenOptionsAndStats(t *testing.T) {
+	g := ring(10)
+	sys, err := Open(g, QuerySpec{Aggregate: "max"}, Options{Algorithm: "iob", Mode: "all-push"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Algorithm != "iob" || st.Mode != "all-push" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Readers != 10 || st.Writers == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	g := ring(4)
+	if _, err := Open(g, QuerySpec{Aggregate: "nope"}); err == nil {
+		t.Fatal("unknown aggregate should fail")
+	}
+	if _, err := Open(g, QuerySpec{}, Options{}, Options{}); err == nil {
+		t.Fatal("two Options values should fail")
+	}
+	if _, err := Open(g, QuerySpec{Aggregate: "max"}, Options{Algorithm: "vnmn"}); err == nil {
+		t.Fatal("illegal algorithm/aggregate combination should fail")
+	}
+}
+
+func TestDynamicEdgesThroughFacade(t *testing.T) {
+	g := ring(6)
+	sys, err := Open(g, QuerySpec{Aggregate: "sum"}, Options{Algorithm: "iob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		_ = sys.Write(NodeID(i), 1, int64(i))
+	}
+	before, _ := sys.Read(0) // N(0) = {1, 5}: 2
+	if before.Scalar != 2 {
+		t.Fatalf("read(0) = %v, want 2", before)
+	}
+	if err := sys.AddEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := sys.Read(0)
+	if after.Scalar != 3 {
+		t.Fatalf("read(0) after AddEdge = %v, want 3", after)
+	}
+	if err := sys.RemoveEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := sys.Read(0)
+	if again.Scalar != 2 {
+		t.Fatalf("read(0) after RemoveEdge = %v, want 2", again)
+	}
+}
+
+func TestCustomAggregateThroughFacade(t *testing.T) {
+	RegisterAggregate("first42", func(int) Aggregate { return firstAgg{} })
+	g := ring(4)
+	sys, err := Open(g, QuerySpec{Aggregate: "first42"}, Options{Algorithm: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys.Write(1, 9, 0)
+	got, err := sys.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Valid || got.Scalar != 42 {
+		t.Fatalf("custom aggregate = %v, want 42", got)
+	}
+}
+
+// firstAgg is a toy user-defined aggregate exercising the public API.
+type firstAgg struct{}
+
+func (firstAgg) Name() string      { return "first42" }
+func (firstAgg) Props() Properties { return Properties{} }
+func (firstAgg) NewPAO() PAO       { return &firstPAO{} }
+
+type firstPAO struct{ n int64 }
+
+func (p *firstPAO) AddValue(int64)    { p.n++ }
+func (p *firstPAO) RemoveValue(int64) { p.n-- }
+func (p *firstPAO) Merge(o PAO)       { p.n += o.(*firstPAO).n }
+func (p *firstPAO) Unmerge(o PAO)     { p.n -= o.(*firstPAO).n }
+func (p *firstPAO) Replace(old, new PAO) {
+	if old != nil {
+		p.Unmerge(old)
+	}
+	if new != nil {
+		p.Merge(new)
+	}
+}
+func (p *firstPAO) Finalize() Result { return Result{Scalar: 42, Valid: p.n > 0} }
+func (p *firstPAO) Reset()           { p.n = 0 }
+func (p *firstPAO) Clone() PAO       { c := *p; return &c }

@@ -1,0 +1,70 @@
+// Quickstart: compile an ego-centric SUM query over a small social graph,
+// stream a few content updates, and read the per-user aggregates.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eagr "repro"
+)
+
+func main() {
+	// A small "who-follows-whom" graph: an edge u -> v means v's ego
+	// network aggregates u's content (v follows u's posts).
+	const users = 6
+	g := eagr.NewGraph(users)
+	follows := [][2]eagr.NodeID{
+		{1, 0}, {2, 0}, {3, 0}, // user 0 sees 1, 2, 3
+		{0, 1}, {2, 1}, // user 1 sees 0, 2
+		{0, 2},         // user 2 sees 0
+		{4, 3}, {5, 3}, // user 3 sees 4, 5
+		{3, 4}, // user 4 sees 3
+		{3, 5}, // user 5 sees 3
+	}
+	for _, e := range follows {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each user's standing query: SUM over the latest value posted by
+	// each account they follow. The compiler picks the overlay algorithm
+	// and makes optimal push/pull decisions automatically.
+	sys, err := eagr.Open(g, eagr.QuerySpec{Aggregate: "sum"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("compiled overlay: algorithm=%s sharing-index=%.1f%% partials=%d\n",
+		st.Algorithm, st.SharingIndex*100, st.Partials)
+
+	// Stream content updates (e.g., engagement scores of each user's
+	// latest post).
+	scores := map[eagr.NodeID]int64{0: 10, 1: 7, 2: 3, 3: 25, 4: 1, 5: 4}
+	ts := int64(0)
+	for user, score := range scores {
+		if err := sys.Write(user, score, ts); err != nil {
+			log.Fatal(err)
+		}
+		ts++
+	}
+
+	// Read every user's aggregate.
+	for u := eagr.NodeID(0); u < users; u++ {
+		res, err := sys.Read(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user %d: neighborhood sum = %s\n", u, res)
+	}
+
+	// The graph is dynamic: user 5 starts following user 0.
+	if err := sys.AddEdge(0, 5); err != nil {
+		log.Fatal(err)
+	}
+	res, _ := sys.Read(5)
+	fmt.Printf("user 5 after following user 0: %s (was 25)\n", res)
+}

@@ -1,0 +1,100 @@
+// Trending: personalized, ego-centric trend detection in a social network
+// (the paper's §1 motivating example). Every user continuously sees the
+// top-3 most discussed topics among the accounts they follow — not global
+// trends, but trends in their own ego network.
+//
+// The query is quasi-continuous: results are produced on demand (when a
+// user opens their feed), so the optimizer mixes pre-computation for hot
+// readers with on-demand evaluation for cold ones.
+//
+// Run with: go run ./examples/trending
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	eagr "repro"
+)
+
+// topics users post about; values in the stream are topic ids.
+var topics = []string{"elections", "playoffs", "new-phone", "weather", "memes", "stocks"}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	const users = 2000
+
+	// Scale-free-ish follower graph: each user follows ~8 accounts,
+	// preferring earlier (popular) accounts.
+	g := eagr.NewGraph(users)
+	for u := 1; u < users; u++ {
+		for k := 0; k < 8; k++ {
+			var target int
+			if rng.Intn(3) == 0 {
+				target = rng.Intn(u)
+			} else {
+				target = rng.Intn(rng.Intn(u) + 1) // biased toward small ids
+			}
+			if target != u {
+				_ = g.AddEdge(eagr.NodeID(target), eagr.NodeID(u))
+			}
+		}
+	}
+
+	// Top-3 topics over the last 20 posts of each followed account.
+	sys, err := eagr.Open(g, eagr.QuerySpec{Aggregate: "topk(3)", WindowTuples: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("compiled: algorithm=%s, %d partial aggregators, sharing index %.1f%%\n",
+		st.Algorithm, st.Partials, st.SharingIndex*100)
+
+	// Simulate a day of posting: popular users post more; each community
+	// has a topic bias so ego-centric trends differ from global ones.
+	start := time.Now()
+	posts := 0
+	for ts := int64(0); ts < 50000; ts++ {
+		author := eagr.NodeID(rng.Intn(rng.Intn(users) + 1))
+		topic := int64(author) % int64(len(topics)) // community bias
+		if rng.Intn(3) == 0 {
+			topic = int64(rng.Intn(len(topics))) // plus global noise
+		}
+		if err := sys.Write(author, topic, ts); err != nil {
+			log.Fatal(err)
+		}
+		posts++
+	}
+	fmt.Printf("ingested %d posts in %v (%.0f posts/s)\n",
+		posts, time.Since(start).Round(time.Millisecond),
+		float64(posts)/time.Since(start).Seconds())
+
+	// A few users open their feeds.
+	for _, u := range []eagr.NodeID{10, 500, 1500} {
+		res, err := sys.Read(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user %4d trending: ", u)
+		for i, tid := range res.List {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(topics[tid])
+		}
+		fmt.Println()
+	}
+
+	// Feed-opening is bursty; let the adaptive scheme react to what was
+	// actually observed since compile time.
+	for i := 0; i < 3000; i++ {
+		_, _ = sys.Read(eagr.NodeID(rng.Intn(100))) // hot readers
+	}
+	flips, err := sys.Rebalance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adaptive rebalance flipped %d dataflow decisions toward the hot readers\n", flips)
+}

@@ -1,0 +1,86 @@
+package eagr
+
+import "testing"
+
+func TestFilteredNeighborhoodThroughFacade(t *testing.T) {
+	// 1,2,3 -> 0; keep only even-id inputs.
+	g := NewGraph(4)
+	for _, u := range []NodeID{1, 2, 3} {
+		if err := g.AddEdge(u, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	even := Filtered(KHop(1), func(_ *Graph, _, cand NodeID) bool {
+		return cand%2 == 0
+	}, "even-only")
+	sys, err := Open(g, QuerySpec{Aggregate: "sum"}, Options{Neighborhood: even})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []NodeID{1, 2, 3} {
+		if err := sys.Write(u, 10, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sys.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar != 10 { // only node 2 passes the filter
+		t.Fatalf("filtered sum = %v, want 10", got)
+	}
+}
+
+func TestKHopHelper(t *testing.T) {
+	if KHop(0).Name() != "in-1hop" || KHop(1).Name() != "in-1hop" {
+		t.Fatal("KHop(<=1) should be 1-hop in-neighbors")
+	}
+	if KHop(2).Name() != "in-2hop" {
+		t.Fatal("KHop(2) should be 2-hop")
+	}
+}
+
+func TestMaxReadCostThroughFacade(t *testing.T) {
+	g := ring(12)
+	write := make([]float64, g.MaxID())
+	read := make([]float64, g.MaxID())
+	for i := range write {
+		write[i] = 1000 // write-heavy: unconstrained optimum is pull
+		read[i] = 0.001
+	}
+	sys, err := Open(g, QuerySpec{Aggregate: "sum"},
+		Options{Algorithm: "vnma", WriteFreq: write, ReadFreq: read, MaxReadCost: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := sys.Write(NodeID(i), 1, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sys.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar != 2 {
+		t.Fatalf("bounded-latency read = %v, want 2", got)
+	}
+}
+
+func TestApproxAggregatesThroughFacade(t *testing.T) {
+	g := ring(10)
+	for _, spec := range []string{"topk~(2)", "distinct~", "stddev"} {
+		sys, err := Open(g, QuerySpec{Aggregate: spec, WindowTuples: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := sys.Write(NodeID(i), int64(i%3), int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sys.Read(0); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+}

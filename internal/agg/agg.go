@@ -1,0 +1,127 @@
+// Package agg implements EAGr's aggregation framework (paper §2.2): partial
+// aggregate objects (PAOs), the user-defined aggregate API
+// (INITIALIZE/UPDATE/FINALIZE plus the MERGE capability the overlay needs),
+// the built-in aggregates SUM, COUNT, AVG, MIN, MAX, TOP-K and DISTINCT, and
+// per-writer sliding windows.
+package agg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is the finalized answer of an aggregate. Scalar carries the value
+// for scalar aggregates (SUM, COUNT, MIN, MAX, ...); List carries the answer
+// for set/list-valued aggregates (TOP-K, DISTINCT). Valid is false when the
+// aggregate is over an empty input set (e.g. MAX of nothing).
+type Result struct {
+	Scalar int64
+	List   []int64
+	Valid  bool
+}
+
+// Eq reports whether two results are equal (List order-sensitive).
+func (r Result) Eq(o Result) bool {
+	if r.Valid != o.Valid || r.Scalar != o.Scalar || len(r.List) != len(o.List) {
+		return false
+	}
+	for i := range r.List {
+		if r.List[i] != o.List[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the result for logs and examples.
+func (r Result) String() string {
+	if !r.Valid {
+		return "<empty>"
+	}
+	if r.List != nil {
+		return fmt.Sprint(r.List)
+	}
+	return fmt.Sprint(r.Scalar)
+}
+
+// Properties describe an aggregate function's algebraic structure. The
+// overlay compiler uses them to decide which overlay shapes are legal
+// (paper §2.1, §3.1).
+type Properties struct {
+	// DuplicateInsensitive is true when multiple contributions of the same
+	// input do not change the answer (MAX, MIN, DISTINCT). Such aggregates
+	// admit overlays with multiple writer→reader paths (VNM_D).
+	DuplicateInsensitive bool
+	// Subtractable is true when a contribution can be efficiently removed
+	// (SUM, COUNT, AVG, TOP-K). Such aggregates admit negative edges
+	// (VNM_N).
+	Subtractable bool
+	// Holistic is true when the aggregate cannot be decomposed exactly
+	// into bounded-size partial states (TOP-K as a generalization of
+	// mode). Sharing still applies, but partial states may grow with the
+	// input (paper §2.1 "Scope of the Approach").
+	Holistic bool
+}
+
+// PAO is a partial aggregate object: the state maintained at an overlay node
+// (paper §2.2.2). A PAO aggregates some subset of the inputs; PAOs combine
+// by Merge, and are incrementally maintained by Replace when an upstream
+// PAO's value changes.
+//
+// PAOs are not safe for concurrent use; the execution engine synchronizes
+// access per overlay node.
+type PAO interface {
+	// AddValue ingests a raw stream value (used at writer nodes when a
+	// write arrives or a window slides in a value).
+	AddValue(v int64)
+	// RemoveValue removes a raw stream value (window expiry). It is only
+	// called with values previously passed to AddValue.
+	RemoveValue(v int64)
+	// Merge folds another PAO's contribution into this one.
+	Merge(other PAO)
+	// Unmerge removes another PAO's contribution. Used for negative edges
+	// and for incremental update; only supported when the aggregate is
+	// Subtractable or the implementation tracks contributions as a
+	// multiset (MIN/MAX).
+	Unmerge(other PAO)
+	// Replace updates this PAO given that one contribution changed from
+	// old to new — the UPDATE(PAO, PAO_old, PAO_new) call of the paper's
+	// user-defined aggregate API.
+	Replace(old, new PAO)
+	// Finalize computes the final answer from this PAO.
+	Finalize() Result
+	// Reset clears the PAO back to its initialized state.
+	Reset()
+	// Clone returns a deep copy (used to snapshot push-side state for
+	// consistent pulls).
+	Clone() PAO
+}
+
+// Aggregate is the aggregate function F of a query. Implementations provide
+// a PAO factory (the INITIALIZE call) and declare their algebraic
+// properties. User-defined aggregates implement exactly this interface
+// (paper §2.2.3).
+type Aggregate interface {
+	// Name identifies the aggregate (e.g. "sum", "topk(3)").
+	Name() string
+	// NewPAO returns a freshly initialized partial aggregate object.
+	NewPAO() PAO
+	// Props returns the aggregate's algebraic properties.
+	Props() Properties
+}
+
+// replaceViaUnmerge is the default UPDATE implementation shared by the
+// built-ins: remove the old contribution, add the new one.
+func replaceViaUnmerge(p PAO, old, new PAO) {
+	if old != nil {
+		p.Unmerge(old)
+	}
+	if new != nil {
+		p.Merge(new)
+	}
+}
+
+// sortInt64 sorts a slice ascending.
+func sortInt64(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,153 @@
+package agg
+
+import "container/heap"
+
+// Max is the built-in MAX aggregate. It is duplicate-insensitive, so
+// overlays with multiple writer→reader paths (VNM_D) are legal. Incremental
+// maintenance uses a lazy-deletion priority queue over contributions, giving
+// H(k) ∝ log k and L(k) ∝ k as modeled in §4.2 of the paper.
+type Max struct{}
+
+// Name implements Aggregate.
+func (Max) Name() string { return "max" }
+
+// Props implements Aggregate.
+func (Max) Props() Properties { return Properties{DuplicateInsensitive: true} }
+
+// NewPAO implements Aggregate.
+func (Max) NewPAO() PAO { return &extremumPAO{max: true} }
+
+// Min is the built-in MIN aggregate (duplicate-insensitive, like MAX).
+type Min struct{}
+
+// Name implements Aggregate.
+func (Min) Name() string { return "min" }
+
+// Props implements Aggregate.
+func (Min) Props() Properties { return Properties{DuplicateInsensitive: true} }
+
+// NewPAO implements Aggregate.
+func (Min) NewPAO() PAO { return &extremumPAO{max: false} }
+
+// extremumPAO maintains a multiset of contributions with a lazy-deletion
+// heap. Each Merge of an upstream PAO contributes that PAO's current
+// extremum as one multiset element; Unmerge removes it. Raw values at writer
+// nodes are elements themselves. This supports windows and incremental
+// Replace in O(log k) amortized.
+type extremumPAO struct {
+	max    bool
+	counts map[int64]int64 // multiset: value -> multiplicity
+	heap   int64Heap       // lazy: may contain stale values
+	size   int64           // total multiplicity
+}
+
+func (p *extremumPAO) init() {
+	if p.counts == nil {
+		p.counts = make(map[int64]int64)
+		p.heap = int64Heap{max: p.max}
+	}
+}
+
+func (p *extremumPAO) addElem(v int64) {
+	p.init()
+	p.counts[v]++
+	p.size++
+	heap.Push(&p.heap, v)
+}
+
+func (p *extremumPAO) removeElem(v int64) {
+	p.init()
+	if p.counts[v] <= 1 {
+		delete(p.counts, v)
+	} else {
+		p.counts[v]--
+	}
+	p.size--
+	// Heap entries are cleaned lazily in top().
+}
+
+// top returns the current extremum, discarding stale heap entries.
+func (p *extremumPAO) top() (int64, bool) {
+	if p.size == 0 {
+		return 0, false
+	}
+	for p.heap.Len() > 0 {
+		v := p.heap.vals[0]
+		if p.counts[v] > 0 {
+			return v, true
+		}
+		heap.Pop(&p.heap)
+	}
+	return 0, false
+}
+
+func (p *extremumPAO) AddValue(v int64)    { p.addElem(v) }
+func (p *extremumPAO) RemoveValue(v int64) { p.removeElem(v) }
+
+func (p *extremumPAO) Merge(other PAO) {
+	o := other.(*extremumPAO)
+	if v, ok := o.top(); ok {
+		p.addElem(v)
+	}
+}
+
+func (p *extremumPAO) Unmerge(other PAO) {
+	o := other.(*extremumPAO)
+	if v, ok := o.top(); ok {
+		p.removeElem(v)
+	}
+}
+
+// Replace swaps an upstream contribution: old's extremum out, new's in.
+// Callers must pass old as a snapshot taken before the upstream changed.
+func (p *extremumPAO) Replace(old, new PAO) { replaceViaUnmerge(p, old, new) }
+
+func (p *extremumPAO) Finalize() Result {
+	v, ok := p.top()
+	return Result{Scalar: v, Valid: ok}
+}
+
+func (p *extremumPAO) Reset() {
+	p.counts = nil
+	p.heap = int64Heap{max: p.max}
+	p.size = 0
+}
+
+func (p *extremumPAO) Clone() PAO {
+	c := &extremumPAO{max: p.max, size: p.size}
+	if p.counts != nil {
+		c.counts = make(map[int64]int64, len(p.counts))
+		for k, v := range p.counts {
+			c.counts[k] = v
+		}
+		c.heap = int64Heap{max: p.max, vals: append([]int64(nil), p.heap.vals...)}
+	}
+	return c
+}
+
+// int64Heap is a binary heap over int64 used with lazy deletion; max selects
+// max-heap vs min-heap ordering.
+type int64Heap struct {
+	vals []int64
+	max  bool
+}
+
+func (h int64Heap) Len() int { return len(h.vals) }
+
+func (h int64Heap) Less(i, j int) bool {
+	if h.max {
+		return h.vals[i] > h.vals[j]
+	}
+	return h.vals[i] < h.vals[j]
+}
+
+func (h int64Heap) Swap(i, j int) { h.vals[i], h.vals[j] = h.vals[j], h.vals[i] }
+
+func (h *int64Heap) Push(x any) { h.vals = append(h.vals, x.(int64)) }
+
+func (h *int64Heap) Pop() any {
+	n := len(h.vals)
+	v := h.vals[n-1]
+	h.vals = h.vals[:n-1]
+	return v
+}

@@ -1,0 +1,82 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Factory constructs an Aggregate from an optional integer parameter (e.g.
+// the K of top-k). Aggregates that take no parameter ignore it.
+type Factory func(param int) Aggregate
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register installs a user-defined aggregate factory under name. Built-ins
+// are pre-registered; re-registering a name replaces the factory, which lets
+// applications override built-ins (e.g. an approximate top-k).
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[strings.ToLower(name)] = f
+}
+
+// Names returns the sorted list of registered aggregate names.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse resolves an aggregate spec of the form "name" or "name(param)",
+// e.g. "sum", "topk(3)".
+func Parse(spec string) (Aggregate, error) {
+	name := strings.ToLower(strings.TrimSpace(spec))
+	param := 0
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		if !strings.HasSuffix(name, ")") {
+			return nil, fmt.Errorf("agg: malformed spec %q", spec)
+		}
+		p, err := strconv.Atoi(strings.TrimSpace(name[i+1 : len(name)-1]))
+		if err != nil {
+			return nil, fmt.Errorf("agg: bad parameter in %q: %v", spec, err)
+		}
+		param = p
+		name = name[:i]
+	}
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("agg: unknown aggregate %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return f(param), nil
+}
+
+func init() {
+	Register("sum", func(int) Aggregate { return Sum{} })
+	Register("count", func(int) Aggregate { return Count{} })
+	Register("avg", func(int) Aggregate { return Avg{} })
+	Register("max", func(int) Aggregate { return Max{} })
+	Register("min", func(int) Aggregate { return Min{} })
+	Register("distinct", func(int) Aggregate { return Distinct{} })
+	Register("topk", func(k int) Aggregate {
+		if k <= 0 {
+			k = 3
+		}
+		return TopK{K: k}
+	})
+	Register("topk~", func(k int) Aggregate { return ApproxTopK{K: k} })
+	Register("distinct~", func(int) Aggregate { return ApproxDistinct{} })
+	Register("stddev", func(int) Aggregate { return StdDev{} })
+}

@@ -1,0 +1,237 @@
+package agg
+
+import "sort"
+
+// TopK is the built-in TOP-K aggregate of the paper: the k most frequent
+// values among the inputs (a generalization of mode, not of max — §5.1,
+// footnote 4). It is holistic: the partial state is a frequency map that may
+// grow with the number of distinct values. It is subtractable (frequency
+// maps subtract), so negative edges are legal.
+type TopK struct {
+	K int
+}
+
+// Name implements Aggregate.
+func (t TopK) Name() string { return "topk" }
+
+// Props implements Aggregate.
+func (t TopK) Props() Properties {
+	return Properties{Subtractable: true, Holistic: true}
+}
+
+// NewPAO implements Aggregate.
+func (t TopK) NewPAO() PAO {
+	k := t.K
+	if k <= 0 {
+		k = 1
+	}
+	return &topkPAO{k: k}
+}
+
+// topkPAO maintains exact frequencies of the values it has aggregated.
+type topkPAO struct {
+	k     int
+	freq  map[int64]int64
+	total int64
+}
+
+func (p *topkPAO) init() {
+	if p.freq == nil {
+		p.freq = make(map[int64]int64)
+	}
+}
+
+func (p *topkPAO) AddValue(v int64) {
+	p.init()
+	p.freq[v]++
+	p.total++
+}
+
+// RemoveValue tolerates transiently negative counts: when a value is
+// cancelled through a negative overlay edge, the subtraction may be applied
+// before the positive contribution arrives.
+func (p *topkPAO) RemoveValue(v int64) {
+	p.init()
+	if p.freq[v] == 1 {
+		delete(p.freq, v)
+	} else {
+		p.freq[v]--
+	}
+	p.total--
+}
+
+func (p *topkPAO) Merge(other PAO) {
+	o := other.(*topkPAO)
+	if o.freq == nil {
+		return
+	}
+	p.init()
+	for v, c := range o.freq {
+		p.freq[v] += c
+	}
+	p.total += o.total
+}
+
+func (p *topkPAO) Unmerge(other PAO) {
+	o := other.(*topkPAO)
+	if o.freq == nil {
+		return
+	}
+	p.init()
+	for v, c := range o.freq {
+		n := p.freq[v] - c
+		if n == 0 {
+			delete(p.freq, v)
+		} else {
+			p.freq[v] = n
+		}
+	}
+	p.total -= o.total
+}
+
+func (p *topkPAO) Replace(old, new PAO) { replaceViaUnmerge(p, old, new) }
+
+// Finalize returns the k most frequent values, most frequent first; ties
+// break toward the smaller value for determinism.
+func (p *topkPAO) Finalize() Result {
+	if p.total <= 0 || len(p.freq) == 0 {
+		return Result{List: []int64{}, Valid: false}
+	}
+	type vc struct{ v, c int64 }
+	all := make([]vc, 0, len(p.freq))
+	for v, c := range p.freq {
+		if c > 0 {
+			all = append(all, vc{v, c})
+		}
+	}
+	if len(all) == 0 {
+		return Result{List: []int64{}, Valid: false}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].v < all[j].v
+	})
+	n := p.k
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].v
+	}
+	return Result{List: out, Valid: true}
+}
+
+func (p *topkPAO) Reset() {
+	p.freq = nil
+	p.total = 0
+}
+
+func (p *topkPAO) Clone() PAO {
+	c := &topkPAO{k: p.k, total: p.total}
+	if p.freq != nil {
+		c.freq = make(map[int64]int64, len(p.freq))
+		for v, n := range p.freq {
+			c.freq[v] = n
+		}
+	}
+	return c
+}
+
+// Distinct is the built-in DISTINCT (UNIQUE) aggregate: the number of
+// distinct values among the inputs. It is duplicate-insensitive under set
+// semantics; our exact implementation tracks multiplicities so windows can
+// expire values, and exposes duplicate-insensitivity for overlay purposes
+// only when used with set semantics (multiple paths may overcount
+// multiplicities but not membership).
+type Distinct struct{}
+
+// Name implements Aggregate.
+func (Distinct) Name() string { return "distinct" }
+
+// Props implements Aggregate.
+func (Distinct) Props() Properties {
+	return Properties{DuplicateInsensitive: true, Holistic: true}
+}
+
+// NewPAO implements Aggregate.
+func (Distinct) NewPAO() PAO { return &distinctPAO{} }
+
+type distinctPAO struct {
+	freq map[int64]int64
+}
+
+func (p *distinctPAO) init() {
+	if p.freq == nil {
+		p.freq = make(map[int64]int64)
+	}
+}
+
+func (p *distinctPAO) AddValue(v int64) {
+	p.init()
+	p.freq[v]++
+}
+
+// RemoveValue tolerates transiently negative counts (see topkPAO).
+func (p *distinctPAO) RemoveValue(v int64) {
+	p.init()
+	if p.freq[v] == 1 {
+		delete(p.freq, v)
+	} else {
+		p.freq[v]--
+	}
+}
+
+func (p *distinctPAO) Merge(other PAO) {
+	o := other.(*distinctPAO)
+	if o.freq == nil {
+		return
+	}
+	p.init()
+	for v, c := range o.freq {
+		p.freq[v] += c
+	}
+}
+
+func (p *distinctPAO) Unmerge(other PAO) {
+	o := other.(*distinctPAO)
+	if o.freq == nil {
+		return
+	}
+	p.init()
+	for v, c := range o.freq {
+		n := p.freq[v] - c
+		if n == 0 {
+			delete(p.freq, v)
+		} else {
+			p.freq[v] = n
+		}
+	}
+}
+
+func (p *distinctPAO) Replace(old, new PAO) { replaceViaUnmerge(p, old, new) }
+
+func (p *distinctPAO) Finalize() Result {
+	n := int64(0)
+	for _, c := range p.freq {
+		if c > 0 {
+			n++
+		}
+	}
+	return Result{Scalar: n, Valid: true}
+}
+
+func (p *distinctPAO) Reset() { p.freq = nil }
+
+func (p *distinctPAO) Clone() PAO {
+	c := &distinctPAO{}
+	if p.freq != nil {
+		c.freq = make(map[int64]int64, len(p.freq))
+		for v, n := range p.freq {
+			c.freq[v] = n
+		}
+	}
+	return c
+}

@@ -1,0 +1,141 @@
+package agg
+
+// Window is the sliding window w of a query ⟨F,w,N,pred⟩ (paper §2.1). A
+// window is attached to each writer node; it admits new values and expires
+// old ones, keeping the writer's PAO equal to F over the in-window values.
+type Window interface {
+	// Add ingests a value with its timestamp, updating pao: expired
+	// values are removed from the window (and RemoveValue'd from pao)
+	// before the new value is added.
+	Add(pao PAO, v int64, ts int64)
+	// Expire removes values that have fallen out of the window as of ts
+	// (only meaningful for time-based windows).
+	Expire(pao PAO, ts int64)
+	// Len returns the number of values currently in the window.
+	Len() int
+	// Values returns the in-window values, oldest first. The slice is
+	// freshly allocated.
+	Values() []int64
+	// Clone returns an empty window with the same parameters.
+	Clone() Window
+}
+
+// TupleWindow keeps the most recent C values (the paper's "last c updates").
+// C = 1 reproduces the running example's "most recent value" semantics.
+type TupleWindow struct {
+	C    int
+	ring []int64
+	head int // index of oldest
+	n    int
+}
+
+// NewTupleWindow returns a count-based window over the last c values.
+func NewTupleWindow(c int) *TupleWindow {
+	if c <= 0 {
+		c = 1
+	}
+	return &TupleWindow{C: c, ring: make([]int64, c)}
+}
+
+// Add implements Window.
+func (w *TupleWindow) Add(pao PAO, v int64, _ int64) {
+	if w.n == w.C {
+		old := w.ring[w.head]
+		pao.RemoveValue(old)
+		w.head = (w.head + 1) % w.C
+		w.n--
+	}
+	w.ring[(w.head+w.n)%w.C] = v
+	w.n++
+	pao.AddValue(v)
+}
+
+// Expire implements Window; tuple windows never expire by time.
+func (w *TupleWindow) Expire(PAO, int64) {}
+
+// Len implements Window.
+func (w *TupleWindow) Len() int { return w.n }
+
+// Values implements Window.
+func (w *TupleWindow) Values() []int64 {
+	out := make([]int64, w.n)
+	for i := 0; i < w.n; i++ {
+		out[i] = w.ring[(w.head+i)%w.C]
+	}
+	return out
+}
+
+// Clone implements Window.
+func (w *TupleWindow) Clone() Window { return NewTupleWindow(w.C) }
+
+// TimeWindow keeps values written within the last T time units.
+type TimeWindow struct {
+	T    int64
+	vals []timedVal
+}
+
+type timedVal struct {
+	v  int64
+	ts int64
+}
+
+// NewTimeWindow returns a time-based window of width t.
+func NewTimeWindow(t int64) *TimeWindow {
+	if t <= 0 {
+		t = 1
+	}
+	return &TimeWindow{T: t}
+}
+
+// Add implements Window.
+func (w *TimeWindow) Add(pao PAO, v int64, ts int64) {
+	w.Expire(pao, ts)
+	w.vals = append(w.vals, timedVal{v, ts})
+	pao.AddValue(v)
+}
+
+// Expire implements Window: removes values older than ts - T.
+func (w *TimeWindow) Expire(pao PAO, ts int64) {
+	cut := ts - w.T
+	i := 0
+	for i < len(w.vals) && w.vals[i].ts <= cut {
+		pao.RemoveValue(w.vals[i].v)
+		i++
+	}
+	if i > 0 {
+		w.vals = append(w.vals[:0], w.vals[i:]...)
+	}
+}
+
+// Len implements Window.
+func (w *TimeWindow) Len() int { return len(w.vals) }
+
+// Values implements Window.
+func (w *TimeWindow) Values() []int64 {
+	out := make([]int64, len(w.vals))
+	for i, tv := range w.vals {
+		out[i] = tv.v
+	}
+	return out
+}
+
+// Clone implements Window.
+func (w *TimeWindow) Clone() Window { return NewTimeWindow(w.T) }
+
+// AvgWindowSize estimates the average number of in-window values per writer,
+// the w used to cost writer nodes as H(w)/L(w) in §4.2. For tuple windows it
+// is C; for time windows it must be supplied by the workload (rate × T).
+func AvgWindowSize(w Window, ratePerUnit float64) float64 {
+	switch win := w.(type) {
+	case *TupleWindow:
+		return float64(win.C)
+	case *TimeWindow:
+		s := ratePerUnit * float64(win.T)
+		if s < 1 {
+			return 1
+		}
+		return s
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,236 @@
+package construct
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// Maintainer applies incremental structural changes to an overlay (paper
+// §3.3) using the IOB machinery: small input-list deltas become direct
+// edges, large ones are covered through existing partial aggregates, and
+// overly fragmented readers are rebuilt wholesale.
+//
+// The maintainer requires a duplicate-free overlay without negative edges
+// (the output of VNM, VNM_A, or IOB); overlays with duplicate paths or
+// negative edges must be recompiled instead.
+type Maintainer struct {
+	b *iobBuilder
+	// DirectThreshold is the paper's "prespecified threshold": deltas at
+	// least this large are covered via partial aggregates, smaller ones
+	// become direct writer→reader edges.
+	DirectThreshold int
+	// MaxSplitNodes bounds how many upstream aggregators may be split to
+	// absorb a deletion before falling back to a full reader rebuild
+	// (paper: 5).
+	MaxSplitNodes int
+	// directCount tracks accumulated direct edges per reader; exceeding
+	// DirectThreshold triggers a rebuild.
+	directCount map[graph.NodeID]int
+}
+
+// NewMaintainer wraps an existing overlay for incremental maintenance.
+func NewMaintainer(ov *overlay.Overlay) (*Maintainer, error) {
+	b, err := fromOverlay(ov)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintainer{
+		b:               b,
+		DirectThreshold: 4,
+		MaxSplitNodes:   5,
+		directCount:     make(map[graph.NodeID]int),
+	}, nil
+}
+
+// Overlay returns the maintained overlay.
+func (m *Maintainer) Overlay() *overlay.Overlay { return m.b.ov }
+
+// AddReaderInputs records that reader r's input list gained the writers in
+// delta (Δ(I(r)) of §3.3) and updates the overlay. A reader unknown to the
+// overlay is created.
+func (m *Maintainer) AddReaderInputs(r graph.NodeID, delta []graph.NodeID) error {
+	if len(delta) == 0 {
+		return nil
+	}
+	ref := m.b.ov.Reader(r)
+	if ref == overlay.NoNode {
+		return m.b.addReader(r, delta)
+	}
+	// Update the reader's I-set and reverse index.
+	set := m.b.iset[ref]
+	added := make(map[graph.NodeID]struct{}, len(delta))
+	for _, w := range delta {
+		if _, ok := set[w]; ok {
+			continue // already aggregated
+		}
+		set[w] = struct{}{}
+		added[w] = struct{}{}
+		m.b.rev[w] = append(m.b.rev[w], ref)
+	}
+	if len(added) == 0 {
+		return nil
+	}
+	if len(added) >= m.DirectThreshold {
+		return m.b.coverInputs(ref, added)
+	}
+	// Small delta: direct edges, counting toward the rebuild threshold.
+	for w := range added {
+		if err := m.b.ov.AddEdge(m.b.addWriter(w), ref, false); err != nil {
+			return err
+		}
+	}
+	m.directCount[r] += len(added)
+	if m.directCount[r] > m.DirectThreshold {
+		m.directCount[r] = 0
+		return m.rebuildReader(ref)
+	}
+	return nil
+}
+
+// RemoveReaderInputs records that reader r's input list lost the writers in
+// delta. If only a few upstream aggregators are affected they are split in
+// place; otherwise the reader is rebuilt from its new input list (§3.3,
+// "Deletion of Edges").
+func (m *Maintainer) RemoveReaderInputs(r graph.NodeID, delta []graph.NodeID) error {
+	if len(delta) == 0 {
+		return nil
+	}
+	ref := m.b.ov.Reader(r)
+	if ref == overlay.NoNode {
+		return fmt.Errorf("construct: reader %d not in overlay", r)
+	}
+	set := m.b.iset[ref]
+	d := make(map[graph.NodeID]struct{}, len(delta))
+	for _, w := range delta {
+		if _, ok := set[w]; ok {
+			d[w] = struct{}{}
+			delete(set, w)
+		}
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	// Pre-processing pass: count affected upstream aggregators.
+	if m.countAffectedUpstream(ref, d) > m.MaxSplitNodes {
+		return m.rebuildReader(ref)
+	}
+	ins := append([]overlay.HalfEdge(nil), m.b.ov.Node(ref).In...)
+	for _, e := range ins {
+		u := e.Peer
+		iu := m.b.iset[u]
+		olap := overlapCount(iu, d)
+		switch {
+		case olap == 0:
+			// Unaffected input.
+		case olap == len(iu):
+			// Entire input obsolete.
+			if err := m.b.ov.RemoveEdge(u, ref); err != nil {
+				return err
+			}
+		default:
+			keep := make(map[graph.NodeID]struct{}, len(iu)-olap)
+			for w := range iu {
+				if _, gone := d[w]; !gone {
+					keep[w] = struct{}{}
+				}
+			}
+			y, err := m.b.split(u, keep)
+			if err != nil {
+				return err
+			}
+			if err := m.b.ov.RemoveEdge(u, ref); err != nil {
+				return err
+			}
+			if err := m.b.ov.AddEdge(y, ref, false); err != nil {
+				return err
+			}
+		}
+	}
+	m.b.ov.GCOrphans()
+	return nil
+}
+
+// countAffectedUpstream counts the partial aggregation nodes upstream of
+// ref whose I-set intersects d.
+func (m *Maintainer) countAffectedUpstream(ref overlay.NodeRef, d map[graph.NodeID]struct{}) int {
+	seen := map[overlay.NodeRef]bool{ref: true}
+	stack := []overlay.NodeRef{ref}
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range m.b.ov.Node(v).In {
+			u := e.Peer
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			if m.b.ov.Node(u).Kind == overlay.PartialNode && overlapCount(m.b.iset[u], d) > 0 {
+				count++
+			}
+			stack = append(stack, u)
+		}
+	}
+	return count
+}
+
+// rebuildReader detaches the reader and re-covers its current I-set.
+func (m *Maintainer) rebuildReader(ref overlay.NodeRef) error {
+	if err := m.b.detachReader(ref); err != nil {
+		return err
+	}
+	set := m.b.iset[ref]
+	cover := make(map[graph.NodeID]struct{}, len(set))
+	for w := range set {
+		cover[w] = struct{}{}
+	}
+	return m.b.coverInputs(ref, cover)
+}
+
+// AddNode handles addition of a data-graph node (§3.3): a writer node is
+// created, its out-edges are handed to the affected readers via
+// AddReaderInputs, and a reader node with the given input list is inserted
+// through the IOB algorithm.
+func (m *Maintainer) AddNode(v graph.NodeID, inputs []graph.NodeID, consumers []graph.NodeID) error {
+	m.b.addWriter(v)
+	for _, c := range consumers {
+		if err := m.AddReaderInputs(c, []graph.NodeID{v}); err != nil {
+			return err
+		}
+	}
+	if m.b.ov.Reader(v) != overlay.NoNode {
+		return fmt.Errorf("construct: reader %d already exists", v)
+	}
+	return m.b.addReader(v, inputs)
+}
+
+// RemoveNode removes both roles of a data-graph node from the overlay and
+// repairs the indexes (§3.3). Aggregates upstream of the removed writer
+// shrink accordingly.
+func (m *Maintainer) RemoveNode(v graph.NodeID) error {
+	if wref := m.b.ov.Writer(v); wref != overlay.NoNode {
+		// Every node that aggregated v loses it from its I-set.
+		for _, ref := range m.b.rev[v] {
+			if m.b.ov.Alive(ref) && ref != wref {
+				delete(m.b.iset[ref], v)
+			}
+		}
+		delete(m.b.rev, v)
+		if err := m.b.ov.RemoveNode(wref); err != nil {
+			return err
+		}
+		delete(m.b.iset, wref)
+	}
+	if rref := m.b.ov.Reader(v); rref != overlay.NoNode {
+		// The reader's reverse-index entries go stale; scans skip dead refs.
+		if err := m.b.ov.RemoveNode(rref); err != nil {
+			return err
+		}
+		delete(m.b.iset, rref)
+		delete(m.directCount, v)
+	}
+	m.b.ov.GCOrphans()
+	return nil
+}

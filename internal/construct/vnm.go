@@ -1,0 +1,371 @@
+package construct
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/fptree"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+	"repro/internal/shingle"
+)
+
+// vnmState is the working representation shared by the VNM variants: the
+// current (partially compressed) bipartite graph. Consumers are readers
+// (indices 0..R-1) and virtual nodes (indices >= R) created by mining;
+// items are writers (their data-graph ids) and virtual nodes (ids >=
+// itemBase).
+type vnmState struct {
+	ag       *bipartite.AG
+	cfg      Config
+	itemBase int32 // first virtual item id
+
+	lists [][]fptree.Item // consumer -> current positive input list
+	neg   [][]fptree.Item // consumer -> final negative-edge sources
+	mined [][]fptree.Item // consumer -> items consumed by earlier bicliques
+
+	history []float64
+	benefit map[int]int // reader-set size -> total benefit (current iter)
+}
+
+func newVNMState(ag *bipartite.AG, cfg Config) *vnmState {
+	s := &vnmState{
+		ag:       ag,
+		cfg:      cfg,
+		itemBase: int32(ag.MaxID()),
+		lists:    make([][]fptree.Item, len(ag.Readers)),
+		neg:      make([][]fptree.Item, len(ag.Readers)),
+		mined:    make([][]fptree.Item, len(ag.Readers)),
+		benefit:  make(map[int]int),
+	}
+	for i, r := range ag.Readers {
+		in := make([]fptree.Item, len(r.Inputs))
+		for j, w := range r.Inputs {
+			in[j] = fptree.Item(w)
+		}
+		s.lists[i] = in
+	}
+	return s
+}
+
+// numReaders returns the count of original readers among consumers.
+func (s *vnmState) numReaders() int { return len(s.ag.Readers) }
+
+// isVirtualItem reports whether an item denotes a virtual node.
+func (s *vnmState) isVirtualItem(it fptree.Item) bool { return it >= s.itemBase }
+
+// consumerOfItem maps a virtual item id to its consumer index.
+func (s *vnmState) consumerOfItem(it fptree.Item) int {
+	return s.numReaders() + int(it-s.itemBase)
+}
+
+// itemOfConsumer maps a virtual consumer index to its item id.
+func (s *vnmState) itemOfConsumer(ci int) fptree.Item {
+	return s.itemBase + fptree.Item(ci-s.numReaders())
+}
+
+// overlayEdges counts the edges the final overlay would have now.
+func (s *vnmState) overlayEdges() int {
+	n := 0
+	for ci := range s.lists {
+		n += len(s.lists[ci]) + len(s.neg[ci])
+	}
+	return n
+}
+
+// sharingIndex returns the current SI.
+func (s *vnmState) sharingIndex() float64 {
+	if s.ag.NumEdges() == 0 {
+		return 0
+	}
+	return 1 - float64(s.overlayEdges())/float64(s.ag.NumEdges())
+}
+
+// rankFunc computes the global item order for this iteration: descending
+// occurrence count across all current input lists, so that frequent shared
+// writers sort toward the root and readers with common popular inputs share
+// tree prefixes. (The paper's §3.2.1 text says "increasing order", but its
+// own Figure 3 sorts the degree-6 writer d first; descending order is also
+// the standard FP-Tree convention, and ascending order finds essentially no
+// bicliques on heavy-tailed graphs.)
+func (s *vnmState) rankFunc() func(fptree.Item) int {
+	count := make(map[fptree.Item]int)
+	for _, l := range s.lists {
+		for _, it := range l {
+			count[it]++
+		}
+	}
+	items := make([]fptree.Item, 0, len(count))
+	for it := range count {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		ci, cj := count[items[i]], count[items[j]]
+		if ci != cj {
+			if s.cfg.AscendingRank {
+				return ci < cj
+			}
+			return ci > cj
+		}
+		return items[i] < items[j]
+	})
+	rank := make(map[fptree.Item]int, len(items))
+	for i, it := range items {
+		rank[it] = i
+	}
+	n := len(rank)
+	return func(it fptree.Item) int {
+		if r, ok := rank[it]; ok {
+			return r
+		}
+		// Unseen items (e.g. mined-only) order after everything, by id.
+		return n + int(it)
+	}
+}
+
+// consumerAG wraps the current consumer lists as a bipartite.AG so the
+// shingle package can order them. Only Readers/Inputs are needed.
+func (s *vnmState) consumerAG() *bipartite.AG {
+	lists := make(map[graph.NodeID][]graph.NodeID, len(s.lists))
+	for ci, l := range s.lists {
+		in := make([]graph.NodeID, len(l))
+		for j, it := range l {
+			in[j] = graph.NodeID(it)
+		}
+		lists[graph.NodeID(ci)] = in
+	}
+	return bipartite.FromInputLists(lists)
+}
+
+// runIteration performs one VNM iteration: shingle-order the consumers,
+// chunk them, and mine each group to exhaustion (rebuilding the FP-tree
+// after every applied biclique, per §3.2.1's "ideally we should ...
+// reconstruct the FP-Tree"). It returns the total number of bicliques
+// applied.
+func (s *vnmState) runIteration(chunkSize int) int {
+	cag := s.consumerAG()
+	order := shingle.Order(cag, s.cfg.Shingles)
+	// consumerAG's readers are sorted by consumer index; map back.
+	idxToConsumer := make([]int, len(cag.Readers))
+	for i, r := range cag.Readers {
+		idxToConsumer[i] = int(r.Node)
+	}
+	overlap := 0
+	if s.cfg.OverlapPct > 0 {
+		overlap = chunkSize * s.cfg.OverlapPct / 100
+	}
+	groups := shingle.Chunk(order, chunkSize, overlap)
+	// The item rank is computed once per iteration; applying bicliques
+	// perturbs the degree counts slightly, but a mildly stale order does
+	// not affect correctness and avoids an O(E) rescan per mined biclique.
+	rank := s.rankFunc()
+	applied := 0
+	for _, grp := range groups {
+		consumers := make([]int, len(grp))
+		for i, gi := range grp {
+			consumers[i] = idxToConsumer[gi]
+		}
+		applied += s.mineGroup(consumers, rank)
+	}
+	return applied
+}
+
+// mineGroup repeatedly builds an FP-tree over the group's consumers and
+// applies the best biclique until no positive-saving biclique remains.
+func (s *vnmState) mineGroup(consumers []int, rank func(fptree.Item) int) int {
+	applied := 0
+	for round := 0; round < s.cfg.MaxMinesPerGroup; round++ {
+		tree := fptree.New(rank, fptree.Options{K1: s.cfg.NegK1, K2: s.cfg.NegK2})
+		for _, ci := range consumers {
+			if len(s.lists[ci]) < 2 {
+				continue
+			}
+			var mined []fptree.Item
+			if s.cfg.AllowReuse {
+				mined = s.mined[ci]
+			}
+			tree.Insert(ci, s.lists[ci], mined)
+		}
+		bic, ok := tree.MineBest()
+		if !ok {
+			return applied
+		}
+		if !s.applyBiclique(bic) {
+			return applied
+		}
+		applied++
+	}
+	return applied
+}
+
+// applyBiclique materializes a mined biclique as a new virtual node,
+// rewriting the supporters' input lists. It returns false (and applies
+// nothing) when the biclique's exact net saving is not positive after
+// filtering unprofitable supporters.
+func (s *vnmState) applyBiclique(b fptree.Biclique) bool {
+	L := len(b.Items)
+	// Filter supporters: each must gain strictly (positives removed
+	// exceed the one virtual edge plus its negative edges), negative
+	// support is only allowed on original readers (virtual consumers
+	// with negative edges could close a cycle through pre-existing
+	// paths), and VNM_N negative edges require subtractability which the
+	// caller encoded via cfg.NegK2.
+	kept := b.Readers[:0]
+	for _, sup := range b.Readers {
+		if len(sup.Neg) > 0 && sup.Reader >= s.numReaders() {
+			continue
+		}
+		positives := L - len(sup.Neg) - len(sup.Mined)
+		if positives-1-len(sup.Neg) <= 0 {
+			continue
+		}
+		kept = append(kept, sup)
+	}
+	b.Readers = kept
+	if len(b.Readers) < 2 {
+		return false
+	}
+	if b.NumEdgesSaved() <= 0 {
+		return false
+	}
+
+	// Create the virtual node: it is both a consumer (aggregating the
+	// path items) and an item (feeding the supporters).
+	ci := len(s.lists)
+	s.lists = append(s.lists, append([]fptree.Item(nil), b.Items...))
+	s.neg = append(s.neg, nil)
+	s.mined = append(s.mined, nil)
+	z := s.itemOfConsumer(ci)
+
+	itemSet := make(map[fptree.Item]bool, L)
+	for _, it := range b.Items {
+		itemSet[it] = true
+	}
+	for _, sup := range b.Readers {
+		skip := make(map[fptree.Item]bool, len(sup.Neg)+len(sup.Mined))
+		for _, it := range sup.Neg {
+			skip[it] = true
+		}
+		for _, it := range sup.Mined {
+			skip[it] = true
+		}
+		// Remove the positive path items from the supporter's list.
+		l := s.lists[sup.Reader][:0]
+		for _, it := range s.lists[sup.Reader] {
+			if itemSet[it] && !skip[it] {
+				if s.cfg.AllowReuse {
+					s.mined[sup.Reader] = append(s.mined[sup.Reader], it)
+				}
+				continue
+			}
+			l = append(l, it)
+		}
+		s.lists[sup.Reader] = append(l, z)
+		s.neg[sup.Reader] = append(s.neg[sup.Reader], sup.Neg...)
+	}
+	s.benefit[len(b.Readers)] += b.Benefit
+	return true
+}
+
+// nextChunkSize implements VNM_A's adaptation (§3.2.2): choose the smallest
+// chunk size c <= cur such that the bicliques with reader-set size <= c
+// carry at least AdaptKeep of the total benefit observed this iteration.
+func (s *vnmState) nextChunkSize(cur int) int {
+	if len(s.benefit) == 0 {
+		return cur
+	}
+	sizes := make([]int, 0, len(s.benefit))
+	total := 0
+	for sz, b := range s.benefit {
+		sizes = append(sizes, sz)
+		total += b
+	}
+	if total <= 0 {
+		return cur
+	}
+	sort.Ints(sizes)
+	acc := 0
+	for _, sz := range sizes {
+		acc += s.benefit[sz]
+		if float64(acc) >= s.cfg.AdaptKeep*float64(total) {
+			if sz < 2 {
+				sz = 2
+			}
+			if sz > cur {
+				return cur
+			}
+			return sz
+		}
+	}
+	return cur
+}
+
+// assemble converts the final consumer lists into an overlay graph.
+func (s *vnmState) assemble() (*overlay.Overlay, error) {
+	ov := overlay.New(s.ag.NumEdges())
+	for _, w := range s.ag.AllNodes {
+		ov.AddWriter(w)
+	}
+	// Create nodes: readers then partials for virtual consumers.
+	refs := make([]overlay.NodeRef, len(s.lists))
+	for ci := range s.lists {
+		if ci < s.numReaders() {
+			refs[ci] = ov.AddReader(s.ag.Readers[ci].Node)
+		} else {
+			refs[ci] = ov.AddPartial()
+		}
+	}
+	nodeOfItem := func(it fptree.Item) overlay.NodeRef {
+		if s.isVirtualItem(it) {
+			return refs[s.consumerOfItem(it)]
+		}
+		return ov.AddWriter(graph.NodeID(it))
+	}
+	for ci := range s.lists {
+		for _, it := range s.lists[ci] {
+			if err := ov.AddEdge(nodeOfItem(it), refs[ci], false); err != nil {
+				return nil, err
+			}
+		}
+		for _, it := range s.neg[ci] {
+			if err := ov.AddEdge(nodeOfItem(it), refs[ci], true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := ov.TopoOrder(); err != nil {
+		return nil, err
+	}
+	return ov, nil
+}
+
+// buildVNM runs the configured VNM variant to completion.
+func buildVNM(ag *bipartite.AG, cfg Config) (*Result, error) {
+	s := newVNMState(ag, cfg)
+	chunk := cfg.ChunkSize
+	var times []time.Duration
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		start := time.Now()
+		s.benefit = make(map[int]int)
+		applied := s.runIteration(chunk)
+		s.history = append(s.history, s.sharingIndex())
+		times = append(times, time.Since(start))
+		if cfg.Adaptive {
+			chunk = s.nextChunkSize(chunk)
+		}
+		if applied == 0 {
+			break
+		}
+	}
+	ov, err := s.assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Overlay:             ov,
+		SharingIndexHistory: s.history,
+		IterTimes:           times,
+		BenefitBySize:       s.benefit,
+	}, nil
+}

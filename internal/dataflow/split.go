@@ -1,0 +1,93 @@
+package dataflow
+
+import (
+	"sort"
+
+	"repro/internal/overlay"
+)
+
+// SplitNodes implements the partial pre-computation optimization of §4.7:
+// for every aggregation node, consider hoisting the l lowest-push-frequency
+// inputs into a new always-push partial aggregate v', leaving the node to
+// pull the remaining (hot) inputs on demand. The paper evaluates, for each
+// prefix length l of the inputs sorted by push frequency, the cost of
+// incrementally maintaining the prefix aggregate plus pulling at the node,
+// and splits at the minimizing l when it is interior (0 < l < k).
+//
+// Cost of splitting at l (with f the node's pull frequency and f_1..f_k the
+// input push frequencies in ascending order):
+//
+//	cost(l) = Σ_{i<=l} f_i·H(l)  +  f·L(k-l+1)
+//
+// where the second term reflects that after the split the node pulls k-l
+// remaining inputs plus v'. cost(0) = f·L(k) is the no-split pull cost and
+// cost(k) ends with L(1).
+//
+// SplitNodes mutates the overlay (adding partial nodes) and returns the
+// number of splits performed. Dataflow decisions must be (re)computed
+// afterwards; the new nodes default to push, their consumers to pull.
+func SplitNodes(ov *overlay.Overlay, f *Freqs, m CostModel) (int, error) {
+	order, err := ov.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	splits := 0
+	for _, ref := range order {
+		n := ov.Node(ref)
+		if n.Kind == overlay.WriterNode || len(n.In) < 3 {
+			continue
+		}
+		// Negative-edge inputs keep their sign through the split; for
+		// simplicity only positive inputs are hoisted.
+		type inp struct {
+			peer overlay.NodeRef
+			freq float64
+		}
+		var pos []inp
+		for _, e := range n.In {
+			if !e.Negative {
+				pos = append(pos, inp{e.Peer, f.Push[e.Peer]})
+			}
+		}
+		k := len(n.In)
+		if len(pos) < 2 {
+			continue
+		}
+		sort.Slice(pos, func(i, j int) bool {
+			if pos[i].freq != pos[j].freq {
+				return pos[i].freq < pos[j].freq
+			}
+			return pos[i].peer < pos[j].peer
+		})
+		fPull := f.Pull[ref]
+		if fPull <= 0 {
+			continue
+		}
+		bestL, bestCost := 0, fPull*m.PullCost(k)
+		prefix := 0.0
+		for l := 1; l <= len(pos); l++ {
+			prefix += pos[l-1].freq
+			rest := k - l + 1
+			c := prefix*m.PushCost(l) + fPull*m.PullCost(rest)
+			if c < bestCost {
+				bestCost, bestL = c, l
+			}
+		}
+		if bestL == 0 || bestL >= len(pos) {
+			continue
+		}
+		// Build v' over the cold prefix.
+		vp := ov.AddPartial()
+		for i := 0; i < bestL; i++ {
+			if err := ov.RerouteIn(pos[i].peer, ref, vp); err != nil {
+				return splits, err
+			}
+		}
+		if err := ov.AddEdge(vp, ref, false); err != nil {
+			return splits, err
+		}
+		ov.Node(vp).Dec = overlay.Push
+		splits++
+	}
+	return splits, nil
+}

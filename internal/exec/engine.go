@@ -1,0 +1,342 @@
+// Package exec implements EAGr's execution model (paper §2.2.2): partial
+// aggregate objects maintained at push-annotated overlay nodes, on-demand
+// computation at pull nodes, and multi-threaded processing with separate
+// read and write pools — the queueing model (per-node micro-tasks) for
+// writes and the uni-thread model for reads.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// Engine executes a compiled query plan: an overlay with dataflow decisions
+// plus the aggregate function and the per-writer sliding windows. Writes
+// ingest raw values at writer nodes and propagate deltas through the push
+// region; reads merge push-side PAOs and compute pull subtrees on demand.
+//
+// All public methods are safe for concurrent use.
+type Engine struct {
+	ov  *overlay.Overlay
+	agg agg.Aggregate
+
+	// Per overlay-node state, indexed by NodeRef.
+	paos    []agg.PAO    // state for writers and push aggregation nodes
+	windows []agg.Window // writer nodes only
+	locks   []sync.Mutex
+
+	// Observation counters for the adaptive scheme (§4.8).
+	pushObs []atomic.Int64
+	pullObs []atomic.Int64
+
+	writes atomic.Int64
+	reads  atomic.Int64
+}
+
+// New compiles an engine for the overlay. window is cloned per writer; nil
+// means a most-recent-value window (c = 1, as in the paper's running
+// example).
+func New(ov *overlay.Overlay, a agg.Aggregate, window agg.Window) (*Engine, error) {
+	if window == nil {
+		window = agg.NewTupleWindow(1)
+	}
+	if err := ov.CheckDecisions(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	e := &Engine{
+		ov:      ov,
+		agg:     a,
+		paos:    make([]agg.PAO, ov.Len()),
+		windows: make([]agg.Window, ov.Len()),
+		locks:   make([]sync.Mutex, ov.Len()),
+		pushObs: make([]atomic.Int64, ov.Len()),
+		pullObs: make([]atomic.Int64, ov.Len()),
+	}
+	ov.ForEachNode(func(ref overlay.NodeRef, n *overlay.Node) {
+		switch {
+		case n.Kind == overlay.WriterNode:
+			e.paos[ref] = a.NewPAO()
+			e.windows[ref] = window.Clone()
+		case n.Dec == overlay.Push:
+			e.paos[ref] = a.NewPAO()
+		}
+	})
+	return e, nil
+}
+
+// Overlay returns the engine's overlay.
+func (e *Engine) Overlay() *overlay.Overlay { return e.ov }
+
+// Aggregate returns the engine's aggregate function.
+func (e *Engine) Aggregate() agg.Aggregate { return e.agg }
+
+// delta is the unit of write propagation: raw values entering and leaving
+// the aggregate at a node. Negative edges swap the two slices.
+type delta struct {
+	add    []int64
+	remove []int64
+}
+
+func (d delta) inverted() delta { return delta{add: d.remove, remove: d.add} }
+
+// Write ingests a content update on data-graph node v (a "write on v") and
+// synchronously propagates it through the push region of the overlay.
+func (e *Engine) Write(v graph.NodeID, value int64, ts int64) error {
+	wref := e.ov.Writer(v)
+	if wref == overlay.NoNode {
+		// The node feeds no reader (like g_w in Figure 1(c)): the write
+		// is absorbed without any propagation work.
+		e.writes.Add(1)
+		return nil
+	}
+	d := e.ingest(wref, value, ts)
+	e.writes.Add(1)
+	// Propagate breadth-first through push consumers.
+	e.propagate(wref, d)
+	return nil
+}
+
+// ingest applies the write to the writer's window/PAO and returns the delta
+// to propagate (capturing values expired by the window slide).
+func (e *Engine) ingest(wref overlay.NodeRef, value int64, ts int64) delta {
+	e.locks[wref].Lock()
+	defer e.locks[wref].Unlock()
+	w := e.windows[wref]
+	// Wrap the PAO to capture removals caused by the window slide.
+	rec := &recordingPAO{PAO: e.paos[wref]}
+	w.Add(rec, value, ts)
+	e.pushObs[wref].Add(1)
+	return delta{add: []int64{value}, remove: rec.removed}
+}
+
+// recordingPAO intercepts RemoveValue to capture window expirations.
+type recordingPAO struct {
+	agg.PAO
+	removed []int64
+}
+
+func (r *recordingPAO) RemoveValue(v int64) {
+	r.removed = append(r.removed, v)
+	r.PAO.RemoveValue(v)
+}
+
+// propagate walks the push region downstream of ref applying the delta.
+// Each traversed edge applies the delta once, so duplicate paths (legal
+// only for duplicate-insensitive aggregates) contribute consistent
+// multiplicities on both add and remove.
+func (e *Engine) propagate(ref overlay.NodeRef, d delta) {
+	type task struct {
+		ref overlay.NodeRef
+		d   delta
+	}
+	stack := []task{{ref, d}}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, out := range e.ov.Node(t.ref).Out {
+			dst := out.Peer
+			n := e.ov.Node(dst)
+			if n.Dec != overlay.Push {
+				continue
+			}
+			dd := t.d
+			if out.Negative {
+				dd = dd.inverted()
+			}
+			e.applyDelta(dst, dd)
+			stack = append(stack, task{dst, dd})
+		}
+	}
+}
+
+// applyDelta applies raw-value changes to a push node's PAO.
+func (e *Engine) applyDelta(ref overlay.NodeRef, d delta) {
+	e.locks[ref].Lock()
+	pao := e.paos[ref]
+	for _, v := range d.add {
+		pao.AddValue(v)
+	}
+	for _, v := range d.remove {
+		pao.RemoveValue(v)
+	}
+	e.locks[ref].Unlock()
+	e.pushObs[ref].Add(1)
+}
+
+// Read evaluates the standing query at data-graph node v (a "read on v")
+// and returns the aggregate over N(v).
+func (e *Engine) Read(v graph.NodeID) (agg.Result, error) {
+	rref := e.ov.Reader(v)
+	if rref == overlay.NoNode {
+		return agg.Result{}, fmt.Errorf("exec: node %d has no reader in the overlay", v)
+	}
+	e.reads.Add(1)
+	n := e.ov.Node(rref)
+	if n.Dec == overlay.Push {
+		e.locks[rref].Lock()
+		res := e.paos[rref].Finalize()
+		e.locks[rref].Unlock()
+		e.pullObs[rref].Add(1)
+		return res, nil
+	}
+	pao := e.computePull(rref)
+	return pao.Finalize(), nil
+}
+
+// computePull evaluates a pull node on demand: merge push-side inputs'
+// PAOs, recurse into pull-side inputs (§2.2.2: "it issues read requests on
+// all its upstream overlay nodes, merges all the PAOs it receives").
+func (e *Engine) computePull(ref overlay.NodeRef) agg.PAO {
+	e.pullObs[ref].Add(1)
+	out := e.agg.NewPAO()
+	n := e.ov.Node(ref)
+	if n.Kind == overlay.WriterNode {
+		// A writer is always push; computePull on it only happens via
+		// direct merge below, not here.
+		e.locks[ref].Lock()
+		out.Merge(e.paos[ref])
+		e.locks[ref].Unlock()
+		return out
+	}
+	for _, in := range n.In {
+		src := in.Peer
+		sn := e.ov.Node(src)
+		var child agg.PAO
+		if sn.Dec == overlay.Push {
+			e.locks[src].Lock()
+			if in.Negative {
+				out.Unmerge(e.paos[src])
+			} else {
+				out.Merge(e.paos[src])
+			}
+			e.locks[src].Unlock()
+			e.pullObs[src].Add(1)
+			continue
+		}
+		child = e.computePull(src)
+		if in.Negative {
+			out.Unmerge(child)
+		} else {
+			out.Merge(child)
+		}
+	}
+	return out
+}
+
+// ExpireAll advances time-based windows to ts at every writer, propagating
+// expirations through the push region. Tuple windows are unaffected.
+func (e *Engine) ExpireAll(ts int64) {
+	for _, wref := range e.ov.Writers() {
+		e.locks[wref].Lock()
+		rec := &recordingPAO{PAO: e.paos[wref]}
+		e.windows[wref].Expire(rec, ts)
+		e.locks[wref].Unlock()
+		if len(rec.removed) > 0 {
+			e.propagate(wref, delta{remove: rec.removed})
+		}
+	}
+}
+
+// Grow resizes the per-node state after the overlay gained nodes (e.g.
+// through incremental maintenance or node splitting) and initializes state
+// for the new slots. Existing writer windows are preserved. Callers should
+// follow with ResyncPushState, as restructuring may have changed what any
+// partial node aggregates.
+func (e *Engine) Grow(window agg.Window) {
+	if window == nil {
+		window = agg.NewTupleWindow(1)
+	}
+	n := e.ov.Len()
+	for len(e.paos) < n {
+		e.paos = append(e.paos, nil)
+		e.windows = append(e.windows, nil)
+	}
+	if len(e.locks) < n {
+		locks := make([]sync.Mutex, n)
+		e.locks = locks // safe only when quiescent; documented contract
+		pushObs := make([]atomic.Int64, n)
+		for i := range e.pushObs {
+			pushObs[i].Store(e.pushObs[i].Load())
+		}
+		e.pushObs = pushObs
+		pullObs := make([]atomic.Int64, n)
+		for i := range e.pullObs {
+			pullObs[i].Store(e.pullObs[i].Load())
+		}
+		e.pullObs = pullObs
+	}
+	e.ov.ForEachNode(func(ref overlay.NodeRef, nd *overlay.Node) {
+		switch {
+		case nd.Kind == overlay.WriterNode:
+			if e.paos[ref] == nil {
+				e.paos[ref] = e.agg.NewPAO()
+			}
+			if e.windows[ref] == nil {
+				e.windows[ref] = window.Clone()
+			}
+		case nd.Dec == overlay.Push:
+			if e.paos[ref] == nil {
+				e.paos[ref] = e.agg.NewPAO()
+			}
+		}
+	})
+}
+
+// Counts returns the number of writes and reads processed.
+func (e *Engine) Counts() (writes, reads int64) {
+	return e.writes.Load(), e.reads.Load()
+}
+
+// Observations drains the per-node push/pull counters accumulated since the
+// last call, for feeding the adaptive scheme.
+func (e *Engine) Observations() (pushes, pulls map[overlay.NodeRef]float64) {
+	pushes = make(map[overlay.NodeRef]float64)
+	pulls = make(map[overlay.NodeRef]float64)
+	for i := range e.pushObs {
+		if v := e.pushObs[i].Swap(0); v != 0 {
+			pushes[overlay.NodeRef(i)] = float64(v)
+		}
+		if v := e.pullObs[i].Swap(0); v != 0 {
+			pulls[overlay.NodeRef(i)] = float64(v)
+		}
+	}
+	return pushes, pulls
+}
+
+// ResyncPushState rebuilds the PAOs of push aggregation nodes bottom-up
+// from the writer windows. Call it after dataflow decisions change (e.g. an
+// adaptive rebalance flipped pull nodes to push), while no writes are in
+// flight.
+func (e *Engine) ResyncPushState() error {
+	order, err := e.ov.TopoOrder()
+	if err != nil {
+		return err
+	}
+	// Collected raw-value bags per node: for exactness we re-propagate
+	// writer window contents through the push region.
+	for _, ref := range order {
+		n := e.ov.Node(ref)
+		if n.Kind == overlay.WriterNode {
+			continue
+		}
+		if n.Dec == overlay.Push {
+			e.paos[ref] = e.agg.NewPAO()
+		} else {
+			e.paos[ref] = nil
+		}
+	}
+	for _, wref := range e.ov.Writers() {
+		e.locks[wref].Lock()
+		vals := e.windows[wref].Values()
+		e.locks[wref].Unlock()
+		if len(vals) > 0 {
+			e.propagate(wref, delta{add: vals})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+)
+
+// Runner drives an engine with separate read and write thread pools
+// (§2.2.2). Writes use the queueing model — a write is enqueued and its
+// propagation runs on a writer-pool goroutine — while reads use the
+// uni-thread model: the read executes fully on one reader-pool goroutine.
+// The relative pool sizes trade read latency against staleness, as in the
+// paper.
+type Runner struct {
+	eng *Engine
+
+	WriteWorkers int
+	ReadWorkers  int
+	// LatencySample records every Nth read latency (0 disables).
+	LatencySample int
+
+	writeCh chan graph.Event
+	readCh  chan graph.Event
+	wg      sync.WaitGroup
+
+	latMu     sync.Mutex
+	latencies []time.Duration
+	readCount atomic.Int64
+	errCount  atomic.Int64
+}
+
+// NewRunner wraps an engine with pools of the given sizes (minimum 1 each).
+func NewRunner(eng *Engine, writeWorkers, readWorkers int) *Runner {
+	if writeWorkers < 1 {
+		writeWorkers = 1
+	}
+	if readWorkers < 1 {
+		readWorkers = 1
+	}
+	return &Runner{
+		eng:           eng,
+		WriteWorkers:  writeWorkers,
+		ReadWorkers:   readWorkers,
+		LatencySample: 16,
+	}
+}
+
+// Start launches the worker pools.
+func (r *Runner) Start() {
+	r.writeCh = make(chan graph.Event, 4096)
+	r.readCh = make(chan graph.Event, 4096)
+	for i := 0; i < r.WriteWorkers; i++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for ev := range r.writeCh {
+				if err := r.eng.Write(ev.Node, ev.Value, ev.TS); err != nil {
+					r.errCount.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < r.ReadWorkers; i++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for ev := range r.readCh {
+				n := r.readCount.Add(1)
+				sample := r.LatencySample > 0 && n%int64(r.LatencySample) == 0
+				var start time.Time
+				if sample {
+					start = time.Now()
+				}
+				if _, err := r.eng.Read(ev.Node); err != nil {
+					r.errCount.Add(1)
+				}
+				if sample {
+					d := time.Since(start)
+					r.latMu.Lock()
+					r.latencies = append(r.latencies, d)
+					r.latMu.Unlock()
+				}
+			}
+		}()
+	}
+}
+
+// Submit routes an event to the appropriate pool, blocking when the queue
+// is full (back-pressure).
+func (r *Runner) Submit(ev graph.Event) {
+	if ev.Kind == graph.Read {
+		r.readCh <- ev
+	} else {
+		r.writeCh <- ev
+	}
+}
+
+// Stop drains the queues and stops the workers.
+func (r *Runner) Stop() {
+	close(r.writeCh)
+	close(r.readCh)
+	r.wg.Wait()
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Duration   time.Duration
+	Writes     int64
+	Reads      int64
+	Errors     int64
+	Throughput float64 // operations per second
+	// Read latency distribution from the sampled reads.
+	AvgLatency   time.Duration
+	P95Latency   time.Duration
+	WorstLatency time.Duration
+}
+
+// Play executes a stream of events through the pools and returns run
+// statistics. The engine's counters are deltas within this call.
+func (r *Runner) Play(events []graph.Event) Stats {
+	w0, r0 := r.eng.Counts()
+	r.Start()
+	start := time.Now()
+	for _, ev := range events {
+		r.Submit(ev)
+	}
+	r.Stop()
+	dur := time.Since(start)
+	w1, r1 := r.eng.Counts()
+	st := Stats{
+		Duration: dur,
+		Writes:   w1 - w0,
+		Reads:    r1 - r0,
+		Errors:   r.errCount.Load(),
+	}
+	if dur > 0 {
+		st.Throughput = float64(st.Writes+st.Reads) / dur.Seconds()
+	}
+	r.latMu.Lock()
+	lats := append([]time.Duration(nil), r.latencies...)
+	r.latencies = r.latencies[:0]
+	r.latMu.Unlock()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		st.AvgLatency = sum / time.Duration(len(lats))
+		st.P95Latency = lats[len(lats)*95/100]
+		st.WorstLatency = lats[len(lats)-1]
+	}
+	return st
+}
+
+// PlaySerial executes events on the calling goroutine (the single-threaded
+// execution model of §2.2.2), returning the same statistics.
+func PlaySerial(eng *Engine, events []graph.Event, latencySample int) Stats {
+	w0, r0 := eng.Counts()
+	var lats []time.Duration
+	start := time.Now()
+	n := 0
+	for _, ev := range events {
+		if ev.Kind == graph.Read {
+			n++
+			sample := latencySample > 0 && n%latencySample == 0
+			var t0 time.Time
+			if sample {
+				t0 = time.Now()
+			}
+			_, _ = eng.Read(ev.Node)
+			if sample {
+				lats = append(lats, time.Since(t0))
+			}
+		} else {
+			_ = eng.Write(ev.Node, ev.Value, ev.TS)
+		}
+	}
+	dur := time.Since(start)
+	w1, r1 := eng.Counts()
+	st := Stats{
+		Duration: dur,
+		Writes:   w1 - w0,
+		Reads:    r1 - r0,
+	}
+	if dur > 0 {
+		st.Throughput = float64(st.Writes+st.Reads) / dur.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		st.AvgLatency = sum / time.Duration(len(lats))
+		st.P95Latency = lats[len(lats)*95/100]
+		st.WorstLatency = lats[len(lats)-1]
+	}
+	return st
+}
+
+// ResultOf is a convenience helper for examples: read v and panic on error.
+func ResultOf(eng *Engine, v graph.NodeID) agg.Result {
+	res, err := eng.Read(v)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) at laptop scale: each FigXX function reproduces the
+// corresponding figure's series and returns printable tables. The
+// cmd/eagr-bench CLI and the root bench_test.go both drive this package;
+// EXPERIMENTS.md records measured-vs-paper outcomes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config sizes an experiment run.
+type Config struct {
+	// Scale multiplies dataset sizes (1 = laptop default).
+	Scale int
+	// Events is the number of read/write events per throughput
+	// measurement.
+	Events int
+	// Iterations for overlay construction.
+	Iterations int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Quick shrinks everything for use inside go test benchmarks.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.Events <= 0 {
+		if c.Quick {
+			c.Events = 20000
+		} else {
+			c.Events = 100000
+		}
+	}
+	if c.Iterations <= 0 {
+		if c.Quick {
+			c.Iterations = 4
+		} else {
+			c.Iterations = 10
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries the expected paper shape for EXPERIMENTS.md.
+	Notes string
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "-- %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Experiment is a registered experiment.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(Config) []Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(name, desc string, run func(Config) []Table) {
+	registry[name] = Experiment{Name: name, Desc: desc, Run: run}
+}
+
+// Get returns the experiment registered under name.
+func Get(name string) (Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names lists registered experiments in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func i0(x int) string     { return fmt.Sprintf("%d", x) }
+func f0(x float64) string { return fmt.Sprintf("%.0f", x) }

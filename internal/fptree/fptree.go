@@ -1,0 +1,232 @@
+// Package fptree implements the FP-Tree construction and biclique mining
+// used by the VNM family of overlay construction algorithms (paper §3.2.1),
+// together with the negative-edge extension of VNM_N (§3.2.3) and the
+// mined-edge-reuse extension of VNM_D (§3.2.4).
+//
+// Terminology follows the paper: the "transactions" are readers, the
+// "items" are writers (or, in later VNM iterations, previously created
+// virtual/partial aggregation nodes). A root-to-node path P with support
+// S(P) corresponds to a biclique between the path's items and the readers
+// in S(P).
+package fptree
+
+import "sort"
+
+// Item identifies a writer or virtual node. Items are opaque to the tree;
+// their insertion order is fixed by the rank function supplied at
+// construction (ascending AG out-degree in the paper).
+type Item = int32
+
+// Options configure the tree variant.
+type Options struct {
+	// K1 is the maximum number of paths a reader is inserted along in the
+	// negative-edge variant (paper's k1). K1 <= 1 gives single-path
+	// insertion. K1 has no effect unless K2 > 0.
+	K1 int
+	// K2 is the maximum number of negative edges allowed when adding a
+	// reader along a path (paper's k2, set to 5 in their experiments).
+	// K2 == 0 disables negative edges (plain VNM / VNM_A / VNM_D).
+	K2 int
+}
+
+// Tree is an FP-tree over one group of readers.
+type Tree struct {
+	root  *node
+	rank  func(Item) int
+	opts  Options
+	size  int // number of nodes excluding root
+	nodes []*node
+}
+
+// node is one FP-tree node: an item plus the support sets of the path
+// prefix ending here. pos is S (readers whose input list contains item),
+// neg is S' (readers added through here via a negative edge), mined is
+// S_mined (readers whose edge to item was consumed by an earlier biclique —
+// VNM_D reuse).
+type node struct {
+	item     Item
+	parent   *node
+	children map[Item]*node
+	depth    int
+	pos      map[int]struct{}
+	neg      map[int]struct{}
+	mined    map[int]struct{}
+}
+
+func newNode(item Item, parent *node, depth int) *node {
+	return &node{
+		item:     item,
+		parent:   parent,
+		children: make(map[Item]*node),
+		depth:    depth,
+		pos:      make(map[int]struct{}),
+		neg:      make(map[int]struct{}),
+		mined:    make(map[int]struct{}),
+	}
+}
+
+// New returns an empty tree. rank fixes the global item insertion order
+// (smaller rank first); it must be total over all items inserted.
+func New(rank func(Item) int, opts Options) *Tree {
+	return &Tree{root: newNode(-1, nil, 0), rank: rank, opts: opts}
+}
+
+// Size returns the number of tree nodes (excluding the root).
+func (t *Tree) Size() int { return t.size }
+
+// Insert adds a reader with the given positive items (its current input
+// list) and mined items (inputs already covered by earlier bicliques, only
+// relevant for the VNM_D variant; may be nil). Items need not be sorted.
+func (t *Tree) Insert(reader int, items []Item, mined []Item) {
+	minedSet := make(map[Item]struct{}, len(mined))
+	for _, m := range mined {
+		minedSet[m] = struct{}{}
+	}
+	seq := make([]Item, 0, len(items)+len(mined))
+	seq = append(seq, items...)
+	seq = append(seq, mined...)
+	sort.Slice(seq, func(i, j int) bool {
+		ri, rj := t.rank(seq[i]), t.rank(seq[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return seq[i] < seq[j]
+	})
+	posSet := make(map[Item]struct{}, len(items))
+	for _, it := range items {
+		posSet[it] = struct{}{}
+	}
+
+	if t.opts.K2 > 0 {
+		t.insertNegative(reader, seq, posSet, minedSet)
+		return
+	}
+	t.insertPlain(reader, seq, posSet, minedSet)
+}
+
+// insertPlain is the standard FP-tree insertion: walk down the trie in item
+// order, creating children as needed, adding the reader to each visited
+// node's support.
+func (t *Tree) insertPlain(reader int, seq []Item, pos, mined map[Item]struct{}) {
+	cur := t.root
+	for _, it := range seq {
+		child, ok := cur.children[it]
+		if !ok {
+			child = newNode(it, cur, cur.depth+1)
+			cur.children[it] = child
+			t.size++
+			t.nodes = append(t.nodes, child)
+		}
+		t.tag(child, reader, it, pos, mined)
+		cur = child
+	}
+}
+
+// tag records reader in the appropriate support set of n for item it.
+func (t *Tree) tag(n *node, reader int, it Item, pos, mined map[Item]struct{}) {
+	if _, ok := pos[it]; ok {
+		n.pos[reader] = struct{}{}
+	} else if _, ok := mined[it]; ok {
+		n.mined[reader] = struct{}{}
+	} else {
+		n.neg[reader] = struct{}{}
+	}
+}
+
+// insertNegative implements the VNM_N insertion (§3.2.3): breadth-first
+// exploration of the existing tree to find up to K1 paths with the highest
+// benefit of adding the reader (allowing at most K2 negative edges per
+// path); the reader is recorded along those paths, and the remaining items
+// extend the best path as a new branch.
+func (t *Tree) insertNegative(reader int, seq []Item, pos, mined map[Item]struct{}) {
+	type cand struct {
+		n       *node
+		matched int
+		negs    int
+		benefit int
+	}
+	var cands []cand
+	// BFS over the tree. A path may only use items; matching is positional
+	// — the walk consumes tree nodes in depth order, and an item matches
+	// when it belongs to the reader's positive set.
+	type state struct {
+		n       *node
+		matched int
+		negs    int
+	}
+	queue := []state{{t.root, 0, 0}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, child := range s.n.children {
+			ns := state{child, s.matched, s.negs}
+			if _, ok := pos[child.item]; ok {
+				ns.matched++
+			} else if _, ok := mined[child.item]; ok {
+				// Mined items count as matches for path purposes
+				// but are tagged separately.
+				ns.matched++
+			} else {
+				ns.negs++
+				if ns.negs > t.opts.K2 {
+					continue
+				}
+			}
+			if ns.matched > 0 {
+				support := len(child.pos) + len(child.neg) + len(child.mined) + 1
+				b := child.depth*support - child.depth - support - ns.negs
+				cands = append(cands, cand{child, ns.matched, ns.negs, b})
+			}
+			queue = append(queue, ns)
+		}
+	}
+	if len(cands) == 0 {
+		t.insertPlain(reader, seq, pos, mined)
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].benefit != cands[j].benefit {
+			return cands[i].benefit > cands[j].benefit
+		}
+		return cands[i].matched > cands[j].matched
+	})
+	k1 := t.opts.K1
+	if k1 < 1 {
+		k1 = 1
+	}
+	if k1 > len(cands) {
+		k1 = len(cands)
+	}
+	// Record the reader along the chosen paths.
+	for i := 0; i < k1; i++ {
+		for n := cands[i].n; n != t.root; n = n.parent {
+			t.tag(n, reader, n.item, pos, mined)
+		}
+	}
+	// Extend the best path with the reader's leftover items.
+	best := cands[0].n
+	onPath := make(map[Item]struct{})
+	for n := best; n != t.root; n = n.parent {
+		onPath[n.item] = struct{}{}
+	}
+	cur := best
+	for _, it := range seq {
+		if _, ok := onPath[it]; ok {
+			continue
+		}
+		if t.rank(it) <= t.rank(best.item) {
+			// Items ranked before the path tail cannot extend the
+			// branch in sort order; they stay uncovered in this tree.
+			continue
+		}
+		child, ok := cur.children[it]
+		if !ok {
+			child = newNode(it, cur, cur.depth+1)
+			cur.children[it] = child
+			t.size++
+			t.nodes = append(t.nodes, child)
+		}
+		t.tag(child, reader, it, pos, mined)
+		cur = child
+	}
+}

@@ -1,0 +1,139 @@
+package fptree
+
+import "sort"
+
+// Support describes one reader's participation in a mined biclique.
+type Support struct {
+	Reader int
+	// Neg lists the path items the reader does not actually have in its
+	// input list; they must be cancelled with negative edges (VNM_N).
+	Neg []Item
+	// Mined lists the path items whose edges were already consumed by an
+	// earlier biclique; for duplicate-insensitive aggregates they are
+	// simply served again via the new biclique (VNM_D).
+	Mined []Item
+}
+
+// Biclique is a mined quasi-biclique: the path items (writer side) and the
+// supporting readers with their per-reader negative/mined annotations.
+type Biclique struct {
+	Items   []Item
+	Readers []Support
+	// Benefit is the paper's mining objective for the chosen path:
+	// L*|S| - L - |S| - Σ|S'| - Σ|S_mined|.
+	Benefit int
+}
+
+// NumEdgesSaved returns the exact number of AG edges removed minus overlay
+// edges added if this biclique is applied: each reader loses its positive
+// path edges and gains one edge from the virtual node plus one negative
+// edge per Neg item; the virtual node costs len(Items) input edges.
+func (b Biclique) NumEdgesSaved() int {
+	saved := 0
+	for _, s := range b.Readers {
+		positive := len(b.Items) - len(s.Neg) - len(s.Mined)
+		saved += positive       // removed reader in-edges
+		saved -= 1 + len(s.Neg) // added virtual->reader and negative edges
+	}
+	saved -= len(b.Items) // added writer->virtual edges
+	return saved
+}
+
+// MineBest returns the root-to-node path with the maximum benefit
+// (paper §3.2.1). ok is false when no path has positive benefit.
+func (t *Tree) MineBest() (Biclique, bool) {
+	var bestNode *node
+	bestBenefit := 0
+	for _, n := range t.nodes {
+		support := len(n.pos) + len(n.neg) + len(n.mined)
+		if support < 2 || n.depth < 2 {
+			continue
+		}
+		// Readers that reach n passed through every ancestor, landing
+		// in exactly one of each ancestor's support sets. Count the
+		// negative and mined contributions along the path for the
+		// readers in n's support.
+		negs, mineds := 0, 0
+		for y := n; y != t.root; y = y.parent {
+			if y == n {
+				negs += len(n.neg)
+				mineds += len(n.mined)
+				continue
+			}
+			negs += countMembers(y.neg, n)
+			mineds += countMembers(y.mined, n)
+		}
+		b := n.depth*support - n.depth - support - negs - mineds
+		if b > bestBenefit {
+			bestBenefit = b
+			bestNode = n
+		}
+	}
+	if bestNode == nil {
+		return Biclique{}, false
+	}
+	return t.extract(bestNode, bestBenefit), true
+}
+
+// countMembers counts how many readers in n's combined support appear in
+// the given ancestor support set.
+func countMembers(ancestorSet map[int]struct{}, n *node) int {
+	c := 0
+	for r := range n.pos {
+		if _, ok := ancestorSet[r]; ok {
+			c++
+		}
+	}
+	for r := range n.neg {
+		if _, ok := ancestorSet[r]; ok {
+			c++
+		}
+	}
+	for r := range n.mined {
+		if _, ok := ancestorSet[r]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// extract materializes the biclique for the path ending at n.
+func (t *Tree) extract(n *node, benefit int) Biclique {
+	var path []*node
+	for y := n; y != t.root; y = y.parent {
+		path = append(path, y)
+	}
+	// path is leaf..root; reverse to root..leaf.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	items := make([]Item, len(path))
+	for i, y := range path {
+		items[i] = y.item
+	}
+	// Support = readers present at the path's last node.
+	readers := make([]int, 0, len(n.pos)+len(n.neg)+len(n.mined))
+	for r := range n.pos {
+		readers = append(readers, r)
+	}
+	for r := range n.neg {
+		readers = append(readers, r)
+	}
+	for r := range n.mined {
+		readers = append(readers, r)
+	}
+	sort.Ints(readers)
+	sup := make([]Support, 0, len(readers))
+	for _, r := range readers {
+		s := Support{Reader: r}
+		for _, y := range path {
+			if _, ok := y.neg[r]; ok {
+				s.Neg = append(s.Neg, y.item)
+			} else if _, ok := y.mined[r]; ok {
+				s.Mined = append(s.Mined, y.item)
+			}
+		}
+		sup = append(sup, s)
+	}
+	return Biclique{Items: items, Readers: sup, Benefit: benefit}
+}

@@ -1,0 +1,92 @@
+package graph
+
+import "fmt"
+
+// EventKind labels events in the structure and content data streams (§2.1).
+type EventKind uint8
+
+// Event kinds for the structure stream S_G and the content streams S_v.
+const (
+	// ContentWrite is a write on a node: a new value appended to its
+	// content stream S_v.
+	ContentWrite EventKind = iota
+	// EdgeAdd and EdgeRemove update the connection graph.
+	EdgeAdd
+	EdgeRemove
+	// NodeAdd and NodeRemove create or delete a node.
+	NodeAdd
+	NodeRemove
+	// Read is a user read: a request for the current value of F(N(v)).
+	Read
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case ContentWrite:
+		return "write"
+	case EdgeAdd:
+		return "edge-add"
+	case EdgeRemove:
+		return "edge-remove"
+	case NodeAdd:
+		return "node-add"
+	case NodeRemove:
+		return "node-remove"
+	case Read:
+		return "read"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is a single timestamped element of the combined data stream. For
+// ContentWrite, Node is the writer and Value is the written value. For edge
+// events, Node is the source and Peer the target. For Read, Node is the node
+// whose aggregate is requested.
+type Event struct {
+	Kind  EventKind
+	Node  NodeID
+	Peer  NodeID
+	Value int64
+	TS    int64 // logical or wall-clock timestamp, caller-defined
+}
+
+// Stream is an in-memory event sequence, used by the workload drivers to
+// play back traces against the execution engine.
+type Stream struct {
+	Events []Event
+}
+
+// Append adds an event to the stream.
+func (s *Stream) Append(e Event) { s.Events = append(s.Events, e) }
+
+// Len returns the number of events.
+func (s *Stream) Len() int { return len(s.Events) }
+
+// Counts returns the number of events of each kind.
+func (s *Stream) Counts() map[EventKind]int {
+	m := make(map[EventKind]int)
+	for _, e := range s.Events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Apply applies a structural event to the graph. Content writes and reads
+// are ignored (they do not change the structure).
+func (s *Stream) Apply(g *Graph, e Event) error {
+	switch e.Kind {
+	case EdgeAdd:
+		return g.AddEdge(e.Node, e.Peer)
+	case EdgeRemove:
+		return g.RemoveEdge(e.Node, e.Peer)
+	case NodeAdd:
+		g.AddNode()
+		return nil
+	case NodeRemove:
+		return g.RemoveNode(e.Node)
+	default:
+		return nil
+	}
+}

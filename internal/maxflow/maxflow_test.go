@@ -1,0 +1,131 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if f := g.MaxFlow(0, 2); f != 3 {
+		t.Fatalf("flow = %d, want 3", f)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(2, 3, 1)
+	if f := g.MaxFlow(0, 3); f != 3 {
+		t.Fatalf("flow = %d, want 3", f)
+	}
+}
+
+// Classic CLRS example.
+func TestCLRSNetwork(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Fatalf("flow = %d, want 23", f)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(2, 3, 10)
+	if f := g.MaxFlow(0, 3); f != 0 {
+		t.Fatalf("flow = %d, want 0", f)
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	if f := g.MaxFlow(0, 0); f != 0 {
+		t.Fatalf("flow = %d, want 0", f)
+	}
+}
+
+func TestMinCutSeparatesST(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(1, 3, 5)
+	g.AddEdge(2, 3, 1)
+	f := g.MaxFlow(0, 3)
+	if f != 2 {
+		t.Fatalf("flow = %d, want 2", f)
+	}
+	reach := g.ResidualReachable(0)
+	if !reach[0] || reach[3] {
+		t.Fatalf("cut does not separate: %v", reach)
+	}
+}
+
+func TestInfEdgesNeverCut(t *testing.T) {
+	// s -> a (3), a -> b (Inf), b -> t (2): min cut = 2 via b->t.
+	g := New(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, Inf)
+	g.AddEdge(2, 3, 2)
+	if f := g.MaxFlow(0, 3); f != 2 {
+		t.Fatalf("flow = %d, want 2", f)
+	}
+	reach := g.ResidualReachable(0)
+	// a reachable, and the Inf edge must not be saturated: b reachable too.
+	if !reach[1] || !reach[2] {
+		t.Fatalf("Inf edge was cut: %v", reach)
+	}
+}
+
+// Property: max-flow value equals the capacity across the extracted cut.
+func TestFlowEqualsCutCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(10)
+		type e struct {
+			u, v int
+			c    int64
+		}
+		var edges []e
+		g := New(n)
+		for i := 0; i < n*3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(1 + rng.Intn(20))
+			g.AddEdge(u, v, c)
+			edges = append(edges, e{u, v, c})
+		}
+		s, t2 := 0, n-1
+		flow := g.MaxFlow(s, t2)
+		reach := g.ResidualReachable(s)
+		if reach[t2] {
+			t.Fatalf("trial %d: sink reachable after maxflow", trial)
+		}
+		var cut int64
+		for _, ed := range edges {
+			if reach[ed.u] && !reach[ed.v] {
+				cut += ed.c
+			}
+		}
+		if cut != flow {
+			t.Fatalf("trial %d: flow %d != cut %d", trial, flow, cut)
+		}
+	}
+}

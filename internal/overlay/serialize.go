@@ -1,0 +1,158 @@
+package overlay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// The overlay is "a pre-compiled data structure" (paper §1) whose
+// construction is expensive and amortized over a long deployment; Save and
+// Load persist it so a restart does not pay the compilation cost again.
+// The format is a versioned little-endian binary encoding of the node table
+// with in-edges only (out-edges are reconstructed).
+
+const (
+	serialMagic   = 0x45414752 // "EAGR"
+	serialVersion = 1
+)
+
+// Save writes the overlay (structure plus dataflow decisions) to w.
+func (o *Overlay) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeU32 := func(v uint32) { _ = binary.Write(bw, binary.LittleEndian, v) }
+	writeU32(serialMagic)
+	writeU32(serialVersion)
+	writeU32(uint32(o.agEdges))
+	writeU32(uint32(len(o.nodes)))
+	for i := range o.nodes {
+		n := &o.nodes[i]
+		flags := uint32(n.Kind)
+		if n.Dec == Pull {
+			flags |= 1 << 4
+		}
+		if n.dead {
+			flags |= 1 << 5
+		}
+		writeU32(flags)
+		writeU32(uint32(int32(n.GID)))
+		writeU32(uint32(len(n.In)))
+		for _, e := range n.In {
+			peer := uint32(e.Peer) << 1
+			if e.Negative {
+				peer |= 1
+			}
+			writeU32(peer)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an overlay previously written by Save.
+func Load(r io.Reader) (*Overlay, error) {
+	br := bufio.NewReader(r)
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("overlay: load: %w", err)
+	}
+	if magic != serialMagic {
+		return nil, fmt.Errorf("overlay: load: bad magic %#x", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("overlay: load: unsupported version %d", version)
+	}
+	agEdges, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	count, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxNodes = 1 << 30
+	if count > maxNodes {
+		return nil, fmt.Errorf("overlay: load: implausible node count %d", count)
+	}
+	o := New(int(agEdges))
+	o.nodes = make([]Node, count)
+	for i := range o.nodes {
+		flags, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("overlay: load node %d: %w", i, err)
+		}
+		gidRaw, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		deg, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if deg > count {
+			return nil, fmt.Errorf("overlay: load node %d: in-degree %d exceeds node count", i, deg)
+		}
+		n := &o.nodes[i]
+		n.Kind = NodeKind(flags & 0xf)
+		if n.Kind > PartialNode {
+			return nil, fmt.Errorf("overlay: load node %d: bad kind %d", i, n.Kind)
+		}
+		n.Dec = Push
+		if flags&(1<<4) != 0 {
+			n.Dec = Pull
+		}
+		n.dead = flags&(1<<5) != 0
+		n.GID = graph.NodeID(int32(gidRaw))
+		n.In = make([]HalfEdge, deg)
+		for j := range n.In {
+			peer, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			ref := NodeRef(peer >> 1)
+			if int(ref) >= int(count) {
+				return nil, fmt.Errorf("overlay: load node %d: edge to out-of-range node %d", i, ref)
+			}
+			n.In[j] = HalfEdge{Peer: ref, Negative: peer&1 != 0}
+		}
+	}
+	// Rebuild derived state: out-edges, registries, counters.
+	for i := range o.nodes {
+		n := &o.nodes[i]
+		if n.dead {
+			o.numDead++
+			continue
+		}
+		switch n.Kind {
+		case WriterNode:
+			o.writerOf[n.GID] = NodeRef(i)
+		case ReaderNode:
+			o.readerOf[n.GID] = NodeRef(i)
+		}
+		for _, e := range n.In {
+			if !o.Alive(e.Peer) {
+				return nil, fmt.Errorf("overlay: load: node %d has edge from dead node %d", i, e.Peer)
+			}
+			o.nodes[e.Peer].Out = append(o.nodes[e.Peer].Out, HalfEdge{Peer: NodeRef(i), Negative: e.Negative})
+			o.numEdges++
+		}
+	}
+	if err := o.checkStructure(); err != nil {
+		return nil, fmt.Errorf("overlay: load: %w", err)
+	}
+	if _, err := o.TopoOrder(); err != nil {
+		return nil, fmt.Errorf("overlay: load: %w", err)
+	}
+	return o, nil
+}

@@ -1,0 +1,157 @@
+package overlay
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func roundTrip(t *testing.T, o *Overlay) *Overlay {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	o, ag := figure1dLikeOverlay(t)
+	o.Node(o.Reader(4)).Dec = Push
+	l := roundTrip(t, o)
+	if l.NumEdges() != o.NumEdges() || l.AGEdges() != o.AGEdges() {
+		t.Fatalf("counts differ: %d/%d vs %d/%d",
+			l.NumEdges(), l.AGEdges(), o.NumEdges(), o.AGEdges())
+	}
+	if err := l.ValidateAgainst(ag, false); err != nil {
+		t.Fatal(err)
+	}
+	if l.Node(l.Reader(4)).Dec != Push {
+		t.Fatal("decision not preserved")
+	}
+	if l.DebugString() != o.DebugString() {
+		t.Fatalf("structure differs:\n%s\nvs\n%s", l.DebugString(), o.DebugString())
+	}
+}
+
+func TestSaveLoadNegativeEdgesAndDeadNodes(t *testing.T) {
+	o := New(10)
+	w0, w1 := o.AddWriter(0), o.AddWriter(1)
+	p := o.AddPartial()
+	dead := o.AddPartial()
+	r := o.AddReader(5)
+	mustEdge(t, o, w0, p, false)
+	mustEdge(t, o, w1, p, false)
+	mustEdge(t, o, p, r, false)
+	mustEdge(t, o, w1, r, true)
+	if err := o.RemoveNode(dead); err != nil {
+		t.Fatal(err)
+	}
+	l := roundTrip(t, o)
+	if l.NumNodes() != o.NumNodes() {
+		t.Fatalf("live nodes = %d, want %d", l.NumNodes(), o.NumNodes())
+	}
+	if !l.Alive(p) || l.Alive(dead) {
+		t.Fatal("aliveness not preserved")
+	}
+	st := l.ComputeStats()
+	if st.NegEdges != 1 {
+		t.Fatalf("negative edges = %d, want 1", st.NegEdges)
+	}
+	in := l.InputSet(l.Reader(5))
+	if in[0] != 1 || in[1] != 0 {
+		t.Fatalf("input set after load = %v", in)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": {1, 2, 3, 4, 0, 0, 0, 0},
+		"truncated": {0x52, 0x47, 0x41, 0x45, 1, 0, 0, 0, 5, 0, 0, 0},
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s: Load should fail", name)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	o := New(0)
+	o.AddWriter(1)
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // bump version
+	if _, err := Load(bytes.NewReader(data)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("expected version error, got %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptEdges(t *testing.T) {
+	o := New(0)
+	w := o.AddWriter(0)
+	r := o.AddReader(1)
+	mustEdge(t, o, w, r, false)
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The last u32 is the reader's single in-edge; point it out of range.
+	data[len(data)-4] = 0xff
+	data[len(data)-3] = 0xff
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt edge target should fail")
+	}
+}
+
+func TestSaveLoadRandomOverlays(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		o := New(rng.Intn(100))
+		var writers, partials []NodeRef
+		for i := 0; i < 5+rng.Intn(10); i++ {
+			writers = append(writers, o.AddWriter(graph.NodeID(i)))
+		}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			p := o.AddPartial()
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				src := writers[rng.Intn(len(writers))]
+				if !o.HasEdge(src, p) {
+					mustEdge(t, o, src, p, false)
+				}
+			}
+			partials = append(partials, p)
+		}
+		for i := 0; i < 3+rng.Intn(5); i++ {
+			r := o.AddReader(graph.NodeID(100 + i))
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				var src NodeRef
+				if rng.Intn(2) == 0 {
+					src = writers[rng.Intn(len(writers))]
+				} else {
+					src = partials[rng.Intn(len(partials))]
+				}
+				if !o.HasEdge(src, r) {
+					mustEdge(t, o, src, r, rng.Intn(5) == 0)
+				}
+			}
+		}
+		l := roundTrip(t, o)
+		if l.DebugString() != o.DebugString() {
+			t.Fatalf("trial %d: round trip differs", trial)
+		}
+	}
+}

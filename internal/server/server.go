@@ -1,0 +1,217 @@
+// Package server exposes a compiled EAGr system over HTTP with a small
+// JSON API, turning the library into a deployable continuous-query
+// service:
+//
+//	POST /write      {"node":1,"value":42,"ts":7}       ingest a write
+//	GET  /read?node=1                                    evaluate the query
+//	POST /edge       {"from":1,"to":2}                   structural add
+//	DELETE /edge?from=1&to=2                             structural delete
+//	POST /node       {}                                  add a node
+//	POST /rebalance                                      adaptive re-decision
+//	GET  /stats                                          overlay statistics
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Server wraps a compiled system with HTTP handlers.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+
+	writes atomic.Int64
+	reads  atomic.Int64
+}
+
+// New returns a server for the system.
+func New(sys *core.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/write", s.handleWrite)
+	s.mux.HandleFunc("/read", s.handleRead)
+	s.mux.HandleFunc("/edge", s.handleEdge)
+	s.mux.HandleFunc("/node", s.handleNode)
+	s.mux.HandleFunc("/rebalance", s.handleRebalance)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type writeReq struct {
+	Node  graph.NodeID `json:"node"`
+	Value int64        `json:"value"`
+	TS    int64        `json:"ts"`
+}
+
+type readResp struct {
+	Node   graph.NodeID `json:"node"`
+	Valid  bool         `json:"valid"`
+	Scalar int64        `json:"scalar,omitempty"`
+	List   []int64      `json:"list,omitempty"`
+}
+
+type edgeReq struct {
+	From graph.NodeID `json:"from"`
+	To   graph.NodeID `json:"to"`
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req writeReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if err := s.sys.Write(req.Node, req.Value, req.TS); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writes.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	node, err := nodeParam(r, "node")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.sys.Read(node)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.reads.Add(1)
+	writeJSON(w, readResp{Node: node, Valid: res.Valid, Scalar: res.Scalar, List: res.List})
+}
+
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req edgeReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if err := s.sys.AddGraphEdge(req.From, req.To); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		from, err1 := nodeParam(r, "from")
+		to, err2 := nodeParam(r, "to")
+		if err1 != nil || err2 != nil {
+			httpError(w, http.StatusBadRequest, "from and to required")
+			return
+		}
+		if err := s.sys.RemoveGraphEdge(from, to); err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "POST or DELETE required")
+	}
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		v, err := s.sys.AddGraphNode()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, map[string]graph.NodeID{"node": v})
+	case http.MethodDelete:
+		v, err := nodeParam(r, "node")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.sys.RemoveGraphNode(v); err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "POST or DELETE required")
+	}
+}
+
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	flips, err := s.sys.Rebalance()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]int{"flips": flips})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.sys.Stats()
+	writeJSON(w, map[string]any{
+		"algorithm":     st.Algorithm,
+		"mode":          string(st.Mode),
+		"maintainable":  st.Maintainable,
+		"writers":       st.Overlay.Writers,
+		"readers":       st.Overlay.Readers,
+		"partials":      st.Overlay.Partials,
+		"edges":         st.Overlay.Edges,
+		"negativeEdges": st.Overlay.NegEdges,
+		"sharingIndex":  st.Overlay.SharingIndex,
+		"avgDepth":      st.Overlay.AvgDepth,
+		"servedWrites":  s.writes.Load(),
+		"servedReads":   s.reads.Load(),
+	})
+}
+
+func nodeParam(r *http.Request, name string) (graph.NodeID, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing %q parameter", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q parameter: %v", name, err)
+	}
+	return graph.NodeID(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := graph.NewWithNodes(5)
+	// 1 -> 0, 2 -> 0, 3 -> 2
+	for _, e := range [][2]graph.NodeID{{1, 0}, {2, 0}, {3, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, err := core.Compile(g, core.Query{Aggregate: agg.Sum{}},
+		core.Options{Algorithm: construct.AlgIOB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestWriteThenRead(t *testing.T) {
+	ts := testServer(t)
+	for node, val := range map[int]int64{1: 10, 2: 32} {
+		resp := post(t, ts.URL+"/write", map[string]any{"node": node, "value": val, "ts": 1})
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("write status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/read?node=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read status = %d", resp.StatusCode)
+	}
+	got := decode[map[string]any](t, resp)
+	if got["scalar"].(float64) != 42 {
+		t.Fatalf("read = %v, want 42", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	ts := testServer(t)
+	resp, _ := http.Get(ts.URL + "/read")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing node: status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/read?node=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad node: status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/read?node=99")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown node: status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestStructuralEdgeAPI(t *testing.T) {
+	ts := testServer(t)
+	// Write on 3, then give reader 0 the new input 3.
+	resp := post(t, ts.URL+"/write", map[string]any{"node": 3, "value": 5, "ts": 1})
+	resp.Body.Close()
+	resp = post(t, ts.URL+"/edge", map[string]any{"from": 3, "to": 0})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("edge add status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/read?node=0")
+	got := decode[map[string]any](t, resp)
+	if got["scalar"].(float64) != 5 {
+		t.Fatalf("read after edge add = %v, want 5", got)
+	}
+	// Duplicate edge conflicts.
+	resp = post(t, ts.URL+"/edge", map[string]any{"from": 3, "to": 0})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate edge status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Delete it again.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/edge?from=3&to=0", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("edge delete status = %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/read?node=0")
+	got = decode[map[string]any](t, resp)
+	if got["valid"].(bool) {
+		t.Fatalf("read after delete = %v, want invalid (no written inputs)", got)
+	}
+}
+
+func TestNodeLifecycleAPI(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/node", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("node add status = %d", resp.StatusCode)
+	}
+	created := decode[map[string]graph.NodeID](t, resp)
+	id := created["node"]
+	if id != 5 {
+		t.Fatalf("new node = %d, want 5", id)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/node?node=%d", ts.URL, id), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("node delete status = %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+}
+
+func TestStatsAndRebalance(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[map[string]any](t, resp)
+	if st["algorithm"] != "iob" {
+		t.Fatalf("stats = %v", st)
+	}
+	if st["readers"].(float64) != 5 {
+		t.Fatalf("readers = %v, want 5", st["readers"])
+	}
+	rresp := post(t, ts.URL+"/rebalance", nil)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance status = %d", rresp.StatusCode)
+	}
+	out := decode[map[string]int](t, rresp)
+	if _, ok := out["flips"]; !ok {
+		t.Fatalf("rebalance response = %v", out)
+	}
+}
+
+func TestMethodChecks(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodGet, "/write"},
+		{http.MethodPost, "/read"},
+		{http.MethodGet, "/rebalance"},
+		{http.MethodPost, "/stats"},
+		{http.MethodPut, "/edge"},
+		{http.MethodPut, "/node"},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader(nil))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status = %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestBadJSON(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/write", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

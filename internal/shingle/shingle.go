@@ -1,0 +1,99 @@
+// Package shingle implements the min-hash shingle ordering used by the VNM
+// family of overlay construction algorithms (paper §3.2.1, following
+// Buehrer & Chellapilla and Chierichetti et al.): a reader's shingle is a
+// signature of its input writers, and readers with similar adjacency lists
+// receive, with high probability, equal or lexicographically close shingle
+// vectors. Sorting readers by shingles and chunking the sorted list yields
+// groups in which large bicliques are likely.
+package shingle
+
+import (
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+)
+
+// hash64 mixes a 64-bit value with a seed (splitmix64 finalizer); it is the
+// per-permutation hash h_i of min-hashing.
+func hash64(x uint64, seed uint64) uint64 {
+	z := x + seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Shingles computes m min-hash shingles for the input list. An empty input
+// list yields all-max shingles so that empty readers sort together at the
+// end.
+func Shingles(inputs []graph.NodeID, m int) []uint64 {
+	sh := make([]uint64, m)
+	for i := range sh {
+		sh[i] = ^uint64(0)
+	}
+	for _, w := range inputs {
+		for i := 0; i < m; i++ {
+			h := hash64(uint64(uint32(w)), uint64(i)*0x2545f4914f6cdd1d+1)
+			if h < sh[i] {
+				sh[i] = h
+			}
+		}
+	}
+	return sh
+}
+
+// Order returns the indices of ag.Readers sorted lexicographically by their
+// m-shingle vectors (ties broken by reader node id for determinism). This is
+// both the VNM grouping order and the IOB insertion order.
+func Order(ag *bipartite.AG, m int) []int {
+	if m <= 0 {
+		m = 2
+	}
+	sh := make([][]uint64, len(ag.Readers))
+	for i, r := range ag.Readers {
+		sh[i] = Shingles(r.Inputs, m)
+	}
+	idx := make([]int, len(ag.Readers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := sh[idx[a]], sh[idx[b]]
+		for k := 0; k < m; k++ {
+			if sa[k] != sb[k] {
+				return sa[k] < sb[k]
+			}
+		}
+		return ag.Readers[idx[a]].Node < ag.Readers[idx[b]].Node
+	})
+	return idx
+}
+
+// Chunk splits an ordering into consecutive groups of the given size; the
+// last group may be smaller. Overlap, when non-zero, is the number of
+// readers shared between consecutive groups — the VNM_D modification
+// (§3.2.4) that lets consecutive FP-Tree mining phases see common readers.
+func Chunk(order []int, size, overlap int) [][]int {
+	if size <= 0 {
+		size = 100
+	}
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap >= size {
+		overlap = size - 1
+	}
+	step := size - overlap
+	var groups [][]int
+	for start := 0; start < len(order); start += step {
+		end := start + size
+		if end > len(order) {
+			end = len(order)
+		}
+		groups = append(groups, order[start:end])
+		if end == len(order) {
+			break
+		}
+	}
+	return groups
+}

@@ -1,0 +1,125 @@
+package shingle
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+)
+
+func TestShinglesDeterministic(t *testing.T) {
+	in := []graph.NodeID{1, 5, 9}
+	a := Shingles(in, 3)
+	b := Shingles(in, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shingles not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestShinglesOrderIndependent(t *testing.T) {
+	a := Shingles([]graph.NodeID{1, 5, 9}, 2)
+	b := Shingles([]graph.NodeID{9, 1, 5}, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shingles depend on input order: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestIdenticalInputsShareShingles(t *testing.T) {
+	a := Shingles([]graph.NodeID{2, 4, 8}, 4)
+	b := Shingles([]graph.NodeID{2, 4, 8}, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("identical input lists must have identical shingles")
+		}
+	}
+}
+
+func TestEmptyInputsSortLast(t *testing.T) {
+	e := Shingles(nil, 2)
+	x := Shingles([]graph.NodeID{1}, 2)
+	for i := range e {
+		if e[i] < x[i] {
+			t.Fatalf("empty shingle %v should be >= non-empty %v", e, x)
+		}
+	}
+}
+
+func TestOrderGroupsSimilarReaders(t *testing.T) {
+	// Readers 0,1 share identical inputs; reader 2 is disjoint. After
+	// ordering, 0 and 1 must be adjacent.
+	ag := bipartite.FromInputLists(map[graph.NodeID][]graph.NodeID{
+		0: {10, 11, 12},
+		1: {10, 11, 12},
+		2: {20, 21},
+	})
+	ord := Order(ag, 2)
+	if len(ord) != 3 {
+		t.Fatalf("order len = %d", len(ord))
+	}
+	pos := map[graph.NodeID]int{}
+	for p, i := range ord {
+		pos[ag.Readers[i].Node] = p
+	}
+	d := pos[0] - pos[1]
+	if d != 1 && d != -1 {
+		t.Fatalf("identical readers not adjacent: positions %v", pos)
+	}
+}
+
+func TestOrderDefaultM(t *testing.T) {
+	ag := bipartite.FromInputLists(map[graph.NodeID][]graph.NodeID{
+		0: {1}, 1: {2},
+	})
+	if got := Order(ag, 0); len(got) != 2 {
+		t.Fatalf("Order with m=0 should default, got %v", got)
+	}
+}
+
+func TestChunkSizes(t *testing.T) {
+	ord := []int{0, 1, 2, 3, 4, 5, 6}
+	groups := Chunk(ord, 3, 0)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 3 || len(groups[2]) != 1 {
+		t.Fatalf("group sizes = %d,%d,%d", len(groups[0]), len(groups[1]), len(groups[2]))
+	}
+}
+
+func TestChunkOverlap(t *testing.T) {
+	ord := []int{0, 1, 2, 3, 4, 5}
+	groups := Chunk(ord, 4, 2) // step 2: [0..3], [2..5], done
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2: %v", len(groups), groups)
+	}
+	if groups[1][0] != 2 {
+		t.Fatalf("second group should start at 2: %v", groups[1])
+	}
+	// Every reader appears in at least one group.
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for _, i := range g {
+			seen[i] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("coverage = %d readers, want 6", len(seen))
+	}
+}
+
+func TestChunkDegenerateParams(t *testing.T) {
+	ord := []int{0, 1, 2}
+	if g := Chunk(ord, 0, 0); len(g) != 1 || len(g[0]) != 3 {
+		t.Fatalf("size=0 should default large: %v", g)
+	}
+	if g := Chunk(ord, 2, 5); len(g) < 2 {
+		t.Fatalf("overlap >= size should clamp: %v", g)
+	}
+	if g := Chunk(nil, 3, 0); len(g) != 0 {
+		t.Fatalf("empty order: %v", g)
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SocialGraph generates a directed social-style graph via preferential
+// attachment with triadic closure: heavy-tailed in-degrees and moderate
+// local clustering, but little exact biclique structure — the regime in
+// which the paper observes low sharing indexes (LiveJournal, gPlus;
+// Figure 8). Each new node attaches to avgDeg targets; a closure fraction
+// of the targets are neighbors-of-neighbors.
+func SocialGraph(n, avgDeg int, seed int64) *graph.Graph {
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithNodes(n)
+	// Endpoint pool for preferential attachment: every edge endpoint is
+	// appended, so sampling the pool is degree-proportional.
+	pool := make([]graph.NodeID, 0, 2*n*avgDeg)
+	for v := 1; v < n; v++ {
+		src := graph.NodeID(v)
+		targets := map[graph.NodeID]bool{}
+		for len(targets) < avgDeg && len(targets) < v {
+			var dst graph.NodeID
+			switch {
+			case len(pool) == 0 || rng.Float64() < 0.25:
+				dst = graph.NodeID(rng.Intn(v))
+			case rng.Float64() < 0.4 && len(targets) > 0:
+				// Triadic closure: pick a neighbor of an existing
+				// target.
+				var base graph.NodeID
+				for t := range targets {
+					base = t
+					break
+				}
+				outs := g.Out(base)
+				if len(outs) == 0 {
+					dst = pool[rng.Intn(len(pool))]
+				} else {
+					dst = outs[rng.Intn(len(outs))]
+				}
+			default:
+				dst = pool[rng.Intn(len(pool))]
+			}
+			if dst == src || targets[dst] {
+				continue
+			}
+			targets[dst] = true
+		}
+		for dst := range targets {
+			if err := g.AddEdge(src, dst); err == nil {
+				pool = append(pool, src, dst)
+			}
+		}
+	}
+	return g
+}
+
+// WebGraph generates a directed web-style graph via a copy/template model:
+// pages are organized in sites; pages of a site copy most of a shared
+// out-link template (navigation boilerplate) and add a few random links.
+// The shared templates create large bicliques, the regime in which the
+// paper observes very high sharing indexes (eu-2005, uk-2002; Figure 8).
+func WebGraph(n, siteSize, templateSize int, seed int64) *graph.Graph {
+	if siteSize < 2 {
+		siteSize = 16
+	}
+	if templateSize < 1 {
+		templateSize = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithNodes(n)
+	for start := 0; start < n; start += siteSize {
+		end := start + siteSize
+		if end > n {
+			end = n
+		}
+		// Site template: a few in-site hub pages plus cross-site links.
+		tmpl := map[graph.NodeID]bool{}
+		for len(tmpl) < templateSize {
+			var dst graph.NodeID
+			if rng.Float64() < 0.7 {
+				dst = graph.NodeID(start + rng.Intn(end-start))
+			} else {
+				dst = graph.NodeID(rng.Intn(n))
+			}
+			tmpl[dst] = true
+		}
+		for v := start; v < end; v++ {
+			src := graph.NodeID(v)
+			for dst := range tmpl {
+				if dst == src {
+					continue
+				}
+				// Pages copy ~90% of the template.
+				if rng.Float64() < 0.9 {
+					_ = g.AddEdge(src, dst)
+				}
+			}
+			// A couple of page-specific links.
+			for k := 0; k < 2; k++ {
+				dst := graph.NodeID(rng.Intn(n))
+				if dst != src {
+					_ = g.AddEdge(src, dst)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Dataset pairs a generated graph with the name used in harness output.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph
+	// Kind is "social" or "web", mirroring the paper's two graph
+	// families.
+	Kind string
+}
+
+// StandardDatasets generates the four evaluation graphs standing in for
+// LiveJournal, gPlus, eu-2005 and uk-2002 at a laptop-friendly scale
+// multiplier (scale 1 ≈ 4k-10k nodes; the generators accept larger scales
+// for stress runs).
+func StandardDatasets(scale int, seed int64) []Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	return []Dataset{
+		{Name: "social-lj", Kind: "social", Graph: SocialGraph(6000*scale, 10, seed+1)},
+		{Name: "social-gplus", Kind: "social", Graph: SocialGraph(3000*scale, 18, seed+2)},
+		{Name: "web-eu", Kind: "web", Graph: WebGraph(6000*scale, 24, 12, seed+3)},
+		{Name: "web-uk", Kind: "web", Graph: WebGraph(10000*scale, 32, 14, seed+4)},
+	}
+}

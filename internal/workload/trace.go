@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+)
+
+// Trace is a synthetic request trace standing in for the EPA-HTTP / UCB
+// Home-IP packet traces of §5.1 (see DESIGN.md). Per-node activity is
+// Zipf-distributed, and at ShiftAt the read popularity mass moves to a
+// previously cold set of nodes — the workload variation that Figure 13(a)
+// uses to compare static and adaptive dataflow decisions.
+type Trace struct {
+	Events []graph.Event
+	// ShiftAt is the event index at which the frequency shift occurs.
+	ShiftAt int
+	// Before and After are the workload estimates for the two phases (the
+	// Before estimate is what static dataflow decisions are made from).
+	Before *dataflow.Workload
+	After  *dataflow.Workload
+}
+
+// SyntheticTrace generates a trace of count events over maxID nodes with
+// write:read ratio writeToRead. In the second half, the read frequencies of
+// the shiftFrac coldest readers (preferring expensive ones, per costOf) are
+// boosted to carry boostShare of the read mass — the "set of nodes with the
+// highest read latencies" whose read frequencies the paper's Figure 13(a)
+// experiment increases at the halfway point. costOf may be nil (uniform).
+func SyntheticTrace(maxID, count int, writeToRead float64, shiftFrac, boostShare float64, seed int64, costOf func(graph.NodeID) float64) *Trace {
+	before := ZipfWorkload(maxID, 1.1, 1000, writeToRead, seed)
+	// Build the after-shift workload: the boosted readers are those that
+	// are both cold (so static decisions left them pull) and expensive to
+	// evaluate on demand.
+	after := dataflow.NewWorkload(maxID)
+	copy(after.Write, before.Write)
+	copy(after.Read, before.Read)
+	idx := make([]int, maxID)
+	for i := range idx {
+		idx[i] = i
+	}
+	score := func(i int) float64 {
+		s := -after.Read[i] // colder is better
+		if costOf != nil {
+			s += costOf(graph.NodeID(i)) // more expensive is better
+		}
+		return s
+	}
+	sortIdxBy(idx, score)
+	nShift := int(float64(maxID) * shiftFrac)
+	if nShift < 1 {
+		nShift = 1
+	}
+	totalRead := 0.0
+	for _, r := range before.Read {
+		totalRead += r
+	}
+	boost := totalRead * boostShare / (1 - boostShare) / float64(nShift)
+	for _, i := range idx[len(idx)-nShift:] {
+		after.Read[i] += boost
+	}
+
+	half := count / 2
+	ev1 := Events(before, half, seed+10)
+	ev2 := Events(after, count-half, seed+20)
+	events := append(ev1, ev2...)
+	for i := range events {
+		events[i].TS = int64(i)
+	}
+	return &Trace{
+		Events:  events,
+		ShiftAt: half,
+		Before:  before,
+		After:   after,
+	}
+}
+
+// sortIdxBy sorts indices ascending by score.
+func sortIdxBy(idx []int, score func(int) float64) {
+	sort.Slice(idx, func(a, b int) bool { return score(idx[a]) < score(idx[b]) })
+}

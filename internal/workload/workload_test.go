@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	w := ZipfWeights(100, 1.0, 500, 1)
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+		if x < 0 {
+			t.Fatal("negative weight")
+		}
+	}
+	if math.Abs(sum-500) > 1e-6 {
+		t.Fatalf("sum = %v, want 500", sum)
+	}
+}
+
+func TestZipfWeightsSkewed(t *testing.T) {
+	w := ZipfWeights(1000, 1.2, 1000, 7)
+	max, min := 0.0, math.Inf(1)
+	for _, x := range w {
+		if x > max {
+			max = x
+		}
+		if x < min {
+			min = x
+		}
+	}
+	if max/min < 100 {
+		t.Fatalf("zipf(1.2) max/min = %v, want heavy skew", max/min)
+	}
+	if got := ZipfWeights(0, 1, 1, 1); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestZipfWorkloadRatio(t *testing.T) {
+	for _, ratio := range []float64{0.1, 1, 10} {
+		wl := ZipfWorkload(500, 1.0, 1000, ratio, 3)
+		var tw, tr float64
+		for i := range wl.Write {
+			tw += wl.Write[i]
+			tr += wl.Read[i]
+		}
+		got := tw / tr
+		if math.Abs(got-ratio)/ratio > 0.01 {
+			t.Fatalf("write:read = %v, want %v", got, ratio)
+		}
+	}
+}
+
+func TestSamplerMatchesWeights(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	s := NewSampler(weights, 11)
+	counts := make([]int, 4)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.Sample()]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight node sampled %d times", counts[1])
+	}
+	// Expect roughly 10% / 30% / 60%.
+	if math.Abs(float64(counts[0])/n-0.1) > 0.01 ||
+		math.Abs(float64(counts[2])/n-0.3) > 0.01 ||
+		math.Abs(float64(counts[3])/n-0.6) > 0.01 {
+		t.Fatalf("sample distribution off: %v", counts)
+	}
+}
+
+func TestSamplerDegenerate(t *testing.T) {
+	s := NewSampler(nil, 1)
+	if s.Sample() != 0 {
+		t.Fatal("empty sampler should return 0")
+	}
+	z := NewSampler([]float64{0, 0}, 1)
+	_ = z.Sample() // must not panic
+}
+
+func TestEventsRatioAndKinds(t *testing.T) {
+	wl := ZipfWorkload(100, 1.0, 1000, 4, 5) // 4 writes : 1 read
+	ev := Events(wl, 50000, 9)
+	w, r := 0, 0
+	for _, e := range ev {
+		switch e.Kind {
+		case graph.ContentWrite:
+			w++
+		case graph.Read:
+			r++
+		default:
+			t.Fatalf("unexpected kind %v", e.Kind)
+		}
+	}
+	ratio := float64(w) / float64(r)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("event ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestSocialGraphShape(t *testing.T) {
+	g := SocialGraph(2000, 8, 42)
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 2000*4 {
+		t.Fatalf("edges = %d, too sparse", g.NumEdges())
+	}
+	// Heavy tail: max in-degree far above average.
+	maxIn, sumIn := 0, 0
+	g.ForEachNode(func(v graph.NodeID) {
+		d := g.InDegree(v)
+		sumIn += d
+		if d > maxIn {
+			maxIn = d
+		}
+	})
+	avg := float64(sumIn) / 2000
+	if float64(maxIn) < 5*avg {
+		t.Fatalf("max in-degree %d vs avg %.1f: no heavy tail", maxIn, avg)
+	}
+}
+
+func TestWebGraphHasTemplateStructure(t *testing.T) {
+	g := WebGraph(1000, 20, 10, 43)
+	if g.NumNodes() != 1000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Pages within a site share most out-links: check two pages of the
+	// first site overlap heavily.
+	overlapFound := false
+	for v := 1; v < 19 && !overlapFound; v++ {
+		a := map[graph.NodeID]bool{}
+		for _, x := range g.Out(0) {
+			a[x] = true
+		}
+		shared := 0
+		for _, x := range g.Out(graph.NodeID(v)) {
+			if a[x] {
+				shared++
+			}
+		}
+		if shared >= 5 {
+			overlapFound = true
+		}
+	}
+	if !overlapFound {
+		t.Fatal("no template overlap between same-site pages")
+	}
+}
+
+func TestStandardDatasets(t *testing.T) {
+	ds := StandardDatasets(1, 7)
+	if len(ds) != 4 {
+		t.Fatalf("datasets = %d, want 4", len(ds))
+	}
+	kinds := map[string]int{}
+	for _, d := range ds {
+		if d.Graph.NumNodes() == 0 || d.Graph.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", d.Name)
+		}
+		kinds[d.Kind]++
+	}
+	if kinds["social"] != 2 || kinds["web"] != 2 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestSyntheticTraceShift(t *testing.T) {
+	tr := SyntheticTrace(200, 10000, 1, 0.2, 0.6, 3, nil)
+	if len(tr.Events) != 10000 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	if tr.ShiftAt != 5000 {
+		t.Fatalf("shift at %d", tr.ShiftAt)
+	}
+	// After-shift read mass must exceed before-shift mass on the boosted
+	// nodes.
+	var beforeMass, afterMass float64
+	for i := range tr.Before.Read {
+		beforeMass += tr.Before.Read[i]
+		afterMass += tr.After.Read[i]
+	}
+	if afterMass <= beforeMass {
+		t.Fatalf("after mass %v <= before %v: no boost", afterMass, beforeMass)
+	}
+	// The realized event mix must actually differ across halves: compare
+	// read-target distributions.
+	firstReads := map[graph.NodeID]int{}
+	secondReads := map[graph.NodeID]int{}
+	for i, e := range tr.Events {
+		if e.Kind != graph.Read {
+			continue
+		}
+		if i < tr.ShiftAt {
+			firstReads[e.Node]++
+		} else {
+			secondReads[e.Node]++
+		}
+	}
+	diff := 0
+	for v, c := range secondReads {
+		if firstReads[v] == 0 && c > 5 {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("no newly hot readers after the shift")
+	}
+}

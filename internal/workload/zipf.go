@@ -1,0 +1,154 @@
+// Package workload provides the experimental substrate of §5.1: Zipfian
+// read/write frequency generation, synthetic social- and web-style data
+// graphs standing in for the SNAP/LAW datasets (see DESIGN.md for the
+// substitution rationale), and a synthetic network trace with a mid-stream
+// frequency shift standing in for the EPA-HTTP packet trace.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+)
+
+// ZipfWeights returns n weights following a Zipf distribution with exponent
+// s (weight of rank i ∝ 1/(i+1)^s), normalized to sum to total. Ranks are
+// assigned to node ids by a deterministic shuffle of the seed so that
+// hotness is uncorrelated with graph position.
+func ZipfWeights(n int, s, total float64, seed int64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { w[i], w[j] = w[j], w[i] })
+	scale := total / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}
+
+// ZipfWorkload builds a dataflow.Workload with Zipfian write frequencies
+// and read frequencies linearly related to them via the write:read ratio
+// (§5.1: "the read frequency of a node is linearly related to its write
+// frequency; we vary the write-to-read ratio").
+// writeToRead is w:r — e.g. 2 means twice as many writes as reads.
+func ZipfWorkload(maxID int, s float64, totalOps float64, writeToRead float64, seed int64) *dataflow.Workload {
+	wl := dataflow.NewWorkload(maxID)
+	writeShare := writeToRead / (1 + writeToRead)
+	weights := ZipfWeights(maxID, s, totalOps, seed)
+	for i, w := range weights {
+		wl.Write[i] = w * writeShare
+		wl.Read[i] = w * (1 - writeShare)
+	}
+	return wl
+}
+
+// Sampler draws node ids proportionally to a weight vector using the alias
+// method, giving O(1) sampling for the event generators.
+type Sampler struct {
+	prob  []float64
+	alias []int
+	rng   *rand.Rand
+}
+
+// NewSampler builds an alias sampler over weights (non-negative, not all
+// zero).
+func NewSampler(weights []float64, seed int64) *Sampler {
+	n := len(weights)
+	s := &Sampler{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if n == 0 || total <= 0 {
+		return s
+	}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, i := range large {
+		s.prob[i] = 1
+	}
+	for _, i := range small {
+		s.prob[i] = 1
+	}
+	return s
+}
+
+// Sample draws one node id.
+func (s *Sampler) Sample() graph.NodeID {
+	if len(s.prob) == 0 {
+		return 0
+	}
+	i := s.rng.Intn(len(s.prob))
+	if s.rng.Float64() < s.prob[i] {
+		return graph.NodeID(i)
+	}
+	return graph.NodeID(s.alias[i])
+}
+
+// Events generates a random read/write event stream matching the workload's
+// frequencies: each event is a write with probability proportional to total
+// write mass, targeting nodes by their individual rates.
+func Events(wl *dataflow.Workload, count int, seed int64) []graph.Event {
+	totalW, totalR := 0.0, 0.0
+	for i := range wl.Write {
+		totalW += wl.Write[i]
+		totalR += wl.Read[i]
+	}
+	writeP := 0.5
+	if totalW+totalR > 0 {
+		writeP = totalW / (totalW + totalR)
+	}
+	ws := NewSampler(wl.Write, seed+1)
+	rs := NewSampler(wl.Read, seed+2)
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]graph.Event, count)
+	for i := range events {
+		if rng.Float64() < writeP {
+			events[i] = graph.Event{
+				Kind:  graph.ContentWrite,
+				Node:  ws.Sample(),
+				Value: int64(rng.Intn(64)),
+				TS:    int64(i),
+			}
+		} else {
+			events[i] = graph.Event{Kind: graph.Read, Node: rs.Sample(), TS: int64(i)}
+		}
+	}
+	return events
+}
