@@ -15,13 +15,12 @@ import (
 	"testing"
 
 	"repro/internal/agg"
+	"repro/internal/benchfix"
 	"repro/internal/bipartite"
 	"repro/internal/construct"
 	"repro/internal/dataflow"
-	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/graph"
-	"repro/internal/overlay"
 	"repro/internal/workload"
 )
 
@@ -150,56 +149,29 @@ func BenchmarkHeadline_Throughput(b *testing.B) {
 }
 
 // --- Micro-benchmarks: the primitive operations behind the figures ---
+// The fixture and measurement loops live in internal/benchfix, shared with
+// `eagr-bench -engine-bench` so BENCH_engine.json tracks these exact runs.
 
-func microEngine(b *testing.B, alg, mode string, a agg.Aggregate) (*exec.Engine, []graph.Event) {
-	b.Helper()
-	g := workload.SocialGraph(2000, 8, 1)
-	ag := bipartite.Build(g, graph.InNeighbors{}, graph.AllNodes)
-	var ov *overlay.Overlay
-	if alg == "baseline" {
-		ov = construct.Baseline(ag)
-	} else {
-		res, err := construct.Build(alg, ag, construct.Config{Iterations: 3})
-		if err != nil {
-			b.Fatal(err)
-		}
-		ov = res.Overlay
-	}
-	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
-	switch mode {
-	case "push":
-		dataflow.DecideAll(ov, overlay.Push)
-	case "pull":
-		dataflow.DecideAll(ov, overlay.Pull)
-	default:
-		f, err := dataflow.ComputeFreqs(ov, wl, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := dataflow.Decide(ov, f, dataflow.ModelFor(a)); err != nil {
-			b.Fatal(err)
-		}
-	}
-	eng, err := exec.New(ov, a, agg.NewTupleWindow(1))
+func benchOps(b *testing.B, alg, mode string, a agg.Aggregate) {
+	eng, events, err := benchfix.MicroEngine(alg, mode, a)
 	if err != nil {
 		b.Fatal(err)
 	}
-	events := workload.Events(wl, 1<<16, 2)
-	return eng, events
+	benchfix.RunMixed(b, eng, events)
 }
 
-func benchOps(b *testing.B, alg, mode string, a agg.Aggregate) {
-	eng, events := microEngine(b, alg, mode, a)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ev := events[i&(len(events)-1)]
-		if ev.Kind == graph.Read {
-			_, _ = eng.Read(ev.Node)
-		} else {
-			_ = eng.Write(ev.Node, ev.Value, ev.TS)
-		}
+// benchWriteBatch drives the sharded parallel ingest path in chunks.
+func benchWriteBatch(b *testing.B, workers int) {
+	eng, events, err := benchfix.MicroEngine("baseline", "push", agg.Sum{})
+	if err != nil {
+		b.Fatal(err)
 	}
+	benchfix.RunWriteBatch(b, eng, benchfix.Writes(events), workers)
 }
+
+func BenchmarkOpWriteBatch1(b *testing.B) { benchWriteBatch(b, 1) }
+func BenchmarkOpWriteBatch4(b *testing.B) { benchWriteBatch(b, 4) }
+func BenchmarkOpWriteBatch8(b *testing.B) { benchWriteBatch(b, 8) }
 
 func BenchmarkOpSumDataflow(b *testing.B) { benchOps(b, construct.AlgVNMA, "dataflow", agg.Sum{}) }
 func BenchmarkOpSumAllPush(b *testing.B)  { benchOps(b, "baseline", "push", agg.Sum{}) }

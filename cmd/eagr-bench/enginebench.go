@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/benchfix"
+	"repro/internal/construct"
+)
+
+// engineBenchResult is one micro-benchmark's measurement, serialized into
+// BENCH_engine.json so successive PRs have a perf trajectory to compare
+// against.
+type engineBenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// engineBenchFile is the BENCH_engine.json schema. Baseline holds the
+// numbers measured at the seed (before the compiled-plan write path);
+// Current is refreshed by every `eagr-bench -engine-bench` run.
+type engineBenchFile struct {
+	Host     string                       `json:"host"`
+	GoMaxPro int                          `json:"gomaxprocs"`
+	Baseline map[string]engineBenchResult `json:"baseline"`
+	Current  map[string]engineBenchResult `json:"current"`
+}
+
+// seedBaseline is the pre-change measurement of the BenchmarkOp* micros
+// (seed engine: synchronous pointer-walking propagation, per-write
+// allocations), recorded once so the acceptance criterion "≥1.5× ops/s vs.
+// the pre-change baseline" stays checkable.
+var seedBaseline = map[string]engineBenchResult{
+	"OpSumDataflow": {NsPerOp: 162.6, OpsPerSec: 6.15e6, AllocsPerOp: 1, BytesPerOp: 54},
+	"OpSumAllPush":  {NsPerOp: 458.0, OpsPerSec: 2.18e6, AllocsPerOp: 2, BytesPerOp: 420},
+	"OpSumAllPull":  {NsPerOp: 176.8, OpsPerSec: 5.66e6, AllocsPerOp: 1, BytesPerOp: 39},
+}
+
+func toResult(r testing.BenchmarkResult) engineBenchResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	out := engineBenchResult{
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if ns > 0 {
+		out.OpsPerSec = 1e9 / ns
+	}
+	return out
+}
+
+// runEngineBench measures the BenchmarkOp* micros (via the shared
+// internal/benchfix fixture, the same one bench_test.go drives) through
+// testing.Benchmark and writes BENCH_engine.json (current + recorded seed
+// baseline) to path.
+func runEngineBench(path string) error {
+	cur := map[string]engineBenchResult{}
+	fmt.Println("engine micro-benchmarks (this takes ~30s):")
+	micros := []struct {
+		name, alg, mode string
+	}{
+		{"OpSumDataflow", construct.AlgVNMA, "dataflow"},
+		{"OpSumAllPush", "baseline", "push"},
+		{"OpSumAllPull", "baseline", "pull"},
+	}
+	for _, m := range micros {
+		eng, events, err := benchfix.MicroEngine(m.alg, m.mode, agg.Sum{})
+		if err != nil {
+			return err
+		}
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunMixed(b, eng, events)
+		}))
+		cur[m.name] = r
+		fmt.Printf("  %-16s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	workers := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		workers = append(workers, p)
+	}
+	for _, w := range workers {
+		eng, events, err := benchfix.MicroEngine("baseline", "push", agg.Sum{})
+		if err != nil {
+			return err
+		}
+		writes := benchfix.Writes(events)
+		name := fmt.Sprintf("OpWriteBatch%d", w)
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunWriteBatch(b, eng, writes, w)
+		}))
+		cur[name] = r
+		fmt.Printf("  %-16s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	host, _ := os.Hostname()
+	out := engineBenchFile{
+		Host:     host,
+		GoMaxPro: runtime.GOMAXPROCS(0),
+		Baseline: seedBaseline,
+		Current:  cur,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -8,6 +8,7 @@
 //	eagr-bench -experiment fig14a            # one experiment, full size
 //	eagr-bench -experiment all -quick        # everything, laptop-quick
 //	eagr-bench -list                         # show available experiments
+//	eagr-bench -engine-bench                 # engine micros -> BENCH_engine.json
 package main
 
 import (
@@ -21,15 +22,25 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("experiment", "", "experiment to run (figNN, headline, or 'all')")
-		list  = flag.Bool("list", false, "list available experiments")
-		scale = flag.Int("scale", 1, "dataset scale multiplier")
-		evts  = flag.Int("events", 0, "events per throughput measurement (0 = default)")
-		iters = flag.Int("iterations", 0, "overlay construction iterations (0 = default)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		quick = flag.Bool("quick", false, "shrink datasets for a fast pass")
+		name   = flag.String("experiment", "", "experiment to run (figNN, headline, or 'all')")
+		list   = flag.Bool("list", false, "list available experiments")
+		scale  = flag.Int("scale", 1, "dataset scale multiplier")
+		evts   = flag.Int("events", 0, "events per throughput measurement (0 = default)")
+		iters  = flag.Int("iterations", 0, "overlay construction iterations (0 = default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		quick  = flag.Bool("quick", false, "shrink datasets for a fast pass")
+		engB   = flag.Bool("engine-bench", false, "run the engine micro-benchmarks and write BENCH_engine.json")
+		engOut = flag.String("engine-bench-out", "BENCH_engine.json", "output path for -engine-bench")
 	)
 	flag.Parse()
+
+	if *engB {
+		if err := runEngineBench(*engOut); err != nil {
+			fmt.Fprintf(os.Stderr, "engine-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *name == "" {
 		fmt.Println("available experiments:")

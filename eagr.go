@@ -193,6 +193,22 @@ func (s *System) Write(v NodeID, value int64, ts int64) error {
 	return s.inner.Write(v, value, ts)
 }
 
+// Event is a single element of the combined data stream, used with
+// WriteBatch for high-throughput ingestion.
+type Event = graph.Event
+
+// NewWrite builds a content-write event for WriteBatch.
+func NewWrite(v NodeID, value int64, ts int64) Event {
+	return graph.Event{Kind: graph.ContentWrite, Node: v, Value: value, TS: ts}
+}
+
+// WriteBatch ingests a batch of content writes through the engine's
+// sharded parallel write pool. Updates to the same node keep their batch
+// order; distinct nodes ingest in parallel across GOMAXPROCS workers.
+func (s *System) WriteBatch(events []Event) error {
+	return s.inner.WriteBatch(events)
+}
+
 // Read returns the current value of the standing query at v.
 func (s *System) Read(v NodeID) (Result, error) { return s.inner.Read(v) }
 

@@ -31,6 +31,37 @@ func TestFilteredNeighborhoodThroughFacade(t *testing.T) {
 	}
 }
 
+func TestWriteBatchThroughFacade(t *testing.T) {
+	// 1,2,3 -> 0; batch-ingest with repeats on one node to check
+	// per-writer ordering (last write wins under the c=1 window).
+	g := NewGraph(4)
+	for _, u := range []NodeID{1, 2, 3} {
+		if err := g.AddEdge(u, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, err := Open(g, QuerySpec{Aggregate: "sum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Event{
+		NewWrite(1, 99, 0),
+		NewWrite(2, 20, 1),
+		NewWrite(3, 30, 2),
+		NewWrite(1, 10, 3), // overwrites 99
+	}
+	if err := sys.WriteBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar != 60 {
+		t.Fatalf("batched sum = %v, want 60", got)
+	}
+}
+
 func TestKHopHelper(t *testing.T) {
 	if KHop(0).Name() != "in-1hop" || KHop(1).Name() != "in-1hop" {
 		t.Fatal("KHop(<=1) should be 1-hop in-neighbors")

@@ -110,6 +110,19 @@ type Aggregate interface {
 	Props() Properties
 }
 
+// ScalarAggregate is implemented by invertible scalar aggregates whose
+// entire PAO state is the pair (sum, n) — the running sum of in-window
+// values and the number of contributions. The execution engine maintains
+// such aggregates with two atomic counters per overlay node, skipping the
+// per-node mutex and all PAO allocation on both the write and the read
+// path. SUM, COUNT and AVG are the built-in instances.
+type ScalarAggregate interface {
+	Aggregate
+	// FinalizeScalar computes the final answer from the (sum, n) state,
+	// mirroring what the aggregate's PAO Finalize would return.
+	FinalizeScalar(sum, n int64) Result
+}
+
 // replaceViaUnmerge is the default UPDATE implementation shared by the
 // built-ins: remove the old contribution, add the new one.
 func replaceViaUnmerge(p PAO, old, new PAO) {

@@ -14,6 +14,9 @@ func (Sum) Props() Properties { return Properties{Subtractable: true} }
 // NewPAO implements Aggregate.
 func (Sum) NewPAO() PAO { return &sumPAO{} }
 
+// FinalizeScalar implements ScalarAggregate.
+func (Sum) FinalizeScalar(sum, n int64) Result { return Result{Scalar: sum, Valid: n > 0} }
+
 type sumPAO struct {
 	sum int64
 	n   int64 // number of raw values contributing (for Valid)
@@ -56,6 +59,9 @@ func (Count) Props() Properties { return Properties{Subtractable: true} }
 // NewPAO implements Aggregate.
 func (Count) NewPAO() PAO { return &countPAO{} }
 
+// FinalizeScalar implements ScalarAggregate.
+func (Count) FinalizeScalar(_, n int64) Result { return Result{Scalar: n, Valid: true} }
+
 type countPAO struct {
 	n int64
 }
@@ -81,6 +87,14 @@ func (Avg) Props() Properties { return Properties{Subtractable: true} }
 
 // NewPAO implements Aggregate.
 func (Avg) NewPAO() PAO { return &avgPAO{} }
+
+// FinalizeScalar implements ScalarAggregate.
+func (Avg) FinalizeScalar(sum, n int64) Result {
+	if n == 0 {
+		return Result{}
+	}
+	return Result{Scalar: sum / n, Valid: true}
+}
 
 type avgPAO struct {
 	sum int64

@@ -1,0 +1,109 @@
+// Package benchfix is the single source of truth for the engine
+// micro-benchmark fixture and measurement loops, shared by the repo's
+// BenchmarkOp* benchmarks and by `eagr-bench -engine-bench` (which records
+// the same numbers into BENCH_engine.json). Keeping one copy guarantees the
+// recorded perf trajectory measures exactly the workload the benchmarks do.
+package benchfix
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/bipartite"
+	"repro/internal/construct"
+	"repro/internal/dataflow"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+	"repro/internal/workload"
+)
+
+// MicroEngine builds the standard micro-benchmark fixture: a 2000-node
+// social graph, the requested overlay algorithm ("baseline" or a
+// construct.Alg*), decision mode ("push", "pull" or dataflow-optimal for
+// anything else), and a 1:1 Zipf event stream of 1<<16 events.
+func MicroEngine(alg, mode string, a agg.Aggregate) (*exec.Engine, []graph.Event, error) {
+	g := workload.SocialGraph(2000, 8, 1)
+	ag := bipartite.Build(g, graph.InNeighbors{}, graph.AllNodes)
+	var ov *overlay.Overlay
+	if alg == "baseline" {
+		ov = construct.Baseline(ag)
+	} else {
+		res, err := construct.Build(alg, ag, construct.Config{Iterations: 3})
+		if err != nil {
+			return nil, nil, err
+		}
+		ov = res.Overlay
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	switch mode {
+	case "push":
+		dataflow.DecideAll(ov, overlay.Push)
+	case "pull":
+		dataflow.DecideAll(ov, overlay.Pull)
+	default:
+		f, err := dataflow.ComputeFreqs(ov, wl, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := dataflow.Decide(ov, f, dataflow.ModelFor(a)); err != nil {
+			return nil, nil, err
+		}
+	}
+	eng, err := exec.New(ov, a, agg.NewTupleWindow(1))
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, workload.Events(wl, 1<<16, 2), nil
+}
+
+// Writes filters the content writes out of an event stream.
+func Writes(events []graph.Event) []graph.Event {
+	var out []graph.Event
+	for _, ev := range events {
+		if ev.Kind == graph.ContentWrite {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// RunMixed is the mixed read/write measurement loop behind BenchmarkOp*.
+func RunMixed(b *testing.B, eng *exec.Engine, events []graph.Event) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i&(len(events)-1)]
+		if ev.Kind == graph.Read {
+			_, _ = eng.Read(ev.Node)
+		} else {
+			_ = eng.Write(ev.Node, ev.Value, ev.TS)
+		}
+	}
+}
+
+// RunWriteBatch drives the sharded parallel ingest path in chunks of up to
+// 4096 writes, reporting per-write cost.
+func RunWriteBatch(b *testing.B, eng *exec.Engine, writes []graph.Event, workers int) {
+	if len(writes) == 0 {
+		b.Fatal("benchfix: no writes in fixture")
+	}
+	chunk := 4096
+	if chunk > len(writes) {
+		chunk = len(writes)
+	}
+	span := len(writes) - chunk + 1 // valid batch start positions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := chunk
+		if rem := b.N - done; n > rem {
+			n = rem
+		}
+		off := done % span
+		if err := eng.WriteBatchWorkers(writes[off:off+n], workers); err != nil {
+			b.Fatal(err)
+		}
+		done += n
+	}
+}

@@ -243,6 +243,13 @@ func (s *System) Write(v graph.NodeID, value int64, ts int64) error {
 	return s.eng.Write(v, value, ts)
 }
 
+// WriteBatch ingests a batch of content writes through the engine's
+// sharded parallel write pool (per-writer ordering is preserved;
+// non-write events are skipped).
+func (s *System) WriteBatch(events []graph.Event) error {
+	return s.eng.WriteBatch(events)
+}
+
 // Read evaluates the standing query at v.
 func (s *System) Read(v graph.NodeID) (agg.Result, error) {
 	return s.eng.Read(v)

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// minParallelBatch is the batch size below which WriteBatch runs serially:
+// under it, goroutine fan-out costs more than it saves.
+const minParallelBatch = 64
+
+// WriteBatch ingests a batch of content writes through a sharded worker
+// pool sized to GOMAXPROCS. Writers are partitioned across workers by their
+// overlay slot, so each writer's updates are applied in batch order (the
+// paper's per-node micro-task queues) while distinct writers proceed in
+// parallel. Non-write events in the batch are skipped. Safe for concurrent
+// use with Write, Read and other WriteBatch calls.
+func (e *Engine) WriteBatch(events []graph.Event) error {
+	return e.WriteBatchWorkers(events, runtime.GOMAXPROCS(0))
+}
+
+// WriteBatchWorkers is WriteBatch with an explicit worker count.
+func (e *Engine) WriteBatchWorkers(events []graph.Event, workers int) error {
+	return e.writeBatchOn(e.state.Load(), events, workers)
+}
+
+func (e *Engine) writeBatchOn(st *engineState, events []graph.Event, workers int) error {
+	if workers > len(events) {
+		workers = len(events)
+	}
+	if workers <= 1 || len(events) < minParallelBatch {
+		for _, ev := range events {
+			if ev.Kind != graph.ContentWrite {
+				continue
+			}
+			_ = e.writeOn(st, ev.Node, ev.Value, ev.TS)
+		}
+		return nil
+	}
+	// Partition once — one shard lookup per event — into per-worker queues;
+	// the stable split keeps each writer's updates in batch order.
+	parts := make([][]graph.Event, workers)
+	per := len(events)/workers + 1
+	for _, ev := range events {
+		if ev.Kind != graph.ContentWrite {
+			continue
+		}
+		p := int(shardOf(st, ev.Node)) % workers
+		if parts[p] == nil {
+			parts[p] = make([]graph.Event, 0, per)
+		}
+		parts[p] = append(parts[p], ev)
+	}
+	var wg sync.WaitGroup
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(part []graph.Event) {
+			defer wg.Done()
+			for _, ev := range part {
+				_ = e.writeOn(st, ev.Node, ev.Value, ev.TS)
+			}
+		}(part)
+	}
+	wg.Wait()
+	return nil
+}
+
+// shardOf maps a data-graph node to its sharding key: the writer slot when
+// one exists (so a writer is always owned by one worker), the node id
+// otherwise.
+func shardOf(st *engineState, v graph.NodeID) uint32 {
+	if w := st.plan.writer(v); w != overlay.NoNode {
+		return uint32(w)
+	}
+	return uint32(v)
+}
+
+// WriterShard exposes the sharding key used by WriteBatch so external
+// routers (e.g. the Runner's write pool) can partition events consistently.
+func (e *Engine) WriterShard(v graph.NodeID) uint32 {
+	return shardOf(e.state.Load(), v)
+}
+
+// PlayBatched replays an event stream in micro-batches of batchSize: each
+// batch's writes are ingested through the sharded WriteBatch pool, then its
+// reads execute in parallel across the same number of workers. This is the
+// quasi-continuous batched execution mode the parallelism experiments
+// (Figure 13d) measure; unlike Runner it has no queues, so throughput
+// reflects the engine's parallel ingest capacity directly.
+func PlayBatched(eng *Engine, events []graph.Event, workers, batchSize int) Stats {
+	if workers < 1 {
+		workers = 1
+	}
+	if batchSize < 1 {
+		batchSize = 1024
+	}
+	st := eng.state.Load()
+	w0, r0 := eng.Counts()
+	writesBuf := make([]graph.Event, 0, batchSize)
+	readsBuf := make([]graph.Event, 0, batchSize)
+	start := time.Now()
+	for off := 0; off < len(events); off += batchSize {
+		end := off + batchSize
+		if end > len(events) {
+			end = len(events)
+		}
+		writesBuf, readsBuf = writesBuf[:0], readsBuf[:0]
+		for _, ev := range events[off:end] {
+			if ev.Kind == graph.Read {
+				readsBuf = append(readsBuf, ev)
+			} else if ev.Kind == graph.ContentWrite {
+				writesBuf = append(writesBuf, ev)
+			}
+		}
+		_ = eng.writeBatchOn(st, writesBuf, workers)
+		if len(readsBuf) > 0 {
+			if workers == 1 || len(readsBuf) < minParallelBatch {
+				for _, ev := range readsBuf {
+					_, _ = eng.readOn(st, ev.Node)
+				}
+			} else {
+				var wg sync.WaitGroup
+				for p := 0; p < workers; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						for i := p; i < len(readsBuf); i += workers {
+							_, _ = eng.readOn(st, readsBuf[i].Node)
+						}
+					}(p)
+				}
+				wg.Wait()
+			}
+		}
+	}
+	dur := time.Since(start)
+	w1, r1 := eng.Counts()
+	stats := Stats{Duration: dur, Writes: w1 - w0, Reads: r1 - r0}
+	if dur > 0 {
+		stats.Throughput = float64(stats.Writes+stats.Reads) / dur.Seconds()
+	}
+	return stats
+}

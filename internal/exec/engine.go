@@ -3,6 +3,51 @@
 // computation at pull nodes, and multi-threaded processing with separate
 // read and write pools — the queueing model (per-node micro-tasks) for
 // writes and the uni-thread model for reads.
+//
+// # Compiled plans
+//
+// At New (and again at Grow / ResyncPushState), the engine flattens the
+// overlay into an immutable compiled plan: a CSR-style topology snapshot
+// (contiguous []int32 edge arrays with sign bits, see overlay.Topology)
+// plus, for every writer, the precomputed push-region application list —
+// the exact multiset of (node, sign) visits a breadth-first propagation
+// from that writer would perform. The hot paths therefore never walk the
+// pointer-heavy overlay Node/HalfEdge structures and never consult the
+// mutable overlay at all: a write is a flat loop over the writer's closure,
+// a pull read walks contiguous in-edge slices.
+//
+// # Allocation-free writes and the scalar fast path
+//
+// Write-side scratch (the window-expiry recorder and the propagated delta)
+// comes from a sync.Pool, so the steady-state write path performs zero heap
+// allocations. For invertible scalar aggregates — SUM, COUNT, AVG, anything
+// implementing agg.ScalarAggregate — the engine skips PAOs and mutexes on
+// the propagation path entirely: each overlay node's partial state is a
+// pair of atomic counters (sum, n), writes apply atomic adds along the
+// compiled closure, and reads (push or pull) assemble results from atomic
+// loads without allocating. Non-scalar aggregates (MAX, TOP-K, DISTINCT)
+// keep the per-node mutex + PAO path, still driven by the compiled plan.
+//
+// # Engine state snapshots
+//
+// All mutable engine state lives in an atomically swapped snapshot
+// (per-node sync cells are shared between snapshots so locks and counters
+// stay stable). Grow and ResyncPushState build a new snapshot and publish
+// it with a single atomic store, which makes overlay growth race-detector
+// clean against in-flight reads and writes: operations that began on the
+// old snapshot finish on it. Correctness of ResyncPushState still requires
+// write quiescence (it rebuilds push-side state from the writer windows),
+// and the overlay itself must not be mutated concurrently with the
+// Grow/Resync call that flattens it.
+//
+// # Batched parallel ingestion
+//
+// WriteBatch ingests a batch of content writes with a sharded worker pool:
+// writers are partitioned across workers by writer slot, so each writer's
+// updates stay ordered (the paper's per-node micro-task queues) while
+// distinct writers proceed in parallel. See also Runner (separate read and
+// write pools over a live event stream) and PlayBatched (micro-batched
+// replay used by the parallelism experiments).
 package exec
 
 import (
@@ -22,20 +67,45 @@ import (
 //
 // All public methods are safe for concurrent use.
 type Engine struct {
-	ov  *overlay.Overlay
-	agg agg.Aggregate
+	ov     *overlay.Overlay
+	agg    agg.Aggregate
+	scalar agg.ScalarAggregate // non-nil enables the atomic fast path
+	window agg.Window          // prototype cloned per writer
 
-	// Per overlay-node state, indexed by NodeRef.
-	paos    []agg.PAO    // state for writers and push aggregation nodes
-	windows []agg.Window // writer nodes only
-	locks   []sync.Mutex
-
-	// Observation counters for the adaptive scheme (§4.8).
-	pushObs []atomic.Int64
-	pullObs []atomic.Int64
+	// state is the current compiled-plan + per-node-state snapshot.
+	state atomic.Pointer[engineState]
 
 	writes atomic.Int64
 	reads  atomic.Int64
+
+	// scratch pools per-write buffers (expiry recorder, delta slice).
+	scratch sync.Pool
+}
+
+// engineState is one generation of engine state. The slices are immutable
+// after publication; nodes entries are shared across generations so mutexes
+// and counters keep their identity when the overlay grows.
+type engineState struct {
+	plan    *plan
+	nodes   []*nodeState
+	paos    []agg.PAO    // nil in scalar mode; per-node PAOs otherwise
+	windows []agg.Window // writer nodes only
+}
+
+// nodeState carries one overlay node's synchronization and counters. It is
+// allocated once per node and shared by every snapshot that contains the
+// node, so a goroutine operating on an older snapshot still contends on the
+// same mutex and publishes to the same counters.
+type nodeState struct {
+	mu      sync.Mutex
+	pushObs atomic.Int64
+	pullObs atomic.Int64
+	// sum/cnt are the node's partial aggregate in scalar mode: the running
+	// sum of contributions and their count. A torn read across the pair is
+	// possible mid-write; that is the bounded staleness the queueing model
+	// already admits.
+	sum atomic.Int64
+	cnt atomic.Int64
 }
 
 // New compiles an engine for the overlay. window is cloned per writer; nil
@@ -48,25 +118,52 @@ func New(ov *overlay.Overlay, a agg.Aggregate, window agg.Window) (*Engine, erro
 	if err := ov.CheckDecisions(); err != nil {
 		return nil, fmt.Errorf("exec: %w", err)
 	}
-	e := &Engine{
-		ov:      ov,
-		agg:     a,
-		paos:    make([]agg.PAO, ov.Len()),
-		windows: make([]agg.Window, ov.Len()),
-		locks:   make([]sync.Mutex, ov.Len()),
-		pushObs: make([]atomic.Int64, ov.Len()),
-		pullObs: make([]atomic.Int64, ov.Len()),
+	e := &Engine{ov: ov, agg: a, window: window}
+	if sa, ok := a.(agg.ScalarAggregate); ok {
+		e.scalar = sa
 	}
-	ov.ForEachNode(func(ref overlay.NodeRef, n *overlay.Node) {
-		switch {
-		case n.Kind == overlay.WriterNode:
-			e.paos[ref] = a.NewPAO()
-			e.windows[ref] = window.Clone()
-		case n.Dec == overlay.Push:
-			e.paos[ref] = a.NewPAO()
-		}
-	})
+	e.scratch.New = func() any { return &writeScratch{} }
+	e.state.Store(e.buildState(nil, window))
 	return e, nil
+}
+
+// buildState compiles a fresh snapshot from the current overlay, carrying
+// over per-node state from prev and initializing any new slots with window.
+func (e *Engine) buildState(prev *engineState, window agg.Window) *engineState {
+	pl := compilePlan(e.ov)
+	n := pl.top.N
+	st := &engineState{
+		plan:    pl,
+		nodes:   make([]*nodeState, n),
+		paos:    make([]agg.PAO, n),
+		windows: make([]agg.Window, n),
+	}
+	for i := 0; i < n; i++ {
+		if prev != nil && i < len(prev.nodes) {
+			st.nodes[i] = prev.nodes[i]
+			st.paos[i] = prev.paos[i]
+			st.windows[i] = prev.windows[i]
+		} else {
+			st.nodes[i] = &nodeState{}
+		}
+		if pl.top.Dead[i] {
+			continue
+		}
+		switch {
+		case pl.top.Kind[i] == overlay.WriterNode:
+			if st.windows[i] == nil {
+				st.windows[i] = window.Clone()
+			}
+			if e.scalar == nil && st.paos[i] == nil {
+				st.paos[i] = e.agg.NewPAO()
+			}
+		case pl.top.Dec[i] == overlay.Push:
+			if e.scalar == nil && st.paos[i] == nil {
+				st.paos[i] = e.agg.NewPAO()
+			}
+		}
+	}
+	return st
 }
 
 // Overlay returns the engine's overlay.
@@ -75,151 +172,233 @@ func (e *Engine) Overlay() *overlay.Overlay { return e.ov }
 // Aggregate returns the engine's aggregate function.
 func (e *Engine) Aggregate() agg.Aggregate { return e.agg }
 
-// delta is the unit of write propagation: raw values entering and leaving
-// the aggregate at a node. Negative edges swap the two slices.
-type delta struct {
-	add    []int64
-	remove []int64
+// writeScratch is the pooled per-write working set: the window-expiry
+// recorder and a one-element slice for the added value, so the steady-state
+// write path allocates nothing.
+type writeScratch struct {
+	rec expiryRecorder
+	add [1]int64
 }
 
-func (d delta) inverted() delta { return delta{add: d.remove, remove: d.add} }
+// expiryRecorder is a window-facing PAO adapter: it captures the values a
+// window slide expires (so they can be propagated as removals) and forwards
+// Add/Remove to the writer's real PAO when one exists (mutex mode). Only
+// AddValue/RemoveValue are ever invoked by windows; the remaining PAO
+// methods are inert.
+type expiryRecorder struct {
+	target  agg.PAO // nil in scalar mode
+	removed []int64
+}
+
+func (r *expiryRecorder) AddValue(v int64) {
+	if r.target != nil {
+		r.target.AddValue(v)
+	}
+}
+
+func (r *expiryRecorder) RemoveValue(v int64) {
+	r.removed = append(r.removed, v)
+	if r.target != nil {
+		r.target.RemoveValue(v)
+	}
+}
+
+func (r *expiryRecorder) Merge(agg.PAO)        {}
+func (r *expiryRecorder) Unmerge(agg.PAO)      {}
+func (r *expiryRecorder) Replace(_, _ agg.PAO) {}
+func (r *expiryRecorder) Finalize() agg.Result { return agg.Result{} }
+func (r *expiryRecorder) Reset()               {}
+func (r *expiryRecorder) Clone() agg.PAO       { return nil }
+
+func (e *Engine) getScratch() *writeScratch { return e.scratch.Get().(*writeScratch) }
+
+func (e *Engine) putScratch(ws *writeScratch) {
+	ws.rec.target = nil
+	ws.rec.removed = ws.rec.removed[:0]
+	e.scratch.Put(ws)
+}
 
 // Write ingests a content update on data-graph node v (a "write on v") and
 // synchronously propagates it through the push region of the overlay.
 func (e *Engine) Write(v graph.NodeID, value int64, ts int64) error {
-	wref := e.ov.Writer(v)
+	return e.writeOn(e.state.Load(), v, value, ts)
+}
+
+// writeOn executes one write against a fixed snapshot.
+func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64) error {
+	wref := st.plan.writer(v)
 	if wref == overlay.NoNode {
 		// The node feeds no reader (like g_w in Figure 1(c)): the write
 		// is absorbed without any propagation work.
 		e.writes.Add(1)
 		return nil
 	}
-	d := e.ingest(wref, value, ts)
-	e.writes.Add(1)
-	// Propagate breadth-first through push consumers.
-	e.propagate(wref, d)
+	ws := e.getScratch()
+	ns := st.nodes[wref]
+	ns.mu.Lock()
+	ws.rec.target = st.paos[wref]
+	ws.rec.removed = ws.rec.removed[:0]
+	st.windows[wref].Add(&ws.rec, value, ts)
+	removed := ws.rec.removed
+	if e.scalar != nil {
+		var remSum int64
+		for _, r := range removed {
+			remSum += r
+		}
+		ns.sum.Add(value - remSum)
+		ns.cnt.Add(1 - int64(len(removed)))
+		ns.mu.Unlock()
+		ns.pushObs.Add(1)
+		e.writes.Add(1)
+		e.propagateScalar(st, wref, value-remSum, 1-int64(len(removed)))
+	} else {
+		ns.mu.Unlock()
+		ns.pushObs.Add(1)
+		e.writes.Add(1)
+		ws.add[0] = value
+		e.propagate(st, wref, ws.add[:1], removed)
+	}
+	e.putScratch(ws)
 	return nil
 }
 
-// ingest applies the write to the writer's window/PAO and returns the delta
-// to propagate (capturing values expired by the window slide).
-func (e *Engine) ingest(wref overlay.NodeRef, value int64, ts int64) delta {
-	e.locks[wref].Lock()
-	defer e.locks[wref].Unlock()
-	w := e.windows[wref]
-	// Wrap the PAO to capture removals caused by the window slide.
-	rec := &recordingPAO{PAO: e.paos[wref]}
-	w.Add(rec, value, ts)
-	e.pushObs[wref].Add(1)
-	return delta{add: []int64{value}, remove: rec.removed}
-}
-
-// recordingPAO intercepts RemoveValue to capture window expirations.
-type recordingPAO struct {
-	agg.PAO
-	removed []int64
-}
-
-func (r *recordingPAO) RemoveValue(v int64) {
-	r.removed = append(r.removed, v)
-	r.PAO.RemoveValue(v)
-}
-
-// propagate walks the push region downstream of ref applying the delta.
-// Each traversed edge applies the delta once, so duplicate paths (legal
+// propagate applies a raw-value delta along the writer's compiled push
+// closure (mutex + PAO mode). Each closure entry corresponds to one edge
+// traversal of the original breadth-first walk, so duplicate paths (legal
 // only for duplicate-insensitive aggregates) contribute consistent
 // multiplicities on both add and remove.
-func (e *Engine) propagate(ref overlay.NodeRef, d delta) {
-	type task struct {
-		ref overlay.NodeRef
-		d   delta
-	}
-	stack := []task{{ref, d}}
-	for len(stack) > 0 {
-		t := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, out := range e.ov.Node(t.ref).Out {
-			dst := out.Peer
-			n := e.ov.Node(dst)
-			if n.Dec != overlay.Push {
-				continue
-			}
-			dd := t.d
-			if out.Negative {
-				dd = dd.inverted()
-			}
-			e.applyDelta(dst, dd)
-			stack = append(stack, task{dst, dd})
+func (e *Engine) propagate(st *engineState, wref overlay.NodeRef, add, remove []int64) {
+	for _, pe := range st.plan.closure[wref] {
+		ref, neg := overlay.UnpackRef(pe)
+		a, r := add, remove
+		if neg {
+			a, r = remove, add
 		}
+		ns := st.nodes[ref]
+		ns.mu.Lock()
+		pao := st.paos[ref]
+		for _, v := range a {
+			pao.AddValue(v)
+		}
+		for _, v := range r {
+			pao.RemoveValue(v)
+		}
+		ns.mu.Unlock()
+		ns.pushObs.Add(1)
 	}
 }
 
-// applyDelta applies raw-value changes to a push node's PAO.
-func (e *Engine) applyDelta(ref overlay.NodeRef, d delta) {
-	e.locks[ref].Lock()
-	pao := e.paos[ref]
-	for _, v := range d.add {
-		pao.AddValue(v)
+// propagateScalar applies a (sum, count) delta along the compiled closure
+// with plain atomic adds — no locks, no allocation.
+func (e *Engine) propagateScalar(st *engineState, wref overlay.NodeRef, dSum, dCnt int64) {
+	for _, pe := range st.plan.closure[wref] {
+		ref, neg := overlay.UnpackRef(pe)
+		ns := st.nodes[ref]
+		if neg {
+			ns.sum.Add(-dSum)
+			ns.cnt.Add(-dCnt)
+		} else {
+			ns.sum.Add(dSum)
+			ns.cnt.Add(dCnt)
+		}
+		ns.pushObs.Add(1)
 	}
-	for _, v := range d.remove {
-		pao.RemoveValue(v)
-	}
-	e.locks[ref].Unlock()
-	e.pushObs[ref].Add(1)
 }
 
 // Read evaluates the standing query at data-graph node v (a "read on v")
 // and returns the aggregate over N(v).
 func (e *Engine) Read(v graph.NodeID) (agg.Result, error) {
-	rref := e.ov.Reader(v)
+	return e.readOn(e.state.Load(), v)
+}
+
+// readOn executes one read against a fixed snapshot.
+func (e *Engine) readOn(st *engineState, v graph.NodeID) (agg.Result, error) {
+	rref := st.plan.reader(v)
 	if rref == overlay.NoNode {
 		return agg.Result{}, fmt.Errorf("exec: node %d has no reader in the overlay", v)
 	}
 	e.reads.Add(1)
-	n := e.ov.Node(rref)
-	if n.Dec == overlay.Push {
-		e.locks[rref].Lock()
-		res := e.paos[rref].Finalize()
-		e.locks[rref].Unlock()
-		e.pullObs[rref].Add(1)
+	top := st.plan.top
+	if top.Dec[rref] == overlay.Push {
+		ns := st.nodes[rref]
+		var res agg.Result
+		if e.scalar != nil {
+			res = e.scalar.FinalizeScalar(ns.sum.Load(), ns.cnt.Load())
+		} else {
+			ns.mu.Lock()
+			res = st.paos[rref].Finalize()
+			ns.mu.Unlock()
+		}
+		ns.pullObs.Add(1)
 		return res, nil
 	}
-	pao := e.computePull(rref)
-	return pao.Finalize(), nil
+	if e.scalar != nil {
+		sum, n := e.pullScalar(st, rref)
+		return e.scalar.FinalizeScalar(sum, n), nil
+	}
+	return e.computePull(st, rref).Finalize(), nil
 }
 
-// computePull evaluates a pull node on demand: merge push-side inputs'
-// PAOs, recurse into pull-side inputs (§2.2.2: "it issues read requests on
-// all its upstream overlay nodes, merges all the PAOs it receives").
-func (e *Engine) computePull(ref overlay.NodeRef) agg.PAO {
-	e.pullObs[ref].Add(1)
+// pullScalar evaluates a pull node on demand in scalar mode: walk the
+// compiled in-edge CSR, reading push-side atomic pairs and recursing into
+// pull-side inputs. No allocation, no locks.
+func (e *Engine) pullScalar(st *engineState, ref overlay.NodeRef) (sum, n int64) {
+	st.nodes[ref].pullObs.Add(1)
+	top := st.plan.top
+	for _, pe := range top.InEdges(ref) {
+		src, neg := overlay.UnpackRef(pe)
+		var s, c int64
+		if top.Dec[src] == overlay.Push {
+			ns := st.nodes[src]
+			s, c = ns.sum.Load(), ns.cnt.Load()
+			ns.pullObs.Add(1)
+		} else {
+			s, c = e.pullScalar(st, src)
+		}
+		if neg {
+			sum -= s
+			n -= c
+		} else {
+			sum += s
+			n += c
+		}
+	}
+	return sum, n
+}
+
+// computePull evaluates a pull node on demand in mutex mode: merge
+// push-side inputs' PAOs, recurse into pull-side inputs (§2.2.2: "it issues
+// read requests on all its upstream overlay nodes, merges all the PAOs it
+// receives").
+func (e *Engine) computePull(st *engineState, ref overlay.NodeRef) agg.PAO {
+	st.nodes[ref].pullObs.Add(1)
 	out := e.agg.NewPAO()
-	n := e.ov.Node(ref)
-	if n.Kind == overlay.WriterNode {
+	top := st.plan.top
+	if top.Kind[ref] == overlay.WriterNode {
 		// A writer is always push; computePull on it only happens via
 		// direct merge below, not here.
-		e.locks[ref].Lock()
-		out.Merge(e.paos[ref])
-		e.locks[ref].Unlock()
+		ns := st.nodes[ref]
+		ns.mu.Lock()
+		out.Merge(st.paos[ref])
+		ns.mu.Unlock()
 		return out
 	}
-	for _, in := range n.In {
-		src := in.Peer
-		sn := e.ov.Node(src)
-		var child agg.PAO
-		if sn.Dec == overlay.Push {
-			e.locks[src].Lock()
-			if in.Negative {
-				out.Unmerge(e.paos[src])
+	for _, pe := range top.InEdges(ref) {
+		src, neg := overlay.UnpackRef(pe)
+		if top.Dec[src] == overlay.Push {
+			ns := st.nodes[src]
+			ns.mu.Lock()
+			if neg {
+				out.Unmerge(st.paos[src])
 			} else {
-				out.Merge(e.paos[src])
+				out.Merge(st.paos[src])
 			}
-			e.locks[src].Unlock()
-			e.pullObs[src].Add(1)
+			ns.mu.Unlock()
+			ns.pullObs.Add(1)
 			continue
 		}
-		child = e.computePull(src)
-		if in.Negative {
+		child := e.computePull(st, src)
+		if neg {
 			out.Unmerge(child)
 		} else {
 			out.Merge(child)
@@ -231,60 +410,48 @@ func (e *Engine) computePull(ref overlay.NodeRef) agg.PAO {
 // ExpireAll advances time-based windows to ts at every writer, propagating
 // expirations through the push region. Tuple windows are unaffected.
 func (e *Engine) ExpireAll(ts int64) {
-	for _, wref := range e.ov.Writers() {
-		e.locks[wref].Lock()
-		rec := &recordingPAO{PAO: e.paos[wref]}
-		e.windows[wref].Expire(rec, ts)
-		e.locks[wref].Unlock()
-		if len(rec.removed) > 0 {
-			e.propagate(wref, delta{remove: rec.removed})
+	st := e.state.Load()
+	for _, wref := range st.plan.top.Writers {
+		ws := e.getScratch()
+		ns := st.nodes[wref]
+		ns.mu.Lock()
+		ws.rec.target = st.paos[wref]
+		ws.rec.removed = ws.rec.removed[:0]
+		st.windows[wref].Expire(&ws.rec, ts)
+		removed := ws.rec.removed
+		var remSum int64
+		if e.scalar != nil && len(removed) > 0 {
+			for _, r := range removed {
+				remSum += r
+			}
+			ns.sum.Add(-remSum)
+			ns.cnt.Add(-int64(len(removed)))
 		}
+		ns.mu.Unlock()
+		if len(removed) > 0 {
+			if e.scalar != nil {
+				e.propagateScalar(st, wref, -remSum, -int64(len(removed)))
+			} else {
+				e.propagate(st, wref, nil, removed)
+			}
+		}
+		e.putScratch(ws)
 	}
 }
 
-// Grow resizes the per-node state after the overlay gained nodes (e.g.
-// through incremental maintenance or node splitting) and initializes state
-// for the new slots. Existing writer windows are preserved. Callers should
-// follow with ResyncPushState, as restructuring may have changed what any
-// partial node aggregates.
+// Grow recompiles the plan and resizes per-node state after the overlay
+// changed (e.g. through incremental maintenance or node splitting),
+// initializing state for any new slots. Existing writer windows, locks and
+// counters are preserved: per-node cells are shared between snapshots, so
+// in-flight reads and writes on the previous snapshot stay well-defined
+// (race-detector clean). The overlay itself must not be mutated
+// concurrently with this call. Callers should follow with ResyncPushState,
+// as restructuring may have changed what any partial node aggregates.
 func (e *Engine) Grow(window agg.Window) {
 	if window == nil {
 		window = agg.NewTupleWindow(1)
 	}
-	n := e.ov.Len()
-	for len(e.paos) < n {
-		e.paos = append(e.paos, nil)
-		e.windows = append(e.windows, nil)
-	}
-	if len(e.locks) < n {
-		locks := make([]sync.Mutex, n)
-		e.locks = locks // safe only when quiescent; documented contract
-		pushObs := make([]atomic.Int64, n)
-		for i := range e.pushObs {
-			pushObs[i].Store(e.pushObs[i].Load())
-		}
-		e.pushObs = pushObs
-		pullObs := make([]atomic.Int64, n)
-		for i := range e.pullObs {
-			pullObs[i].Store(e.pullObs[i].Load())
-		}
-		e.pullObs = pullObs
-	}
-	e.ov.ForEachNode(func(ref overlay.NodeRef, nd *overlay.Node) {
-		switch {
-		case nd.Kind == overlay.WriterNode:
-			if e.paos[ref] == nil {
-				e.paos[ref] = e.agg.NewPAO()
-			}
-			if e.windows[ref] == nil {
-				e.windows[ref] = window.Clone()
-			}
-		case nd.Dec == overlay.Push:
-			if e.paos[ref] == nil {
-				e.paos[ref] = e.agg.NewPAO()
-			}
-		}
-	})
+	e.state.Store(e.buildState(e.state.Load(), window))
 }
 
 // Counts returns the number of writes and reads processed.
@@ -295,48 +462,72 @@ func (e *Engine) Counts() (writes, reads int64) {
 // Observations drains the per-node push/pull counters accumulated since the
 // last call, for feeding the adaptive scheme.
 func (e *Engine) Observations() (pushes, pulls map[overlay.NodeRef]float64) {
+	st := e.state.Load()
 	pushes = make(map[overlay.NodeRef]float64)
 	pulls = make(map[overlay.NodeRef]float64)
-	for i := range e.pushObs {
-		if v := e.pushObs[i].Swap(0); v != 0 {
+	for i, ns := range st.nodes {
+		if v := ns.pushObs.Swap(0); v != 0 {
 			pushes[overlay.NodeRef(i)] = float64(v)
 		}
-		if v := e.pullObs[i].Swap(0); v != 0 {
+		if v := ns.pullObs.Swap(0); v != 0 {
 			pulls[overlay.NodeRef(i)] = float64(v)
 		}
 	}
 	return pushes, pulls
 }
 
-// ResyncPushState rebuilds the PAOs of push aggregation nodes bottom-up
-// from the writer windows. Call it after dataflow decisions change (e.g. an
-// adaptive rebalance flipped pull nodes to push), while no writes are in
-// flight.
+// ResyncPushState recompiles the plan and rebuilds the partial state of
+// push aggregation nodes bottom-up from the writer windows. Call it after
+// dataflow decisions change (e.g. an adaptive rebalance flipped pull nodes
+// to push), while no writes are in flight.
 func (e *Engine) ResyncPushState() error {
-	order, err := e.ov.TopoOrder()
-	if err != nil {
+	if _, err := e.ov.TopoOrder(); err != nil {
 		return err
 	}
-	// Collected raw-value bags per node: for exactness we re-propagate
-	// writer window contents through the push region.
-	for _, ref := range order {
-		n := e.ov.Node(ref)
-		if n.Kind == overlay.WriterNode {
+	st := e.buildState(e.state.Load(), e.window)
+	top := st.plan.top
+	// Reset every non-writer node: push nodes get fresh state to replay
+	// into, pull nodes carry none. In scalar mode the replay happens in
+	// brand-new cells (writer cells and their mutexes keep their identity;
+	// non-writer cells are never locked), so readers on the previous
+	// snapshot keep seeing the coherent pre-resync values until the new
+	// snapshot is published below — never a half-rebuilt aggregate.
+	for i := 0; i < top.N; i++ {
+		if top.Dead[i] || top.Kind[i] == overlay.WriterNode {
 			continue
 		}
-		if n.Dec == overlay.Push {
-			e.paos[ref] = e.agg.NewPAO()
+		if e.scalar != nil {
+			old := st.nodes[i]
+			fresh := &nodeState{}
+			fresh.pushObs.Store(old.pushObs.Load())
+			fresh.pullObs.Store(old.pullObs.Load())
+			st.nodes[i] = fresh
+		} else if top.Dec[i] == overlay.Push {
+			st.paos[i] = e.agg.NewPAO()
 		} else {
-			e.paos[ref] = nil
+			st.paos[i] = nil
 		}
 	}
-	for _, wref := range e.ov.Writers() {
-		e.locks[wref].Lock()
-		vals := e.windows[wref].Values()
-		e.locks[wref].Unlock()
-		if len(vals) > 0 {
-			e.propagate(wref, delta{add: vals})
+	// Re-propagate writer window contents through the push region.
+	for _, wref := range top.Writers {
+		ns := st.nodes[wref]
+		ns.mu.Lock()
+		vals := st.windows[wref].Values()
+		ns.mu.Unlock()
+		if e.scalar != nil {
+			var sum int64
+			for _, v := range vals {
+				sum += v
+			}
+			ns.sum.Store(sum)
+			ns.cnt.Store(int64(len(vals)))
+			if len(vals) > 0 {
+				e.propagateScalar(st, wref, sum, int64(len(vals)))
+			}
+		} else if len(vals) > 0 {
+			e.propagate(st, wref, vals, nil)
 		}
 	}
+	e.state.Store(st)
 	return nil
 }

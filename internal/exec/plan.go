@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"repro/internal/overlay"
+)
+
+// plan is the compiled, immutable form of the overlay the engine executes
+// against. It is built once per (topology, decisions) generation — at New,
+// Grow and ResyncPushState — and replaced wholesale when either changes, so
+// the hot paths never consult the mutable overlay structure.
+//
+// Two representations coexist:
+//
+//   - top: the overlay flattened into CSR arrays (kinds, decisions, in- and
+//     out-edges packed as ref<<1|sign). Pull evaluation walks top.InEdges.
+//   - closure: for every writer, the full push-region application list — the
+//     exact multiset of (node, sign) visits the old breadth-first propagation
+//     performed, precomputed once. A write then applies its delta with a
+//     single flat loop: no stack, no queue, no per-write traversal state.
+//
+// Closure entries replicate traversal multiplicity on purpose: overlays with
+// duplicate writer→reader paths (legal for duplicate-insensitive aggregates)
+// must apply a delta once per traversed edge, exactly as the BFS did.
+type plan struct {
+	top *overlay.Topology
+	// closure[w] is writer w's packed push-region application list.
+	closure [][]int32
+}
+
+// compilePlan flattens the overlay and precomputes per-writer push closures.
+func compilePlan(ov *overlay.Overlay) *plan {
+	top := ov.Flatten()
+	p := &plan{top: top, closure: make([][]int32, top.N)}
+	// stack is reused across writers; entries are packed (ref, inverted).
+	var stack []int32
+	for _, w := range top.Writers {
+		var apps []int32
+		stack = append(stack[:0], overlay.PackRef(w, false))
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ref, inv := overlay.UnpackRef(cur)
+			for _, pe := range top.OutEdges(ref) {
+				dst, neg := overlay.UnpackRef(pe)
+				if top.Dec[dst] != overlay.Push || top.Dead[dst] {
+					continue
+				}
+				packed := overlay.PackRef(dst, inv != neg)
+				apps = append(apps, packed)
+				stack = append(stack, packed)
+			}
+		}
+		p.closure[w] = apps
+	}
+	return p
+}
+
+// writer returns the writer slot for data-graph node v, or NoNode.
+func (p *plan) writer(v int32) overlay.NodeRef {
+	if ref, ok := p.top.WriterOf[v]; ok {
+		return ref
+	}
+	return overlay.NoNode
+}
+
+// reader returns the reader slot for data-graph node v, or NoNode.
+func (p *plan) reader(v int32) overlay.NodeRef {
+	if ref, ok := p.top.ReaderOf[v]; ok {
+		return ref
+	}
+	return overlay.NoNode
+}

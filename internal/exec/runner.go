@@ -16,6 +16,12 @@ import (
 // uni-thread model: the read executes fully on one reader-pool goroutine.
 // The relative pool sizes trade read latency against staleness, as in the
 // paper.
+//
+// The write pool is sharded: each worker owns a private queue and events
+// are routed by writer slot (Engine.WriterShard), so a given writer's
+// updates are applied in submission order — the paper's per-node
+// micro-task queues — while distinct writers ingest in parallel without
+// contending on a shared channel.
 type Runner struct {
 	eng *Engine
 
@@ -24,9 +30,9 @@ type Runner struct {
 	// LatencySample records every Nth read latency (0 disables).
 	LatencySample int
 
-	writeCh chan graph.Event
-	readCh  chan graph.Event
-	wg      sync.WaitGroup
+	writeChs []chan graph.Event
+	readCh   chan graph.Event
+	wg       sync.WaitGroup
 
 	latMu     sync.Mutex
 	latencies []time.Duration
@@ -52,18 +58,21 @@ func NewRunner(eng *Engine, writeWorkers, readWorkers int) *Runner {
 
 // Start launches the worker pools.
 func (r *Runner) Start() {
-	r.writeCh = make(chan graph.Event, 4096)
+	r.writeChs = make([]chan graph.Event, r.WriteWorkers)
 	r.readCh = make(chan graph.Event, 4096)
+	for i := range r.writeChs {
+		r.writeChs[i] = make(chan graph.Event, 1024)
+	}
 	for i := 0; i < r.WriteWorkers; i++ {
 		r.wg.Add(1)
-		go func() {
+		go func(ch <-chan graph.Event) {
 			defer r.wg.Done()
-			for ev := range r.writeCh {
+			for ev := range ch {
 				if err := r.eng.Write(ev.Node, ev.Value, ev.TS); err != nil {
 					r.errCount.Add(1)
 				}
 			}
-		}()
+		}(r.writeChs[i])
 	}
 	for i := 0; i < r.ReadWorkers; i++ {
 		r.wg.Add(1)
@@ -91,18 +100,21 @@ func (r *Runner) Start() {
 }
 
 // Submit routes an event to the appropriate pool, blocking when the queue
-// is full (back-pressure).
+// is full (back-pressure). Writes are routed to the worker owning the
+// event's writer shard so per-writer ordering is preserved.
 func (r *Runner) Submit(ev graph.Event) {
 	if ev.Kind == graph.Read {
 		r.readCh <- ev
 	} else {
-		r.writeCh <- ev
+		r.writeChs[int(r.eng.WriterShard(ev.Node))%len(r.writeChs)] <- ev
 	}
 }
 
 // Stop drains the queues and stops the workers.
 func (r *Runner) Stop() {
-	close(r.writeCh)
+	for _, ch := range r.writeChs {
+		close(ch)
+	}
 	close(r.readCh)
 	r.wg.Wait()
 }

@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/construct"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// TestConcurrentStress interleaves Write, Read, WriteBatch and ExpireAll on
+// one shared engine from many goroutines. Run with -race it checks the
+// snapshot/atomic synchronization of the whole public surface; afterwards a
+// deterministic write round checks the engine still answers correctly.
+func TestConcurrentStress(t *testing.T) {
+	for _, a := range []agg.Aggregate{agg.Sum{}, agg.Max{}} {
+		ag := paperAG()
+		res, err := construct.Build(construct.AlgVNMA, ag, construct.Config{Iterations: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decide(t, res.Overlay, "optimal")
+		e, err := New(res.Overlay, a, agg.NewTimeWindow(1<<30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for gr := 0; gr < 8; gr++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				batch := make([]graph.Event, 0, 16)
+				for i := 0; i < 300; i++ {
+					v := graph.NodeID(rng.Intn(7))
+					switch rng.Intn(4) {
+					case 0:
+						_ = e.Write(v, 1, int64(i))
+					case 1:
+						_, _ = e.Read(v)
+					case 2:
+						batch = batch[:0]
+						for j := 0; j < 16; j++ {
+							batch = append(batch, graph.Event{
+								Kind: graph.ContentWrite, Node: graph.NodeID(rng.Intn(7)),
+								Value: 1, TS: int64(i),
+							})
+						}
+						_ = e.WriteBatchWorkers(batch, 2)
+					case 3:
+						e.ExpireAll(0) // expires nothing (huge window) but walks the path
+					}
+				}
+			}(int64(gr))
+		}
+		wg.Wait()
+		// Quiesce deterministically: shrink every window to exactly one
+		// value per node via expiry, then overwrite.
+		e.ExpireAll(1 << 31)
+		for v := graph.NodeID(0); v < 7; v++ {
+			if err := e.Write(v, 1, 1<<31); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Every reader now aggregates 1s, one per input.
+		sums := map[graph.NodeID]int64{0: 4, 1: 3, 2: 5, 3: 5, 4: 4, 5: 5, 6: 6}
+		for v, n := range sums {
+			got, err := e.Read(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := n
+			if (a == agg.Max{}) {
+				want = 1
+			}
+			if !got.Valid || got.Scalar != want {
+				t.Fatalf("%s: read(%d) = %v, want %d", a.Name(), v, got, want)
+			}
+		}
+	}
+}
+
+// TestGrowMidStream grows the overlay while reads and writes on the
+// existing nodes keep flowing. The engine publishes new state by atomic
+// snapshot swap, so traffic must stay race-free and correct throughout:
+// in-flight operations complete on the snapshot they started on, and
+// operations after Grow see the new writer immediately.
+func TestGrowMidStream(t *testing.T) {
+	ag := paperAG()
+	ov := construct.Baseline(ag)
+	decide(t, ov, "push")
+	e, err := New(ov, agg.Sum{}, agg.NewTupleWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for gr := 0; gr < 4; gr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; !stop.Load(); i++ {
+				v := graph.NodeID(rng.Intn(7))
+				if rng.Intn(2) == 0 {
+					_ = e.Write(v, 1, int64(i))
+				} else {
+					_, _ = e.Read(v)
+				}
+			}
+		}(int64(gr))
+	}
+	// Grow the overlay mid-stream: a fresh writer 99 feeding a fresh
+	// reader 100, push-annotated. Only this goroutine touches the overlay;
+	// the engine's hot paths run on flattened snapshots and never read it.
+	w := ov.AddWriter(99)
+	r := ov.AddReader(100)
+	if err := ov.AddEdge(w, r, false); err != nil {
+		t.Fatal(err)
+	}
+	ov.Node(r).Dec = overlay.Push
+	e.Grow(nil)
+	// The new nodes are writable/readable right after Grow.
+	if err := e.Write(99, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Read(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Valid || got.Scalar != 7 {
+		t.Fatalf("read(100) after grow = %v, want 7", got)
+	}
+	stop.Store(true)
+	wg.Wait()
+	// Old nodes still work end-to-end after the swap.
+	for v := graph.NodeID(0); v < 7; v++ {
+		if err := e.Write(v, 1, 10000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = e.Read(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar != 6 {
+		t.Fatalf("read(6) after grow = %v, want 6", got)
+	}
+}
+
+// TestGrowPreservesWindows checks Grow keeps existing writer windows and
+// counters while initializing state for new slots (the old implementation
+// swapped the lock and counter arrays non-atomically).
+func TestGrowPreservesWindows(t *testing.T) {
+	ag := paperAG()
+	ov := construct.Baseline(ag)
+	decide(t, ov, "push")
+	e, err := New(ov, agg.Sum{}, agg.NewTupleWindow(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Write(2, 5, 0)
+	_ = e.Write(2, 6, 1)
+	pushesBefore, _ := func() (int, int) {
+		p, q := e.Observations()
+		return len(p), len(q)
+	}()
+	if pushesBefore == 0 {
+		t.Fatal("no observations before grow")
+	}
+	w := ov.AddWriter(50)
+	r := ov.AddReader(51)
+	if err := ov.AddEdge(w, r, false); err != nil {
+		t.Fatal(err)
+	}
+	e.Grow(nil)
+	// Window contents for writer 2 survived: reader 0 (inputs {2,3,4,5})
+	// still sees 5+6 = 11.
+	got, err := e.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar != 11 {
+		t.Fatalf("read(0) after grow = %v, want 11", got)
+	}
+}

@@ -1,0 +1,102 @@
+package overlay
+
+import "repro/internal/graph"
+
+// Topology is an immutable, flattened CSR-style snapshot of the overlay:
+// node kinds, dataflow decisions, and both edge directions packed into
+// contiguous int32 arrays. The execution engine compiles its plan from a
+// Topology so its hot paths walk cache-friendly slices instead of the
+// pointer-heavy Node/HalfEdge representation, and never touch the live
+// (mutable) overlay during reads and writes.
+//
+// Edges are packed as peer<<1 | sign, where sign is 1 for negative edges
+// (see PackRef / UnpackRef).
+type Topology struct {
+	// N is the number of node slots, dead slots included (refs are stable).
+	N int
+	// Kind and Dec are indexed by NodeRef. Dead slots keep their last kind.
+	Kind []NodeKind
+	Dec  []Decision
+	Dead []bool
+	// Out/OutOff is the downstream CSR: node r's out-edges are
+	// Out[OutOff[r]:OutOff[r+1]], each packed with PackRef.
+	OutOff []int32
+	Out    []int32
+	// In/InOff is the upstream CSR in the same layout.
+	InOff []int32
+	In    []int32
+	// Writers lists live writer refs.
+	Writers []NodeRef
+	// WriterOf / ReaderOf map data-graph nodes to their overlay slots.
+	// They are copies: lookups are safe while the overlay mutates.
+	WriterOf map[graph.NodeID]NodeRef
+	ReaderOf map[graph.NodeID]NodeRef
+}
+
+// PackRef packs a node ref and an edge sign into one int32.
+func PackRef(r NodeRef, negative bool) int32 {
+	p := r << 1
+	if negative {
+		p |= 1
+	}
+	return p
+}
+
+// UnpackRef splits a packed edge back into (ref, negative).
+func UnpackRef(p int32) (NodeRef, bool) { return p >> 1, p&1 == 1 }
+
+// Flatten snapshots the overlay into a Topology. The result shares nothing
+// with the overlay; callers may keep using it after the overlay mutates.
+func (o *Overlay) Flatten() *Topology {
+	n := len(o.nodes)
+	t := &Topology{
+		N:        n,
+		Kind:     make([]NodeKind, n),
+		Dec:      make([]Decision, n),
+		Dead:     make([]bool, n),
+		OutOff:   make([]int32, n+1),
+		InOff:    make([]int32, n+1),
+		WriterOf: make(map[graph.NodeID]NodeRef, len(o.writerOf)),
+		ReaderOf: make(map[graph.NodeID]NodeRef, len(o.readerOf)),
+	}
+	outTotal, inTotal := 0, 0
+	for i := range o.nodes {
+		nd := &o.nodes[i]
+		t.Kind[i] = nd.Kind
+		t.Dec[i] = nd.Dec
+		t.Dead[i] = nd.dead
+		outTotal += len(nd.Out)
+		inTotal += len(nd.In)
+	}
+	t.Out = make([]int32, 0, outTotal)
+	t.In = make([]int32, 0, inTotal)
+	for i := range o.nodes {
+		nd := &o.nodes[i]
+		t.OutOff[i] = int32(len(t.Out))
+		for _, e := range nd.Out {
+			t.Out = append(t.Out, PackRef(e.Peer, e.Negative))
+		}
+		t.InOff[i] = int32(len(t.In))
+		for _, e := range nd.In {
+			t.In = append(t.In, PackRef(e.Peer, e.Negative))
+		}
+		if !nd.dead && nd.Kind == WriterNode {
+			t.Writers = append(t.Writers, NodeRef(i))
+		}
+	}
+	t.OutOff[n] = int32(len(t.Out))
+	t.InOff[n] = int32(len(t.In))
+	for k, v := range o.writerOf {
+		t.WriterOf[k] = v
+	}
+	for k, v := range o.readerOf {
+		t.ReaderOf[k] = v
+	}
+	return t
+}
+
+// OutEdges returns node r's packed out-edges.
+func (t *Topology) OutEdges(r NodeRef) []int32 { return t.Out[t.OutOff[r]:t.OutOff[r+1]] }
+
+// InEdges returns node r's packed in-edges.
+func (t *Topology) InEdges(r NodeRef) []int32 { return t.In[t.InOff[r]:t.InOff[r+1]] }

@@ -3,6 +3,7 @@
 // service:
 //
 //	POST /write      {"node":1,"value":42,"ts":7}       ingest a write
+//	POST /write-batch [{"node":1,"value":42,"ts":7},…]   parallel batched ingest
 //	GET  /read?node=1                                    evaluate the query
 //	POST /edge       {"from":1,"to":2}                   structural add
 //	DELETE /edge?from=1&to=2                             structural delete
@@ -35,6 +36,7 @@ type Server struct {
 func New(sys *core.System) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/write", s.handleWrite)
+	s.mux.HandleFunc("/write-batch", s.handleWriteBatch)
 	s.mux.HandleFunc("/read", s.handleRead)
 	s.mux.HandleFunc("/edge", s.handleEdge)
 	s.mux.HandleFunc("/node", s.handleNode)
@@ -82,6 +84,28 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writes.Add(1)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWriteBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var reqs []writeReq
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	events := make([]graph.Event, len(reqs))
+	for i, req := range reqs {
+		events[i] = graph.Event{Kind: graph.ContentWrite, Node: req.Node, Value: req.Value, TS: req.TS}
+	}
+	if err := s.sys.WriteBatch(events); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writes.Add(int64(len(events)))
+	writeJSON(w, map[string]int{"accepted": len(events)})
 }
 
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {

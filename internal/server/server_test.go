@@ -80,6 +80,29 @@ func TestWriteThenRead(t *testing.T) {
 	}
 }
 
+func TestWriteBatchThenRead(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/write-batch", []map[string]any{
+		{"node": 1, "value": 10, "ts": 1},
+		{"node": 2, "value": 32, "ts": 2},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write-batch status = %d", resp.StatusCode)
+	}
+	out := decode[map[string]int](t, resp)
+	if out["accepted"] != 2 {
+		t.Fatalf("accepted = %v, want 2", out)
+	}
+	rresp, err := http.Get(ts.URL + "/read?node=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode[map[string]any](t, rresp)
+	if got["scalar"].(float64) != 42 {
+		t.Fatalf("read after batch = %v, want 42", got)
+	}
+}
+
 func TestReadErrors(t *testing.T) {
 	ts := testServer(t)
 	resp, _ := http.Get(ts.URL + "/read")
@@ -188,6 +211,7 @@ func TestMethodChecks(t *testing.T) {
 		method, path string
 	}{
 		{http.MethodGet, "/write"},
+		{http.MethodGet, "/write-batch"},
 		{http.MethodPost, "/read"},
 		{http.MethodGet, "/rebalance"},
 		{http.MethodPost, "/stats"},
