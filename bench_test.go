@@ -173,6 +173,19 @@ func BenchmarkOpWriteBatch1(b *testing.B) { benchWriteBatch(b, 1) }
 func BenchmarkOpWriteBatch4(b *testing.B) { benchWriteBatch(b, 4) }
 func BenchmarkOpWriteBatch8(b *testing.B) { benchWriteBatch(b, 8) }
 
+// benchPullRead measures non-scalar on-demand reads (the pooled PAO arena
+// path) on an all-pull overlay, via ReadInto with a retained result.
+func benchPullRead(b *testing.B, a agg.Aggregate) {
+	eng, reads, err := benchfix.PullReadEngine(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchfix.RunReads(b, eng, reads)
+}
+
+func BenchmarkOpMaxPullRead(b *testing.B)  { benchPullRead(b, agg.Max{}) }
+func BenchmarkOpTopKPullRead(b *testing.B) { benchPullRead(b, agg.TopK{K: 3}) }
+
 func BenchmarkOpSumDataflow(b *testing.B) { benchOps(b, construct.AlgVNMA, "dataflow", agg.Sum{}) }
 func BenchmarkOpSumAllPush(b *testing.B)  { benchOps(b, "baseline", "push", agg.Sum{}) }
 func BenchmarkOpSumAllPull(b *testing.B)  { benchOps(b, "baseline", "pull", agg.Sum{}) }

@@ -1,7 +1,7 @@
 // Command eagr-bench regenerates the paper's evaluation tables and figures
 // (§5). Each experiment prints the same series the corresponding figure
-// plots; EXPERIMENTS.md records how the measured shapes compare to the
-// paper's.
+// plots; every table's notes line records the shape the paper's published
+// results show, so runs are self-checking.
 //
 // Usage:
 //

@@ -212,6 +212,12 @@ func (s *System) WriteBatch(events []Event) error {
 // Read returns the current value of the standing query at v.
 func (s *System) Read(v NodeID) (Result, error) { return s.inner.Read(v) }
 
+// ReadInto evaluates the standing query at v into a caller-provided result.
+// List-valued answers (TOP-K) reuse res.List's backing array when capacity
+// allows, so a hot read loop that retains res allocates nothing; *res is
+// overwritten on every call.
+func (s *System) ReadInto(v NodeID, res *Result) error { return s.inner.ReadInto(v, res) }
+
 // AddEdge applies a structural edge addition u→v (v's ego network gains u
 // under the default neighborhood) and incrementally repairs the overlay.
 func (s *System) AddEdge(u, v NodeID) error { return s.inner.AddGraphEdge(u, v) }
@@ -227,6 +233,9 @@ func (s *System) RemoveNode(v NodeID) error { return s.inner.RemoveGraphNode(v) 
 
 // Rebalance applies the adaptive dataflow scheme (§4.8) using the activity
 // observed since the last call, returning the number of decision flips.
+// Rebalancing is fully online: concurrent Write/WriteBatch/Read traffic
+// keeps flowing while flipped decisions are resynchronized (the engine
+// replays concurrently applied deltas across its snapshot cutover).
 func (s *System) Rebalance() (int, error) { return s.inner.Rebalance() }
 
 // Stats summarizes the compiled system.

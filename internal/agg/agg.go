@@ -110,6 +110,18 @@ type Aggregate interface {
 	Props() Properties
 }
 
+// IntoFinalizer is implemented by PAOs of list-valued aggregates (TOP-K)
+// that can write their answer into a caller-provided buffer. FinalizeInto
+// behaves exactly like Finalize but reuses buf's backing array for
+// Result.List when its capacity suffices, so steady-state reads through
+// Engine.ReadInto allocate nothing. buf may be nil (Finalize is equivalent
+// to FinalizeInto(nil)). Like every PAO method it is not safe for
+// concurrent use; the engine calls it under the owning node's lock or on
+// arena-private PAOs.
+type IntoFinalizer interface {
+	FinalizeInto(buf []int64) Result
+}
+
 // ScalarAggregate is implemented by invertible scalar aggregates whose
 // entire PAO state is the pair (sum, n) — the running sum of in-window
 // values and the number of contributions. The execution engine maintains

@@ -55,12 +55,16 @@ func (p *extremumPAO) addElem(v int64) {
 	heap.Push(&p.heap, v)
 }
 
+// removeElem tolerates a removal arriving before its matching addition
+// (multiplicity transiently negative): during an online resync, delta
+// replay may apply an expiry to downstream state before the addition it
+// cancels. The multiset converges once both sides have been applied.
 func (p *extremumPAO) removeElem(v int64) {
 	p.init()
-	if p.counts[v] <= 1 {
+	if c := p.counts[v] - 1; c == 0 {
 		delete(p.counts, v)
 	} else {
-		p.counts[v]--
+		p.counts[v] = c
 	}
 	p.size--
 	// Heap entries are cleaned lazily in top().
@@ -68,7 +72,7 @@ func (p *extremumPAO) removeElem(v int64) {
 
 // top returns the current extremum, discarding stale heap entries.
 func (p *extremumPAO) top() (int64, bool) {
-	if p.size == 0 {
+	if p.size <= 0 {
 		return 0, false
 	}
 	for p.heap.Len() > 0 {
@@ -107,9 +111,11 @@ func (p *extremumPAO) Finalize() Result {
 	return Result{Scalar: v, Valid: ok}
 }
 
+// Reset clears the multiset in place (map buckets and heap backing array
+// retained), so a pooled PAO is reusable without allocation.
 func (p *extremumPAO) Reset() {
-	p.counts = nil
-	p.heap = int64Heap{max: p.max}
+	clear(p.counts)
+	p.heap.vals = p.heap.vals[:0]
 	p.size = 0
 }
 

@@ -1,6 +1,6 @@
 package agg
 
-import "sort"
+import "slices"
 
 // TopK is the built-in TOP-K aggregate of the paper: the k most frequent
 // values among the inputs (a generalization of mode, not of max — §5.1,
@@ -29,11 +29,20 @@ func (t TopK) NewPAO() PAO {
 }
 
 // topkPAO maintains exact frequencies of the values it has aggregated.
+// Reset clears the frequency map in place and Finalize sorts through a
+// retained scratch slice, so a pooled topkPAO reaches a steady state where
+// neither maintenance nor finalization allocates (FinalizeInto also reuses
+// the caller's result buffer).
 type topkPAO struct {
 	k     int
 	freq  map[int64]int64
 	total int64
+	// scratch is the reusable sort buffer of FinalizeInto.
+	scratch []valCount
 }
+
+// valCount pairs a value with its frequency for the finalize sort.
+type valCount struct{ v, c int64 }
 
 func (p *topkPAO) init() {
 	if p.freq == nil {
@@ -93,39 +102,61 @@ func (p *topkPAO) Replace(old, new PAO) { replaceViaUnmerge(p, old, new) }
 
 // Finalize returns the k most frequent values, most frequent first; ties
 // break toward the smaller value for determinism.
-func (p *topkPAO) Finalize() Result {
-	if p.total <= 0 || len(p.freq) == 0 {
-		return Result{List: []int64{}, Valid: false}
+func (p *topkPAO) Finalize() Result { return p.FinalizeInto(nil) }
+
+// FinalizeInto implements IntoFinalizer: like Finalize, but the answer list
+// is appended into buf[:0] so callers that retain a result buffer read
+// without allocating.
+func (p *topkPAO) FinalizeInto(buf []int64) Result {
+	empty := func() Result {
+		if buf == nil {
+			return Result{List: []int64{}, Valid: false}
+		}
+		return Result{List: buf[:0], Valid: false}
 	}
-	type vc struct{ v, c int64 }
-	all := make([]vc, 0, len(p.freq))
+	if p.total <= 0 || len(p.freq) == 0 {
+		return empty()
+	}
+	all := p.scratch[:0]
 	for v, c := range p.freq {
 		if c > 0 {
-			all = append(all, vc{v, c})
+			all = append(all, valCount{v, c})
 		}
 	}
+	p.scratch = all
 	if len(all) == 0 {
-		return Result{List: []int64{}, Valid: false}
+		return empty()
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].c != all[j].c {
-			return all[i].c > all[j].c
+	slices.SortFunc(all, func(a, b valCount) int {
+		switch {
+		case a.c != b.c:
+			if a.c > b.c {
+				return -1
+			}
+			return 1
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
 		}
-		return all[i].v < all[j].v
 	})
 	n := p.k
 	if n > len(all) {
 		n = len(all)
 	}
-	out := make([]int64, n)
+	out := buf[:0]
 	for i := 0; i < n; i++ {
-		out[i] = all[i].v
+		out = append(out, all[i].v)
 	}
 	return Result{List: out, Valid: true}
 }
 
+// Reset clears the frequencies in place, retaining map buckets and the sort
+// scratch so a pooled PAO is reusable without allocation.
 func (p *topkPAO) Reset() {
-	p.freq = nil
+	clear(p.freq)
 	p.total = 0
 }
 
@@ -223,7 +254,8 @@ func (p *distinctPAO) Finalize() Result {
 	return Result{Scalar: n, Valid: true}
 }
 
-func (p *distinctPAO) Reset() { p.freq = nil }
+// Reset clears the frequencies in place (buckets retained for pooled reuse).
+func (p *distinctPAO) Reset() { clear(p.freq) }
 
 func (p *distinctPAO) Clone() PAO {
 	c := &distinctPAO{}

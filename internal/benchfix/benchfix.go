@@ -68,6 +68,47 @@ func Writes(events []graph.Event) []graph.Event {
 	return out
 }
 
+// PullReadEngine builds the pull-read fixture behind the OpPullRead*
+// micro-benchmarks: the standard 2000-node social graph with all-pull
+// decisions (every read evaluates its subtree on demand), pre-loaded with
+// one pass of the fixture's writes. It returns the engine and the read
+// events to measure.
+func PullReadEngine(a agg.Aggregate) (*exec.Engine, []graph.Event, error) {
+	eng, events, err := MicroEngine("baseline", "pull", a)
+	if err != nil {
+		return nil, nil, err
+	}
+	var reads []graph.Event
+	for _, ev := range events {
+		if ev.Kind == graph.Read {
+			reads = append(reads, ev)
+		} else if ev.Kind == graph.ContentWrite {
+			if err := eng.Write(ev.Node, ev.Value, ev.TS); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return eng, reads, nil
+}
+
+// RunReads is the pull-read measurement loop behind the OpPullRead*
+// benchmarks: it drives ReadInto with one retained result buffer, the way
+// a hot reader loop would, so the reported allocs/op isolate the engine's
+// pull evaluation (PAO arena) rather than result marshalling.
+func RunReads(b *testing.B, eng *exec.Engine, reads []graph.Event) {
+	if len(reads) == 0 {
+		b.Fatal("benchfix: no reads in fixture")
+	}
+	var res agg.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.ReadInto(reads[i%len(reads)].Node, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // RunMixed is the mixed read/write measurement loop behind BenchmarkOp*.
 func RunMixed(b *testing.B, eng *exec.Engine, events []graph.Event) {
 	b.ReportAllocs()

@@ -15,6 +15,13 @@ import (
 // The maintainer requires a duplicate-free overlay without negative edges
 // (the output of VNM, VNM_A, or IOB); overlays with duplicate paths or
 // negative edges must be recompiled instead.
+//
+// The maintainer mutates the overlay structure, so a single caller (the
+// core.System, under its structural mutex) must drive it; it is not safe
+// for concurrent use. Engine traffic, however, never reads the live
+// overlay: after a repair the caller republishes via exec.Engine.Grow +
+// ResyncPushState, and the resync replays concurrently ingested deltas, so
+// reads and writes keep flowing while structural repairs land.
 type Maintainer struct {
 	b *iobBuilder
 	// DirectThreshold is the paper's "prespecified threshold": deltas at

@@ -255,6 +255,13 @@ func (s *System) Read(v graph.NodeID) (agg.Result, error) {
 	return s.eng.Read(v)
 }
 
+// ReadInto evaluates the standing query at v into a caller-provided result,
+// reusing res.List's backing array for list-valued aggregates (TOP-K) so a
+// caller that retains res across calls reads without allocating.
+func (s *System) ReadInto(v graph.NodeID, res *agg.Result) error {
+	return s.eng.ReadInto(v, res)
+}
+
 // Engine exposes the underlying execution engine (for runners/benchmarks).
 func (s *System) Engine() *exec.Engine { return s.eng }
 
@@ -267,6 +274,12 @@ func (s *System) AG() *bipartite.AG { return s.ag }
 // Rebalance feeds the engine's observed push/pull counts to the adaptive
 // scheme and applies any frontier decision flips (§4.8), resynchronizing
 // push-side state when flips occurred. It returns the number of flips.
+//
+// The resynchronization is fully online: Write/WriteBatch/Read traffic may
+// keep flowing while Rebalance runs — concurrent deltas are captured in the
+// engine's epoch-tagged log and replayed across the snapshot cutover, so
+// adaptive re-optimization never pauses ingestion. Rebalance serializes
+// only with other structural operations (mutations, Reoptimize).
 func (s *System) Rebalance() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

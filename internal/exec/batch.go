@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/graph"
 	"repro/internal/overlay"
 )
@@ -18,7 +19,11 @@ const minParallelBatch = 64
 // overlay slot, so each writer's updates are applied in batch order (the
 // paper's per-node micro-task queues) while distinct writers proceed in
 // parallel. Non-write events in the batch are skipped. Safe for concurrent
-// use with Write, Read and other WriteBatch calls.
+// use with Write, Read, other WriteBatch calls, and — like every ingest
+// path — with an in-flight Grow or online ResyncPushState: each write
+// applies to the snapshot current at its writer-lock acquisition (a batch
+// straddling a cutover may span two generations) and its deltas are
+// epoch-logged across the resync, so none is lost or double-applied.
 func (e *Engine) WriteBatch(events []graph.Event) error {
 	return e.WriteBatchWorkers(events, runtime.GOMAXPROCS(0))
 }
@@ -84,6 +89,8 @@ func shardOf(st *engineState, v graph.NodeID) uint32 {
 
 // WriterShard exposes the sharding key used by WriteBatch so external
 // routers (e.g. the Runner's write pool) can partition events consistently.
+// Safe for concurrent use; the key is stable for a given node across
+// snapshot generations as long as the overlay keeps the writer slot.
 func (e *Engine) WriterShard(v graph.NodeID) uint32 {
 	return shardOf(e.state.Load(), v)
 }
@@ -93,7 +100,9 @@ func (e *Engine) WriterShard(v graph.NodeID) uint32 {
 // reads execute in parallel across the same number of workers. This is the
 // quasi-continuous batched execution mode the parallelism experiments
 // (Figure 13d) measure; unlike Runner it has no queues, so throughput
-// reflects the engine's parallel ingest capacity directly.
+// reflects the engine's parallel ingest capacity directly. Each micro-batch
+// pins the then-current snapshot, so PlayBatched may run concurrently with
+// an online ResyncPushState.
 func PlayBatched(eng *Engine, events []graph.Event, workers, batchSize int) Stats {
 	if workers < 1 {
 		workers = 1
@@ -101,7 +110,6 @@ func PlayBatched(eng *Engine, events []graph.Event, workers, batchSize int) Stat
 	if batchSize < 1 {
 		batchSize = 1024
 	}
-	st := eng.state.Load()
 	w0, r0 := eng.Counts()
 	writesBuf := make([]graph.Event, 0, batchSize)
 	readsBuf := make([]graph.Event, 0, batchSize)
@@ -119,11 +127,12 @@ func PlayBatched(eng *Engine, events []graph.Event, workers, batchSize int) Stat
 				writesBuf = append(writesBuf, ev)
 			}
 		}
-		_ = eng.writeBatchOn(st, writesBuf, workers)
+		_ = eng.WriteBatchWorkers(writesBuf, workers)
 		if len(readsBuf) > 0 {
 			if workers == 1 || len(readsBuf) < minParallelBatch {
+				var res agg.Result
 				for _, ev := range readsBuf {
-					_, _ = eng.readOn(st, ev.Node)
+					_ = eng.ReadInto(ev.Node, &res)
 				}
 			} else {
 				var wg sync.WaitGroup
@@ -131,8 +140,9 @@ func PlayBatched(eng *Engine, events []graph.Event, workers, batchSize int) Stat
 					wg.Add(1)
 					go func(p int) {
 						defer wg.Done()
+						var res agg.Result
 						for i := p; i < len(readsBuf); i += workers {
-							_, _ = eng.readOn(st, readsBuf[i].Node)
+							_ = eng.ReadInto(readsBuf[i].Node, &res)
 						}
 					}(p)
 				}

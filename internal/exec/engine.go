@@ -26,19 +26,29 @@
 // pair of atomic counters (sum, n), writes apply atomic adds along the
 // compiled closure, and reads (push or pull) assemble results from atomic
 // loads without allocating. Non-scalar aggregates (MAX, TOP-K, DISTINCT)
-// keep the per-node mutex + PAO path, still driven by the compiled plan.
+// keep the per-node mutex + PAO path, still driven by the compiled plan;
+// their pull reads draw working PAOs from a pooled arena and finalize into
+// caller-provided buffers (ReadInto), so steady-state reads of every
+// built-in aggregate are allocation-free too.
 //
-// # Engine state snapshots
+// # Engine state snapshots and epochs
 //
-// All mutable engine state lives in an atomically swapped snapshot
-// (per-node sync cells are shared between snapshots so locks and counters
-// stay stable). Grow and ResyncPushState build a new snapshot and publish
-// it with a single atomic store, which makes overlay growth race-detector
-// clean against in-flight reads and writes: operations that began on the
-// old snapshot finish on it. Correctness of ResyncPushState still requires
-// write quiescence (it rebuilds push-side state from the writer windows),
-// and the overlay itself must not be mutated concurrently with the
-// Grow/Resync call that flattens it.
+// All mutable engine state lives in an atomically swapped snapshot tagged
+// with a monotonically increasing epoch (per-node sync cells — locks and
+// observation counters — are shared between snapshots so they keep their
+// identity). Grow and ResyncPushState build a new snapshot and publish it
+// with a single atomic store, which makes overlay growth and decision
+// resynchronization race-detector clean against in-flight reads and
+// writes: operations that began on an older snapshot finish on it, and
+// every snapshot a reader can observe is internally consistent.
+//
+// ResyncPushState is fully online (no write quiescence): while it rebuilds
+// push-side value state against a frozen per-writer cut, concurrent writes
+// append epoch-tagged deltas to a log which the resync replays into the new
+// snapshot before and after the atomic cutover (see resync.go for the
+// protocol). The overlay itself must still not be mutated concurrently with
+// the Grow/Resync call that flattens it; rebuilds are serialized among
+// themselves by an internal mutex.
 //
 // # Batched parallel ingestion
 //
@@ -65,7 +75,10 @@ import (
 // ingest raw values at writer nodes and propagate deltas through the push
 // region; reads merge push-side PAOs and compute pull subtrees on demand.
 //
-// All public methods are safe for concurrent use.
+// All public methods are safe for concurrent use, with one structural
+// caveat: the overlay underlying the engine must not be mutated
+// concurrently with a Grow or ResyncPushState call (which flatten it).
+// Write/WriteBatch/Read/ExpireAll traffic may flow freely during both.
 type Engine struct {
 	ov     *overlay.Overlay
 	agg    agg.Aggregate
@@ -74,36 +87,60 @@ type Engine struct {
 
 	// state is the current compiled-plan + per-node-state snapshot.
 	state atomic.Pointer[engineState]
+	// log, when non-nil, is the epoch-tagged delta log an in-progress
+	// online ResyncPushState is capturing (resync.go). Writers check it
+	// under their node's mutex.
+	log atomic.Pointer[deltaLog]
+	// rebuildMu serializes snapshot rebuilds (Grow, ResyncPushState)
+	// against each other. It is never taken on the read/write hot paths.
+	rebuildMu sync.Mutex
 
 	writes atomic.Int64
 	reads  atomic.Int64
 
-	// scratch pools per-write buffers (expiry recorder, delta slice).
-	scratch sync.Pool
+	// scratch pools per-write buffers (expiry recorder, delta slice);
+	// readPool pools per-read PAO arenas for non-scalar pull evaluation.
+	scratch  sync.Pool
+	readPool sync.Pool
 }
 
-// engineState is one generation of engine state. The slices are immutable
-// after publication; nodes entries are shared across generations so mutexes
-// and counters keep their identity when the overlay grows.
+// engineState is one generation of engine state, identified by epoch. The
+// slices are immutable after publication; nodes entries are shared across
+// generations so mutexes and counters keep their identity when the overlay
+// grows, while scalars/paos value state is shared on Grow but rebuilt fresh
+// by ResyncPushState (readers on an old snapshot keep seeing coherent
+// pre-resync values until the cutover).
 type engineState struct {
+	// epoch increases by one with every published snapshot. Delta-log
+	// entries record the epoch of the snapshot they were applied to, which
+	// is how the resync replay distinguishes pre-cutover deltas (to be
+	// replayed into the new snapshot) from post-cutover deltas (already
+	// applied directly to it).
+	epoch   uint64
 	plan    *plan
-	nodes   []*nodeState
-	paos    []agg.PAO    // nil in scalar mode; per-node PAOs otherwise
-	windows []agg.Window // writer nodes only
+	nodes   []*nodeState  // shared sync/observation cells, one per slot
+	scalars []*scalarCell // scalar-mode partial state; nil in PAO mode
+	paos    []agg.PAO     // PAO-mode partial state; nil entries in scalar mode
+	windows []agg.Window  // writer nodes only
 }
 
-// nodeState carries one overlay node's synchronization and counters. It is
-// allocated once per node and shared by every snapshot that contains the
-// node, so a goroutine operating on an older snapshot still contends on the
-// same mutex and publishes to the same counters.
+// nodeState carries one overlay node's synchronization and observation
+// counters. It is allocated once per node slot and shared by every snapshot
+// that contains the slot, so a goroutine operating on an older snapshot
+// still contends on the same mutex and publishes to the same counters.
 type nodeState struct {
 	mu      sync.Mutex
 	pushObs atomic.Int64
 	pullObs atomic.Int64
-	// sum/cnt are the node's partial aggregate in scalar mode: the running
-	// sum of contributions and their count. A torn read across the pair is
-	// possible mid-write; that is the bounded staleness the queueing model
-	// already admits.
+}
+
+// scalarCell is one overlay node's partial aggregate in scalar mode: the
+// running sum of contributions and their count. A torn read across the pair
+// is possible mid-write; that is the bounded staleness the queueing model
+// already admits. Cells are shared between snapshots on Grow and rebuilt
+// fresh by ResyncPushState, so a resync never exposes half-rebuilt values
+// to readers of either generation.
+type scalarCell struct {
 	sum atomic.Int64
 	cnt atomic.Int64
 }
@@ -123,6 +160,7 @@ func New(ov *overlay.Overlay, a agg.Aggregate, window agg.Window) (*Engine, erro
 		e.scalar = sa
 	}
 	e.scratch.New = func() any { return &writeScratch{} }
+	e.readPool.New = func() any { return &readScratch{} }
 	e.state.Store(e.buildState(nil, window))
 	return e, nil
 }
@@ -138,13 +176,25 @@ func (e *Engine) buildState(prev *engineState, window agg.Window) *engineState {
 		paos:    make([]agg.PAO, n),
 		windows: make([]agg.Window, n),
 	}
+	if e.scalar != nil {
+		st.scalars = make([]*scalarCell, n)
+	}
+	if prev != nil {
+		st.epoch = prev.epoch + 1
+	}
 	for i := 0; i < n; i++ {
 		if prev != nil && i < len(prev.nodes) {
 			st.nodes[i] = prev.nodes[i]
 			st.paos[i] = prev.paos[i]
 			st.windows[i] = prev.windows[i]
+			if e.scalar != nil {
+				st.scalars[i] = prev.scalars[i]
+			}
 		} else {
 			st.nodes[i] = &nodeState{}
+		}
+		if e.scalar != nil && st.scalars[i] == nil {
+			st.scalars[i] = &scalarCell{}
 		}
 		if pl.top.Dead[i] {
 			continue
@@ -218,13 +268,60 @@ func (e *Engine) putScratch(ws *writeScratch) {
 	e.scratch.Put(ws)
 }
 
+// readScratch is the pooled PAO arena of one non-scalar pull read: every
+// PAO the pull evaluation materializes comes from here, is Reset in place
+// on reuse (built-in PAOs retain their map buckets and slices across
+// Reset), and returns to the arena when the read finishes — so the
+// steady-state pull-read path for MAX/TOP-K/DISTINCT performs zero heap
+// allocations. An arena is private to one read; the pool hands it to one
+// goroutine at a time.
+type readScratch struct {
+	paos []agg.PAO
+	used int
+}
+
+// next returns a reset, arena-owned PAO, growing the arena on first use.
+func (rs *readScratch) next(a agg.Aggregate) agg.PAO {
+	if rs.used < len(rs.paos) {
+		p := rs.paos[rs.used]
+		rs.used++
+		p.Reset()
+		return p
+	}
+	p := a.NewPAO()
+	rs.paos = append(rs.paos, p)
+	rs.used++
+	return p
+}
+
+func (e *Engine) getReadScratch() *readScratch { return e.readPool.Get().(*readScratch) }
+
+func (e *Engine) putReadScratch(rs *readScratch) {
+	rs.used = 0
+	e.readPool.Put(rs)
+}
+
+// finalizePAO finalizes p, steering list-valued results into buf when the
+// PAO supports it (agg.IntoFinalizer); buf may be nil.
+func finalizePAO(p agg.PAO, buf []int64) agg.Result {
+	if f, ok := p.(agg.IntoFinalizer); ok {
+		return f.FinalizeInto(buf)
+	}
+	return p.Finalize()
+}
+
 // Write ingests a content update on data-graph node v (a "write on v") and
 // synchronously propagates it through the push region of the overlay.
 func (e *Engine) Write(v graph.NodeID, value int64, ts int64) error {
 	return e.writeOn(e.state.Load(), v, value, ts)
 }
 
-// writeOn executes one write against a fixed snapshot.
+// writeOn executes one write. st is the caller's pinned snapshot (used for
+// the writer lookup); the state actually mutated is re-resolved under the
+// writer's mutex, which is the write-side fence of the online resync: after
+// a cutover, the first lock acquisition per writer observes the new
+// snapshot, so deltas tagged with pre-cutover epochs can only be appended
+// before the resync's post-cutover drain locks that writer (resync.go).
 func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64) error {
 	wref := st.plan.writer(v)
 	if wref == overlay.NoNode {
@@ -236,6 +333,9 @@ func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64)
 	ws := e.getScratch()
 	ns := st.nodes[wref]
 	ns.mu.Lock()
+	// Sync cells are shared and node slots only grow, so wref and ns stay
+	// valid in any newer snapshot observed here.
+	st = e.state.Load()
 	ws.rec.target = st.paos[wref]
 	ws.rec.removed = ws.rec.removed[:0]
 	st.windows[wref].Add(&ws.rec, value, ts)
@@ -245,13 +345,21 @@ func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64)
 		for _, r := range removed {
 			remSum += r
 		}
-		ns.sum.Add(value - remSum)
-		ns.cnt.Add(1 - int64(len(removed)))
+		dSum, dCnt := value-remSum, 1-int64(len(removed))
+		cell := st.scalars[wref]
+		cell.sum.Add(dSum)
+		cell.cnt.Add(dCnt)
+		if lg := e.log.Load(); lg != nil {
+			lg.record(wref, deltaRec{epoch: st.epoch, dSum: dSum, dCnt: dCnt})
+		}
 		ns.mu.Unlock()
 		ns.pushObs.Add(1)
 		e.writes.Add(1)
-		e.propagateScalar(st, wref, value-remSum, 1-int64(len(removed)))
+		e.propagateScalar(st, wref, dSum, dCnt)
 	} else {
+		if lg := e.log.Load(); lg != nil {
+			lg.record(wref, paoDelta(st.epoch, value, true, removed))
+		}
 		ns.mu.Unlock()
 		ns.pushObs.Add(1)
 		e.writes.Add(1)
@@ -293,26 +401,37 @@ func (e *Engine) propagate(st *engineState, wref overlay.NodeRef, add, remove []
 func (e *Engine) propagateScalar(st *engineState, wref overlay.NodeRef, dSum, dCnt int64) {
 	for _, pe := range st.plan.closure[wref] {
 		ref, neg := overlay.UnpackRef(pe)
-		ns := st.nodes[ref]
+		cell := st.scalars[ref]
 		if neg {
-			ns.sum.Add(-dSum)
-			ns.cnt.Add(-dCnt)
+			cell.sum.Add(-dSum)
+			cell.cnt.Add(-dCnt)
 		} else {
-			ns.sum.Add(dSum)
-			ns.cnt.Add(dCnt)
+			cell.sum.Add(dSum)
+			cell.cnt.Add(dCnt)
 		}
-		ns.pushObs.Add(1)
+		st.nodes[ref].pushObs.Add(1)
 	}
 }
 
 // Read evaluates the standing query at data-graph node v (a "read on v")
 // and returns the aggregate over N(v).
 func (e *Engine) Read(v graph.NodeID) (agg.Result, error) {
-	return e.readOn(e.state.Load(), v)
+	return e.readOn(e.state.Load(), v, nil)
 }
 
-// readOn executes one read against a fixed snapshot.
-func (e *Engine) readOn(st *engineState, v graph.NodeID) (agg.Result, error) {
+// ReadInto is Read with a caller-provided result: list-valued answers
+// (TOP-K) reuse res.List's backing array when its capacity suffices, so a
+// caller that retains res across calls reads without allocating. On return
+// *res holds the new answer; its previous contents are overwritten.
+func (e *Engine) ReadInto(v graph.NodeID, res *agg.Result) error {
+	r, err := e.readOn(e.state.Load(), v, res.List)
+	*res = r
+	return err
+}
+
+// readOn executes one read against a fixed snapshot; buf, when non-nil, is
+// offered to the finalizer as the result-list backing array.
+func (e *Engine) readOn(st *engineState, v graph.NodeID, buf []int64) (agg.Result, error) {
 	rref := st.plan.reader(v)
 	if rref == overlay.NoNode {
 		return agg.Result{}, fmt.Errorf("exec: node %d has no reader in the overlay", v)
@@ -323,10 +442,11 @@ func (e *Engine) readOn(st *engineState, v graph.NodeID) (agg.Result, error) {
 		ns := st.nodes[rref]
 		var res agg.Result
 		if e.scalar != nil {
-			res = e.scalar.FinalizeScalar(ns.sum.Load(), ns.cnt.Load())
+			cell := st.scalars[rref]
+			res = e.scalar.FinalizeScalar(cell.sum.Load(), cell.cnt.Load())
 		} else {
 			ns.mu.Lock()
-			res = st.paos[rref].Finalize()
+			res = finalizePAO(st.paos[rref], buf)
 			ns.mu.Unlock()
 		}
 		ns.pullObs.Add(1)
@@ -336,7 +456,10 @@ func (e *Engine) readOn(st *engineState, v graph.NodeID) (agg.Result, error) {
 		sum, n := e.pullScalar(st, rref)
 		return e.scalar.FinalizeScalar(sum, n), nil
 	}
-	return e.computePull(st, rref).Finalize(), nil
+	rs := e.getReadScratch()
+	res := finalizePAO(e.computePull(st, rref, rs), buf)
+	e.putReadScratch(rs)
+	return res, nil
 }
 
 // pullScalar evaluates a pull node on demand in scalar mode: walk the
@@ -349,9 +472,9 @@ func (e *Engine) pullScalar(st *engineState, ref overlay.NodeRef) (sum, n int64)
 		src, neg := overlay.UnpackRef(pe)
 		var s, c int64
 		if top.Dec[src] == overlay.Push {
-			ns := st.nodes[src]
-			s, c = ns.sum.Load(), ns.cnt.Load()
-			ns.pullObs.Add(1)
+			cell := st.scalars[src]
+			s, c = cell.sum.Load(), cell.cnt.Load()
+			st.nodes[src].pullObs.Add(1)
 		} else {
 			s, c = e.pullScalar(st, src)
 		}
@@ -369,10 +492,10 @@ func (e *Engine) pullScalar(st *engineState, ref overlay.NodeRef) (sum, n int64)
 // computePull evaluates a pull node on demand in mutex mode: merge
 // push-side inputs' PAOs, recurse into pull-side inputs (§2.2.2: "it issues
 // read requests on all its upstream overlay nodes, merges all the PAOs it
-// receives").
-func (e *Engine) computePull(st *engineState, ref overlay.NodeRef) agg.PAO {
+// receives"). Working PAOs come from the read's arena, never the heap.
+func (e *Engine) computePull(st *engineState, ref overlay.NodeRef, rs *readScratch) agg.PAO {
 	st.nodes[ref].pullObs.Add(1)
-	out := e.agg.NewPAO()
+	out := rs.next(e.agg)
 	top := st.plan.top
 	if top.Kind[ref] == overlay.WriterNode {
 		// A writer is always push; computePull on it only happens via
@@ -397,7 +520,7 @@ func (e *Engine) computePull(st *engineState, ref overlay.NodeRef) agg.PAO {
 			ns.pullObs.Add(1)
 			continue
 		}
-		child := e.computePull(st, src)
+		child := e.computePull(st, src, rs)
 		if neg {
 			out.Unmerge(child)
 		} else {
@@ -408,13 +531,18 @@ func (e *Engine) computePull(st *engineState, ref overlay.NodeRef) agg.PAO {
 }
 
 // ExpireAll advances time-based windows to ts at every writer, propagating
-// expirations through the push region. Tuple windows are unaffected.
+// expirations through the push region. Tuple windows are unaffected. Safe
+// for concurrent use with all other engine methods; expiry deltas are
+// logged like writes while an online resync is in flight.
 func (e *Engine) ExpireAll(ts int64) {
-	st := e.state.Load()
-	for _, wref := range st.plan.top.Writers {
+	pinned := e.state.Load()
+	for _, wref := range pinned.plan.top.Writers {
 		ws := e.getScratch()
-		ns := st.nodes[wref]
+		ns := pinned.nodes[wref]
 		ns.mu.Lock()
+		// Re-resolve under the writer's mutex — the resync fence, exactly
+		// as in writeOn.
+		st := e.state.Load()
 		ws.rec.target = st.paos[wref]
 		ws.rec.removed = ws.rec.removed[:0]
 		st.windows[wref].Expire(&ws.rec, ts)
@@ -424,8 +552,18 @@ func (e *Engine) ExpireAll(ts int64) {
 			for _, r := range removed {
 				remSum += r
 			}
-			ns.sum.Add(-remSum)
-			ns.cnt.Add(-int64(len(removed)))
+			cell := st.scalars[wref]
+			cell.sum.Add(-remSum)
+			cell.cnt.Add(-int64(len(removed)))
+		}
+		if len(removed) > 0 {
+			if lg := e.log.Load(); lg != nil {
+				if e.scalar != nil {
+					lg.record(wref, deltaRec{epoch: st.epoch, dSum: -remSum, dCnt: -int64(len(removed))})
+				} else {
+					lg.record(wref, paoDelta(st.epoch, 0, false, removed))
+				}
+			}
 		}
 		ns.mu.Unlock()
 		if len(removed) > 0 {
@@ -441,16 +579,19 @@ func (e *Engine) ExpireAll(ts int64) {
 
 // Grow recompiles the plan and resizes per-node state after the overlay
 // changed (e.g. through incremental maintenance or node splitting),
-// initializing state for any new slots. Existing writer windows, locks and
-// counters are preserved: per-node cells are shared between snapshots, so
-// in-flight reads and writes on the previous snapshot stay well-defined
-// (race-detector clean). The overlay itself must not be mutated
-// concurrently with this call. Callers should follow with ResyncPushState,
-// as restructuring may have changed what any partial node aggregates.
+// initializing state for any new slots. Existing writer windows, locks,
+// counters and value state are preserved: per-node cells are shared between
+// snapshots, so in-flight reads and writes on the previous snapshot stay
+// well-defined (race-detector clean). The overlay itself must not be
+// mutated concurrently with this call; Grow serializes with other Grow and
+// ResyncPushState calls. Callers should follow with ResyncPushState, as
+// restructuring may have changed what any partial node aggregates.
 func (e *Engine) Grow(window agg.Window) {
 	if window == nil {
 		window = agg.NewTupleWindow(1)
 	}
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
 	e.state.Store(e.buildState(e.state.Load(), window))
 }
 
@@ -460,7 +601,9 @@ func (e *Engine) Counts() (writes, reads int64) {
 }
 
 // Observations drains the per-node push/pull counters accumulated since the
-// last call, for feeding the adaptive scheme.
+// last call, for feeding the adaptive scheme. Safe for concurrent use; the
+// counters live in cells shared by all snapshot generations, so no
+// observation is lost across Grow or ResyncPushState.
 func (e *Engine) Observations() (pushes, pulls map[overlay.NodeRef]float64) {
 	st := e.state.Load()
 	pushes = make(map[overlay.NodeRef]float64)
@@ -474,60 +617,4 @@ func (e *Engine) Observations() (pushes, pulls map[overlay.NodeRef]float64) {
 		}
 	}
 	return pushes, pulls
-}
-
-// ResyncPushState recompiles the plan and rebuilds the partial state of
-// push aggregation nodes bottom-up from the writer windows. Call it after
-// dataflow decisions change (e.g. an adaptive rebalance flipped pull nodes
-// to push), while no writes are in flight.
-func (e *Engine) ResyncPushState() error {
-	if _, err := e.ov.TopoOrder(); err != nil {
-		return err
-	}
-	st := e.buildState(e.state.Load(), e.window)
-	top := st.plan.top
-	// Reset every non-writer node: push nodes get fresh state to replay
-	// into, pull nodes carry none. In scalar mode the replay happens in
-	// brand-new cells (writer cells and their mutexes keep their identity;
-	// non-writer cells are never locked), so readers on the previous
-	// snapshot keep seeing the coherent pre-resync values until the new
-	// snapshot is published below — never a half-rebuilt aggregate.
-	for i := 0; i < top.N; i++ {
-		if top.Dead[i] || top.Kind[i] == overlay.WriterNode {
-			continue
-		}
-		if e.scalar != nil {
-			old := st.nodes[i]
-			fresh := &nodeState{}
-			fresh.pushObs.Store(old.pushObs.Load())
-			fresh.pullObs.Store(old.pullObs.Load())
-			st.nodes[i] = fresh
-		} else if top.Dec[i] == overlay.Push {
-			st.paos[i] = e.agg.NewPAO()
-		} else {
-			st.paos[i] = nil
-		}
-	}
-	// Re-propagate writer window contents through the push region.
-	for _, wref := range top.Writers {
-		ns := st.nodes[wref]
-		ns.mu.Lock()
-		vals := st.windows[wref].Values()
-		ns.mu.Unlock()
-		if e.scalar != nil {
-			var sum int64
-			for _, v := range vals {
-				sum += v
-			}
-			ns.sum.Store(sum)
-			ns.cnt.Store(int64(len(vals)))
-			if len(vals) > 0 {
-				e.propagateScalar(st, wref, sum, int64(len(vals)))
-			}
-		} else if len(vals) > 0 {
-			e.propagate(st, wref, vals, nil)
-		}
-	}
-	e.state.Store(st)
-	return nil
 }

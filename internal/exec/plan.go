@@ -21,6 +21,10 @@ import (
 // Closure entries replicate traversal multiplicity on purpose: overlays with
 // duplicate writer→reader paths (legal for duplicate-insensitive aggregates)
 // must apply a delta once per traversed edge, exactly as the BFS did.
+//
+// A plan is immutable after compilePlan returns and is shared by every
+// goroutine holding the snapshot that owns it; no synchronization is needed
+// to read it.
 type plan struct {
 	top *overlay.Topology
 	// closure[w] is writer w's packed push-region application list.

@@ -1,0 +1,226 @@
+package exec
+
+// Online, epoch-tagged resynchronization of push-side state (paper §6:
+// adaptive re-optimization must proceed while the update stream keeps
+// flowing). ResyncPushState rebuilds every push node's partial aggregate
+// from the writer windows WITHOUT quiescing writes:
+//
+//  1. A delta log is installed (e.log). From that point on, every applied
+//     write or expiry delta is appended — under the writer's mutex the
+//     write path already holds — tagged with the epoch of the snapshot it
+//     was applied to.
+//  2. For each writer, under its mutex, the resync snapshots the window
+//     contents ("the frozen epoch") and records the log cut: deltas before
+//     the cut are already inside the snapshot, deltas after it are not.
+//  3. The scalar-state (or PAO-state) rebuild runs in the background
+//     against the frozen window contents, into value cells that only the
+//     new snapshot references — readers of the old snapshot keep seeing
+//     coherent pre-resync aggregates throughout.
+//  4. Deltas logged after each writer's cut are replayed into the new
+//     snapshot, then the snapshot is published with one atomic store (the
+//     cutover). Deltas from snapshots older than the cutover epoch are
+//     replayed; deltas tagged with the new epoch were applied directly by
+//     their writers and are skipped.
+//  5. A final drain pass locks each writer's mutex once more and replays
+//     the log tail, then uninstalls the log.
+//
+// Correctness rests on three facts. First, per-writer ordering: log
+// appends, window reads and the cut are all serialized by the writer's
+// mutex. Second, the mutex doubles as the cutover fence: the write path
+// re-resolves the current snapshot under the writer's mutex (engine.go
+// writeOn), and the cutover store happens-before the drain's lock of each
+// writer, which happens-before any later lock acquisition — so once the
+// drain has locked a writer, every subsequent write on it observes the new
+// snapshot and applies (and epoch-tags) its delta there directly; an
+// old-epoch delta can never appear after the drain has passed its writer.
+// Third, delta commutativity: replayed deltas and directly-applied
+// post-cutover deltas may interleave out of order downstream, but both
+// scalar (sum, n) pairs and the built-in PAO multisets tolerate reordered
+// add/remove pairs (multiplicities may go transiently negative and
+// converge). Readers therefore never observe half-rebuilt aggregates —
+// only the bounded staleness the queueing model already admits.
+
+import (
+	"repro/internal/overlay"
+)
+
+// deltaRec is one logged state delta: what a single write (or window
+// expiry) contributed to the snapshot tagged by epoch. Scalar mode uses
+// (dSum, dCnt); PAO mode uses the raw added value and the expired values.
+type deltaRec struct {
+	epoch      uint64
+	dSum, dCnt int64 // scalar-mode delta
+	add        int64 // PAO mode: the ingested value (valid when hasAdd)
+	hasAdd     bool
+	rem        []int64 // PAO mode: values the window expired (owned copy)
+}
+
+// paoDelta builds a PAO-mode log record, copying the expired values (the
+// caller's slice is pooled scratch). This is the only allocation the write
+// path can perform, and only while a resync is in flight.
+func paoDelta(epoch uint64, add int64, hasAdd bool, removed []int64) deltaRec {
+	rec := deltaRec{epoch: epoch, add: add, hasAdd: hasAdd}
+	if len(removed) > 0 {
+		rec.rem = append([]int64(nil), removed...)
+	}
+	return rec
+}
+
+// deltaLog is the per-writer delta log of one online resync. writers is
+// indexed by writer NodeRef; each entry is appended to and measured only
+// under that writer's nodeState mutex, so no additional synchronization is
+// needed and concurrent writers never contend with each other on the log.
+type deltaLog struct {
+	writers []writerLog
+}
+
+type writerLog struct {
+	recs []deltaRec
+}
+
+func newDeltaLog(n int) *deltaLog { return &deltaLog{writers: make([]writerLog, n)} }
+
+// record appends a delta for writer w. Caller holds w's nodeState mutex.
+func (lg *deltaLog) record(w overlay.NodeRef, rec deltaRec) {
+	lg.writers[w].recs = append(lg.writers[w].recs, rec)
+}
+
+// lenOf returns the current log length for writer w. Caller holds w's
+// nodeState mutex.
+func (lg *deltaLog) lenOf(w overlay.NodeRef) int { return len(lg.writers[w].recs) }
+
+// ResyncPushState recompiles the plan and rebuilds the partial state of
+// push aggregation nodes bottom-up from the writer windows. Call it after
+// dataflow decisions change (e.g. an adaptive rebalance flipped pull nodes
+// to push). The resync is fully online: Write, WriteBatch, Read and
+// ExpireAll may run concurrently throughout — concurrent deltas are
+// captured in an epoch-tagged log and replayed across the atomic cutover,
+// so no write is lost and readers never see a half-rebuilt aggregate. Only
+// structural overlay mutations must not run concurrently; concurrent
+// Grow/ResyncPushState calls serialize among themselves.
+func (e *Engine) ResyncPushState() error {
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+	if _, err := e.ov.TopoOrder(); err != nil {
+		return err
+	}
+	old := e.state.Load()
+	st := e.buildState(old, e.window)
+	top := st.plan.top
+	// Fresh value state for the rebuild. In scalar mode every slot gets a
+	// new cell (writers included: their base is re-derived from the
+	// window); in PAO mode writer PAOs stay shared — they are maintained
+	// together with the window under the writer's mutex and are already
+	// exact — while non-writer push nodes get empty PAOs to replay into
+	// and pull nodes carry none.
+	if e.scalar != nil {
+		for i := 0; i < top.N; i++ {
+			st.scalars[i] = &scalarCell{}
+		}
+	} else {
+		for i := 0; i < top.N; i++ {
+			if top.Dead[i] || top.Kind[i] == overlay.WriterNode {
+				continue
+			}
+			if top.Dec[i] == overlay.Push {
+				st.paos[i] = e.agg.NewPAO()
+			} else {
+				st.paos[i] = nil
+			}
+		}
+	}
+	// Install the delta log: from here on, every applied delta is
+	// recorded under its writer's mutex, tagged with its snapshot epoch.
+	nSlots := top.N
+	if n := len(old.plan.closure); n > nSlots {
+		nSlots = n
+	}
+	lg := newDeltaLog(nSlots)
+	e.log.Store(lg)
+	// Frozen-epoch rebuild: per writer, snapshot the window and the log
+	// cut under the writer's mutex, then rebuild its base contribution
+	// outside the lock. Writes serialized before the cut are inside the
+	// window snapshot; writes after it land in the log at/after the cut.
+	cuts := make([]int, nSlots)
+	for _, wref := range top.Writers {
+		ns := st.nodes[wref]
+		ns.mu.Lock()
+		vals := st.windows[wref].Values()
+		cuts[wref] = lg.lenOf(wref)
+		ns.mu.Unlock()
+		if e.scalar != nil {
+			var sum int64
+			for _, v := range vals {
+				sum += v
+			}
+			cell := st.scalars[wref]
+			cell.sum.Store(sum)
+			cell.cnt.Store(int64(len(vals)))
+			if len(vals) > 0 {
+				e.propagateScalar(st, wref, sum, int64(len(vals)))
+			}
+		} else if len(vals) > 0 {
+			e.propagate(st, wref, vals, nil)
+		}
+	}
+	// Catch-up replay, then the atomic cutover.
+	e.replayLog(st, lg, cuts)
+	e.state.Store(st)
+	// Final drain. replayLog locks every writer's mutex at least once
+	// after the cutover store above, which fences the write path: any
+	// write locking a writer after the drain visited it is guaranteed to
+	// observe the new snapshot (writeOn re-resolves under the mutex) and
+	// applies its delta there directly. Old-epoch tail deltas are all in
+	// the log by then and get replayed here exactly once.
+	e.replayLog(st, lg, cuts)
+	e.log.Store(nil)
+	return nil
+}
+
+// replayLog applies, into the new snapshot st, every logged delta at or
+// after each writer's cut that targeted a pre-cutover snapshot, advancing
+// the cuts in place so successive passes resume where the last stopped.
+// Deltas tagged with st's own epoch were applied directly by their writers
+// after the cutover and are skipped. Records are fetched under the writer's
+// mutex (appends happen there) and applied outside it; application is
+// commutative, so interleaving with concurrent post-cutover writes is safe.
+func (e *Engine) replayLog(st *engineState, lg *deltaLog, cuts []int) {
+	var addBuf [1]int64
+	for w := range lg.writers {
+		wref := overlay.NodeRef(w)
+		if int(wref) >= len(st.nodes) {
+			continue
+		}
+		ns := st.nodes[wref]
+		for {
+			ns.mu.Lock()
+			recs := lg.writers[w].recs
+			if cuts[w] >= len(recs) {
+				ns.mu.Unlock()
+				break
+			}
+			rec := recs[cuts[w]]
+			cuts[w]++
+			ns.mu.Unlock()
+			if rec.epoch == st.epoch {
+				continue
+			}
+			if e.scalar != nil {
+				cell := st.scalars[wref]
+				cell.sum.Add(rec.dSum)
+				cell.cnt.Add(rec.dCnt)
+				e.propagateScalar(st, wref, rec.dSum, rec.dCnt)
+			} else {
+				// The writer's own PAO is shared with the old snapshot and
+				// was updated by the original write; only the downstream
+				// push region needs the replay.
+				var add []int64
+				if rec.hasAdd {
+					addBuf[0] = rec.add
+					add = addBuf[:1]
+				}
+				e.propagate(st, wref, add, rec.rem)
+			}
+		}
+	}
+}

@@ -41,6 +41,8 @@ type Runner struct {
 }
 
 // NewRunner wraps an engine with pools of the given sizes (minimum 1 each).
+// Configure WriteWorkers/ReadWorkers/LatencySample before Start; they must
+// not change while the pools run.
 func NewRunner(eng *Engine, writeWorkers, readWorkers int) *Runner {
 	if writeWorkers < 1 {
 		writeWorkers = 1
@@ -56,7 +58,8 @@ func NewRunner(eng *Engine, writeWorkers, readWorkers int) *Runner {
 	}
 }
 
-// Start launches the worker pools.
+// Start launches the worker pools. Call it once per run, before any
+// Submit; a Runner is not restartable after Stop (create a new one).
 func (r *Runner) Start() {
 	r.writeChs = make([]chan graph.Event, r.WriteWorkers)
 	r.readCh = make(chan graph.Event, 4096)
@@ -78,6 +81,9 @@ func (r *Runner) Start() {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
+			// res is reused across this worker's reads (ReadInto), so
+			// list-valued aggregates don't allocate per read.
+			var res agg.Result
 			for ev := range r.readCh {
 				n := r.readCount.Add(1)
 				sample := r.LatencySample > 0 && n%int64(r.LatencySample) == 0
@@ -85,7 +91,7 @@ func (r *Runner) Start() {
 				if sample {
 					start = time.Now()
 				}
-				if _, err := r.eng.Read(ev.Node); err != nil {
+				if err := r.eng.ReadInto(ev.Node, &res); err != nil {
 					r.errCount.Add(1)
 				}
 				if sample {
@@ -101,7 +107,9 @@ func (r *Runner) Start() {
 
 // Submit routes an event to the appropriate pool, blocking when the queue
 // is full (back-pressure). Writes are routed to the worker owning the
-// event's writer shard so per-writer ordering is preserved.
+// event's writer shard so per-writer ordering is preserved. Submit may be
+// called from multiple goroutines between Start and Stop, but per-writer
+// ordering is only meaningful per submitting goroutine.
 func (r *Runner) Submit(ev graph.Event) {
 	if ev.Kind == graph.Read {
 		r.readCh <- ev
@@ -110,7 +118,8 @@ func (r *Runner) Submit(ev graph.Event) {
 	}
 }
 
-// Stop drains the queues and stops the workers.
+// Stop drains the queues and stops the workers. No Submit may race with or
+// follow Stop; it returns once every queued event has been executed.
 func (r *Runner) Stop() {
 	for _, ch := range r.writeChs {
 		close(ch)
@@ -133,7 +142,9 @@ type Stats struct {
 }
 
 // Play executes a stream of events through the pools and returns run
-// statistics. The engine's counters are deltas within this call.
+// statistics. The engine's counters are deltas within this call. Play owns
+// the Runner for its duration (Start/Submit/Stop must not be mixed in);
+// the engine itself may serve other traffic concurrently.
 func (r *Runner) Play(events []graph.Event) Stats {
 	w0, r0 := r.eng.Counts()
 	r.Start()
@@ -175,6 +186,7 @@ func (r *Runner) Play(events []graph.Event) Stats {
 func PlaySerial(eng *Engine, events []graph.Event, latencySample int) Stats {
 	w0, r0 := eng.Counts()
 	var lats []time.Duration
+	var res agg.Result // reused result buffer: serial reads don't allocate
 	start := time.Now()
 	n := 0
 	for _, ev := range events {
@@ -185,7 +197,7 @@ func PlaySerial(eng *Engine, events []graph.Event, latencySample int) Stats {
 			if sample {
 				t0 = time.Now()
 			}
-			_, _ = eng.Read(ev.Node)
+			_ = eng.ReadInto(ev.Node, &res)
 			if sample {
 				lats = append(lats, time.Since(t0))
 			}

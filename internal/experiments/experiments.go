@@ -2,7 +2,8 @@
 // evaluation (§5) at laptop scale: each FigXX function reproduces the
 // corresponding figure's series and returns printable tables. The
 // cmd/eagr-bench CLI and the root bench_test.go both drive this package;
-// EXPERIMENTS.md records measured-vs-paper outcomes.
+// each table's Notes line records the shape the paper expects, so a run's
+// output is self-checking against the published results.
 package experiments
 
 import (
@@ -55,7 +56,7 @@ type Table struct {
 	Title  string
 	Header []string
 	Rows   [][]string
-	// Notes carries the expected paper shape for EXPERIMENTS.md.
+	// Notes records the shape the paper's published figure shows.
 	Notes string
 }
 

@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8", "fig9", "fig10a", "fig10b", "fig11a", "fig11b",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig13c", "fig13d",
 		"fig14a", "fig14b", "fig14c", "headline", "ablation",
+		"adaptivity",
 	}
 	for _, name := range want {
 		if _, ok := Get(name); !ok {

@@ -451,7 +451,7 @@ func headline(cfg Config) []Table {
 	t := Table{
 		Title:  "Headline: scaled-down version of '320M nodes+edges, >500k ops/s on one machine'",
 		Header: []string{"nodes", "edges", "SI-%", "build-s", "throughput-ops/s"},
-		Notes:  "paper used 24 cores/64GB; see EXPERIMENTS.md for the scaling argument",
+		Notes:  "paper used 24 cores/64GB; scale with -scale and -events to approach the published setting",
 	}
 	t.Rows = append(t.Rows, []string{
 		i0(g.NumNodes()), i0(g.NumEdges()),

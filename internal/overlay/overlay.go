@@ -4,6 +4,13 @@
 // with push/pull dataflow decisions. It also provides the metrics used to
 // evaluate overlays (sharing index, depth) and a validator for the
 // single-contribution correctness property.
+//
+// Concurrency contract: an Overlay is a mutable build-time structure and is
+// NOT safe for concurrent use — construction, maintenance and decision
+// changes must be serialized by the caller (core.System uses one structural
+// mutex). Execution never reads the live overlay: the engine operates on
+// immutable Topology snapshots taken with Flatten, which are safe to share
+// freely across goroutines.
 package overlay
 
 import (
@@ -87,7 +94,9 @@ type Node struct {
 	dead bool
 }
 
-// Overlay is the aggregation overlay graph.
+// Overlay is the aggregation overlay graph. It is not safe for concurrent
+// use (see the package comment); take a Flatten snapshot to share a
+// read-only view with executing goroutines.
 type Overlay struct {
 	nodes    []Node
 	writerOf map[graph.NodeID]NodeRef

@@ -11,6 +11,11 @@ import "repro/internal/graph"
 //
 // Edges are packed as peer<<1 | sign, where sign is 1 for negative edges
 // (see PackRef / UnpackRef).
+//
+// Concurrency contract: a Topology is deeply immutable after Flatten
+// returns — it shares no memory with the overlay it was taken from — so it
+// may be read from any number of goroutines without synchronization, and
+// it stays valid while the live overlay keeps mutating.
 type Topology struct {
 	// N is the number of node slots, dead slots included (refs are stable).
 	N int
