@@ -186,6 +186,32 @@ func benchPullRead(b *testing.B, a agg.Aggregate) {
 func BenchmarkOpMaxPullRead(b *testing.B)  { benchPullRead(b, agg.Max{}) }
 func BenchmarkOpTopKPullRead(b *testing.B) { benchPullRead(b, agg.TopK{K: 3}) }
 
+// benchMultiWrites measures the multi-query write fan-out: one Write
+// feeding n registered all-push SUM queries (shared = one compiled
+// overlay for all n; distinct = n independent engines).
+func benchMultiWrites(b *testing.B, n int, shared bool) {
+	m, writes, err := benchfix.MultiMicro(n, shared)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchfix.RunMultiWrites(b, m, writes)
+}
+
+func BenchmarkOpSumPush1Query(b *testing.B)           { benchMultiWrites(b, 1, true) }
+func BenchmarkOpSumPush8QueriesShared(b *testing.B)   { benchMultiWrites(b, 8, true) }
+func BenchmarkOpSumPush8QueriesDistinct(b *testing.B) { benchMultiWrites(b, 8, false) }
+
+// BenchmarkOpSubscribeFanout measures the push path with one all-readers
+// subscription and no consumer: every write finalizes the touched
+// readers' results and delivers with steady-state drop-oldest.
+func BenchmarkOpSubscribeFanout(b *testing.B) {
+	eng, writes, err := benchfix.SubscribedEngine(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchfix.RunWrites(b, eng, writes)
+}
+
 func BenchmarkOpSumDataflow(b *testing.B) { benchOps(b, construct.AlgVNMA, "dataflow", agg.Sum{}) }
 func BenchmarkOpSumAllPush(b *testing.B)  { benchOps(b, "baseline", "push", agg.Sum{}) }
 func BenchmarkOpSumAllPull(b *testing.B)  { benchOps(b, "baseline", "pull", agg.Sum{}) }
@@ -240,8 +266,11 @@ func BenchmarkDataflowDecide(b *testing.B) {
 func BenchmarkStructuralEdgeAdd(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	g := workload.SocialGraph(1000, 6, 1)
-	sys, err := Open(g, QuerySpec{Aggregate: "sum"}, Options{Algorithm: "iob", Iterations: 3})
+	sess, err := Open(g, Options{Algorithm: "iob", Iterations: 3})
 	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Register(QuerySpec{Aggregate: "sum"}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -251,7 +280,7 @@ func BenchmarkStructuralEdgeAdd(b *testing.B) {
 		if u == v || g.HasEdge(u, v) {
 			continue
 		}
-		if err := sys.AddEdge(u, v); err != nil {
+		if err := sess.AddEdge(u, v); err != nil {
 			b.Fatal(err)
 		}
 	}

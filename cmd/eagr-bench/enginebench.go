@@ -105,6 +105,42 @@ func runEngineBench(path string) error {
 		fmt.Printf("  %-16s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
+	// Multi-query sessions: write fan-out to 8 standing queries, shared
+	// (one overlay) vs distinct (8 engines), plus the subscription fan-out
+	// path (one all-readers subscriber, no consumer, drop-oldest).
+	multis := []struct {
+		name   string
+		n      int
+		shared bool
+	}{
+		{"OpSumPush1Query", 1, true},
+		{"OpSumPush8QueriesShared", 8, true},
+		{"OpSumPush8QueriesDistinct", 8, false},
+	}
+	for _, m := range multis {
+		ms, writes, err := benchfix.MultiMicro(m.n, m.shared)
+		if err != nil {
+			return err
+		}
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunMultiWrites(b, ms, writes)
+		}))
+		cur[m.name] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	{
+		eng, writes, err := benchfix.SubscribedEngine(1024)
+		if err != nil {
+			return err
+		}
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunWrites(b, eng, writes)
+		}))
+		cur["OpSubscribeFanout"] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			"OpSubscribeFanout", r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
 	workers := []int{1}
 	if p := runtime.GOMAXPROCS(0); p > 1 {
 		workers = append(workers, p)

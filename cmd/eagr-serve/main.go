@@ -1,24 +1,34 @@
-// Command eagr-serve runs an EAGr instance as an HTTP service over a
-// synthetic or edge-list graph. See internal/server for the JSON API.
+// Command eagr-serve runs a multi-query EAGr session as an HTTP service
+// over a synthetic or edge-list graph. See internal/server for the JSON
+// API: clients register standing queries at runtime (POST /queries), read
+// them (GET /queries/{id}/read), and stream continuous results over SSE
+// (GET /queries/{id}/watch). An initial query is registered from the flags
+// so the legacy single-query routes keep working out of the box.
 //
 // Usage:
 //
 //	eagr-serve -listen :8080 -graph social -nodes 10000 -aggregate "topk(3)"
 //	eagr-serve -edgelist graph.el -aggregate sum -window 10
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests (including open /watch streams) before exiting.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
-	"repro/internal/agg"
-	"repro/internal/construct"
-	"repro/internal/core"
+	eagr "repro"
 	"repro/internal/graph"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -31,10 +41,12 @@ func main() {
 		nodes    = flag.Int("nodes", 10000, "synthetic graph size")
 		deg      = flag.Int("degree", 10, "average degree")
 		edgelist = flag.String("edgelist", "", "load graph from an edge-list file instead")
-		aggSpec  = flag.String("aggregate", "sum", "aggregate: sum|count|avg|max|min|distinct|topk(k)|stddev|topk~(k)|distinct~")
-		window   = flag.Int("window", 1, "tuple window size per writer")
+		aggSpec  = flag.String("aggregate", "sum", "initial query aggregate: sum|count|avg|max|min|distinct|topk(k)|stddev|topk~(k)|distinct~")
+		window   = flag.Int("window", 1, "initial query tuple window size per writer")
+		cont     = flag.Bool("continuous", false, "compile the initial query with continuous (all-push) semantics")
 		alg      = flag.String("alg", "", "overlay algorithm (empty = auto)")
 		seed     = flag.Int64("seed", 1, "random seed for synthetic graphs")
+		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
 
@@ -55,28 +67,46 @@ func main() {
 	}
 	log.Printf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
 
-	a, err := agg.Parse(*aggSpec)
+	sess, err := eagr.Open(g, eagr.Options{Algorithm: *alg, Iterations: 6})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := core.Compile(g, core.Query{
-		Aggregate: a,
-		Window:    agg.NewTupleWindow(*window),
-	}, core.Options{
-		Algorithm: *alg,
-		Construct: construct.Config{Iterations: 6},
+	q, err := sess.Register(eagr.QuerySpec{
+		Aggregate:    *aggSpec,
+		WindowTuples: *window,
+		Continuous:   *cont,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := sys.Stats()
-	log.Printf("compiled: algorithm=%s sharing-index=%.1f%% partials=%d maintainable=%v",
-		st.Algorithm, st.Overlay.SharingIndex*100, st.Overlay.Partials, st.Maintainable)
+	st := q.Stats()
+	log.Printf("registered query %d: aggregate=%s algorithm=%s sharing-index=%.1f%% partials=%d maintainable=%v",
+		q.ID(), *aggSpec, st.Algorithm, st.SharingIndex*100, st.Partials, st.Maintainable)
+
+	api := server.New(sess)
+	srv := &http.Server{Addr: *listen, Handler: api}
+	// End open /watch SSE streams when Shutdown begins, so draining does
+	// not wait out the grace period on long-lived watchers.
+	srv.RegisterOnShutdown(api.CloseWatchers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		log.Printf("signal received; draining for up to %v", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		done <- srv.Shutdown(shutdownCtx)
+	}()
 
 	log.Printf("serving on %s", *listen)
-	if err := http.ListenAndServe(*listen, server.New(sys)); err != nil {
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	if err := <-done; err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("shut down cleanly")
 }
 
 // loadEdgeList reads "src dst" pairs (one per line, '#' comments), sizing

@@ -1,0 +1,79 @@
+package eagr
+
+import "repro/internal/core"
+
+// System is the pre-Session single-query façade: one compiled query over
+// one graph. It is now a thin shim over a one-query Session.
+//
+// Deprecated: use Open to create a multi-query Session and Session.Register
+// to obtain a Query handle. A Session hosts many queries on one shared
+// graph (sharing partial aggregators between compatible ones) and adds
+// continuous-query subscriptions, none of which System can express.
+type System struct {
+	sess *Session
+	q    *Query
+}
+
+// OpenQuery compiles a single query over g and returns the legacy System
+// façade (the signature `Open(g, spec, opts...)` of earlier releases).
+//
+// Deprecated: use Open + Session.Register. The handle returned by Register
+// carries the same read surface (Read, ReadInto, Stats), and the Session
+// carries the write/structural surface.
+func OpenQuery(g *Graph, spec QuerySpec, opts ...Options) (*System, error) {
+	sess, err := Open(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	q, err := sess.Register(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &System{sess: sess, q: q}, nil
+}
+
+// Session returns the underlying one-query session, easing migration.
+func (s *System) Session() *Session { return s.sess }
+
+// Query returns the underlying query handle, easing migration.
+func (s *System) Query() *Query { return s.q }
+
+// Write ingests a content update (a write on v) with a caller-supplied
+// timestamp (used by time-based windows).
+func (s *System) Write(v NodeID, value int64, ts int64) error {
+	return s.sess.Write(v, value, ts)
+}
+
+// WriteBatch ingests a batch of content writes through the engine's
+// sharded parallel write pool.
+func (s *System) WriteBatch(events []Event) error { return s.sess.WriteBatch(events) }
+
+// Read returns the current value of the standing query at v.
+func (s *System) Read(v NodeID) (Result, error) { return s.q.Read(v) }
+
+// ReadInto evaluates the standing query at v into a caller-provided result.
+func (s *System) ReadInto(v NodeID, res *Result) error { return s.q.ReadInto(v, res) }
+
+// AddEdge applies a structural edge addition u→v and incrementally repairs
+// the overlay.
+func (s *System) AddEdge(u, v NodeID) error { return s.sess.AddEdge(u, v) }
+
+// RemoveEdge applies a structural edge deletion.
+func (s *System) RemoveEdge(u, v NodeID) error { return s.sess.RemoveEdge(u, v) }
+
+// AddNode adds a fresh node to the data graph and overlay.
+func (s *System) AddNode() (NodeID, error) { return s.sess.AddNode() }
+
+// RemoveNode deletes a node and its edges everywhere.
+func (s *System) RemoveNode(v NodeID) error { return s.sess.RemoveNode(v) }
+
+// Rebalance applies the adaptive dataflow scheme (§4.8) using the activity
+// observed since the last call, returning the number of decision flips.
+func (s *System) Rebalance() (int, error) { return s.sess.Rebalance() }
+
+// Stats returns current overlay and configuration statistics.
+func (s *System) Stats() Stats { return s.q.Stats() }
+
+// Internal exposes the underlying core system for advanced use (runners,
+// benchmarks, custom cost models).
+func (s *System) Internal() *core.System { return s.q.Internal() }

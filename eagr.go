@@ -12,25 +12,44 @@
 // or pull (computed on demand) decision chosen optimally by a max-flow
 // computation over expected read/write frequencies.
 //
+// The public API is organized around multi-query Sessions: one Session
+// hosts any number of standing queries over one shared dynamic graph, the
+// paper's unit of optimization. Queries with identical configuration share
+// one compiled overlay — and therefore their partial aggregators — while
+// incompatible queries run side by side over the same graph.
+//
 // Basic usage:
 //
-//	g := eagr.NewGraph(n)            // build the data graph
-//	g.AddEdge(u, v)                  // v's ego network gains u
-//	sys, err := eagr.Open(g, eagr.QuerySpec{Aggregate: "sum"})
-//	sys.Write(u, 42, ts)             // content update on u
-//	res, err := sys.Read(v)          // F(N(v)) right now
+//	g := eagr.NewGraph(n)             // build the data graph
+//	g.AddEdge(u, v)                   // v's ego network gains u
+//	sess, err := eagr.Open(g)         // a multi-query session
+//	sums, err := sess.Register(eagr.QuerySpec{Aggregate: "sum"})
+//	sess.Write(u, 42, ts)             // content update, fans out to all queries
+//	res, err := sums.Read(v)          // F(N(v)) right now, for this query
+//
+// Continuous queries push results to subscribers instead of waiting to be
+// read:
+//
+//	alerts, _ := sess.Register(eagr.QuerySpec{Aggregate: "count", Continuous: true})
+//	ch, cancel, err := alerts.Subscribe(64)
+//	for u := range ch { ... }        // {Node, Result, TS} on every relevant write
 //
 // See the examples directory for complete programs and DESIGN.md for the
 // mapping from the paper's sections to packages.
 package eagr
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/agg"
 	"repro/internal/construct"
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/exec"
 	"repro/internal/graph"
 )
 
@@ -79,33 +98,55 @@ func KHop(k int) Neighborhood {
 
 // Filtered restricts a base neighborhood to the candidates accepted by
 // keep — the paper's "filtering neighborhoods" (e.g. only geographically
-// close neighbors in a spatio-temporal network).
+// close neighbors in a spatio-temporal network). The tag identifies the
+// filter: queries registered on one Session share compiled state only when
+// their tags (and the rest of their configuration) match, so distinct
+// filters need distinct tags.
 func Filtered(base Neighborhood, keep func(g *Graph, center, candidate NodeID) bool, tag string) Neighborhood {
 	return graph.Filtered{Base: base, Keep: keep, Tag: tag}
 }
 
+// Typed errors returned at the API boundary. Use errors.Is; the concrete
+// messages carry context (which node, which query).
+var (
+	// ErrUnknownNode reports an operation on a node the session's graph or
+	// a query's overlay does not know (never added, or already removed).
+	ErrUnknownNode = exec.ErrUnknownNode
+	// ErrQueryClosed reports an operation on a retired query handle.
+	ErrQueryClosed = errors.New("eagr: query closed")
+	// ErrIncompatibleQuery reports a QuerySpec/Options combination that
+	// cannot be compiled (unknown aggregate, or an overlay algorithm whose
+	// correctness precondition the aggregate does not meet).
+	ErrIncompatibleQuery = core.ErrIncompatible
+	// ErrConflictingWindow reports a QuerySpec that sets both WindowTuples
+	// and WindowTime; a query has exactly one window.
+	ErrConflictingWindow = errors.New("eagr: QuerySpec sets both WindowTuples and WindowTime")
+)
+
 // QuerySpec describes an ego-centric aggregate query in plain values; it is
-// resolved into a compiled query by Open.
+// resolved into a compiled query by Session.Register.
 type QuerySpec struct {
 	// Aggregate names the aggregate function: "sum", "count", "avg",
 	// "max", "min", "distinct", "topk(k)", or a registered custom name.
 	Aggregate string
 	// WindowTuples > 0 selects a count-based window of that many values
 	// per writer; WindowTime > 0 selects a time-based window. Both zero
-	// means most-recent-value (c = 1).
+	// means most-recent-value (c = 1); setting both is ErrConflictingWindow.
 	WindowTuples int
 	WindowTime   int64
 	// Hops selects the neighborhood: 1 (default) aggregates over 1-hop
 	// in-neighbors, 2 over 2-hop in-neighborhoods, etc.
 	Hops int
 	// Continuous requests continuous rather than quasi-continuous
-	// semantics (results maintained on every update).
+	// semantics (results maintained on every update); continuous queries
+	// compile all-push, so Query.Subscribe covers every reader.
 	Continuous bool
 }
 
 // Options tune compilation; the zero value picks sensible defaults
 // (automatic overlay algorithm, optimal dataflow decisions, uniform 1:1
-// workload estimate).
+// workload estimate). Options passed to Open become the session default;
+// Options passed to Register override them for that query.
 type Options struct {
 	// Algorithm: "vnm", "vnma", "vnmn", "vnmd", "iob", "baseline", or ""
 	// for automatic selection.
@@ -118,7 +159,8 @@ type Options struct {
 	// SplitNodes enables partial pre-computation by node splitting.
 	SplitNodes bool
 	// ReadFreq/WriteFreq, when non-nil, give expected per-node read and
-	// write frequencies for the dataflow decisions.
+	// write frequencies for the dataflow decisions. Queries with explicit
+	// frequencies never share compiled state.
 	ReadFreq, WriteFreq []float64
 	// Neighborhood overrides QuerySpec.Hops with a custom neighborhood
 	// function (e.g. a Filtered neighborhood).
@@ -129,13 +171,33 @@ type Options struct {
 	MaxReadCost float64
 }
 
-// System is a compiled, executable EAGr instance.
-type System struct {
-	inner *core.System
+// Update is one continuous-query delivery: the standing query at Node
+// changed to Result because of a write with timestamp TS somewhere in
+// Node's ego network. See Query.Subscribe.
+type Update = exec.Update
+
+// Session hosts any number of standing ego-centric aggregate queries over
+// one shared dynamic graph. Register adds queries at runtime and Query
+// handles retire them; content writes fan out to every registered query,
+// and structural changes mutate the graph once and repair every query's
+// overlay incrementally.
+//
+// All methods are safe for concurrent use.
+type Session struct {
+	g        *Graph
+	defaults Options
+	multi    *core.MultiSystem
+
+	mu      sync.Mutex
+	queries map[int]*Query
+	nextID  int
 }
 
-// Open compiles spec over g and returns a ready system.
-func Open(g *Graph, spec QuerySpec, opts ...Options) (*System, error) {
+// Open starts a multi-query session over g. The graph is retained (not
+// copied); all structural changes must go through the Session's mutation
+// methods. An optional Options value becomes the default compile
+// configuration for Register.
+func Open(g *Graph, opts ...Options) (*Session, error) {
 	var o Options
 	if len(opts) > 1 {
 		return nil, fmt.Errorf("eagr: at most one Options value")
@@ -143,9 +205,36 @@ func Open(g *Graph, spec QuerySpec, opts ...Options) (*System, error) {
 	if len(opts) == 1 {
 		o = opts[0]
 	}
+	return &Session{
+		g:        g,
+		defaults: o,
+		multi:    core.NewMulti(g),
+		queries:  map[int]*Query{},
+	}, nil
+}
+
+// Register compiles spec into a standing query and returns its handle. An
+// optional Options value overrides the session defaults for this query.
+//
+// Queries with identical configuration (same aggregate, window,
+// neighborhood and compile options) share one compiled overlay — and its
+// partial aggregators — per the paper's sharing construction; the second
+// registration of such a query is free. Incompatible queries compile their
+// own overlay over the same graph.
+func (s *Session) Register(spec QuerySpec, opts ...Options) (*Query, error) {
+	o := s.defaults
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("eagr: at most one Options value")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	if spec.WindowTuples > 0 && spec.WindowTime > 0 {
+		return nil, ErrConflictingWindow
+	}
 	a, err := agg.Parse(specOrDefault(spec.Aggregate, "sum"))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("eagr: %w: %w", ErrIncompatibleQuery, err)
 	}
 	q := core.Query{Aggregate: a, Continuous: spec.Continuous}
 	switch {
@@ -168,16 +257,107 @@ func Open(g *Graph, spec QuerySpec, opts ...Options) (*System, error) {
 		Construct:   construct.Config{Iterations: o.Iterations},
 	}
 	if o.ReadFreq != nil || o.WriteFreq != nil {
-		wl := dataflow.NewWorkload(g.MaxID())
+		wl := dataflow.NewWorkload(s.g.MaxID())
 		copy(wl.Read, o.ReadFreq)
 		copy(wl.Write, o.WriteFreq)
 		co.Workload = wl
 	}
-	inner, err := core.Compile(g, q, co)
+	att, err := s.multi.Attach(compatKey(spec, o), q, co)
 	if err != nil {
 		return nil, err
 	}
-	return &System{inner: inner}, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	h := &Query{
+		sess: s,
+		id:   s.nextID,
+		spec: spec,
+		att:  att,
+		subs: map[*exec.Subscription]struct{}{},
+	}
+	h.sysRef = att.System()
+	h.sys.Store(h.sysRef)
+	s.queries[h.id] = h
+	return h, nil
+}
+
+// compatKey canonicalizes a query's full compile configuration; equal keys
+// share one compiled system. Spellings that compile identically map to one
+// key (WindowTuples 0 ≡ 1, Hops 0 ≡ 1, empty mode ≡ "dataflow", zero
+// iterations ≡ the construct default). The empty key means "never share":
+// explicit per-node frequencies and neighborhoods without a stable
+// identity opt out.
+func compatKey(spec QuerySpec, o Options) string {
+	if o.ReadFreq != nil || o.WriteFreq != nil {
+		return ""
+	}
+	// Canonical neighborhood identity: Options.Neighborhood overrides
+	// spec.Hops exactly as Register does, so QuerySpec{Hops: 2} and
+	// Options{Neighborhood: KHop(2)} produce the same key.
+	hops := spec.Hops
+	if hops < 1 {
+		hops = 1
+	}
+	nbr := fmt.Sprintf("in-%dhop", hops)
+	if o.Neighborhood != nil {
+		key, ok := neighborhoodKey(o.Neighborhood)
+		if !ok {
+			return ""
+		}
+		nbr = key
+	}
+	wc := spec.WindowTuples
+	if spec.WindowTime == 0 && wc == 0 {
+		wc = 1 // both-zero means most-recent-value: a c=1 tuple window
+	}
+	it := o.Iterations
+	if it <= 0 {
+		it = 10 // construct.Config's default
+	}
+	mode := specOrDefault(o.Mode, string(core.ModeDataflow))
+	if spec.Continuous {
+		// Compile forces all-push for continuous queries regardless of
+		// the requested mode; the key must agree or identically-compiled
+		// continuous queries would not share.
+		mode = string(core.ModeAllPush)
+	}
+	return fmt.Sprintf("agg=%s|wc=%d|wt=%d|nbr=%s|cont=%t|alg=%s|mode=%s|it=%d|split=%t|mrc=%g",
+		specOrDefault(spec.Aggregate, "sum"), wc, spec.WindowTime, nbr,
+		spec.Continuous, o.Algorithm, mode,
+		it, o.SplitNodes, o.MaxReadCost)
+}
+
+// neighborhoodKey canonicalizes a neighborhood's sharing identity. K is
+// always spelled out (Name() collapses every K>2 to "in-khop", which would
+// wrongly share different depths); a Filtered neighborhood's identity is
+// its tag plus its base's identity (the keep function is opaque), and
+// untagged filters or custom implementations have none (ok=false: never
+// share).
+func neighborhoodKey(nb Neighborhood) (string, bool) {
+	switch n := nb.(type) {
+	case graph.InNeighbors:
+		return "in-1hop", true
+	case graph.OutNeighbors:
+		return "out-1hop", true
+	case graph.KHopIn:
+		k := n.K
+		if k < 1 {
+			k = 1
+		}
+		return fmt.Sprintf("in-%dhop", k), true
+	case graph.Filtered:
+		if n.Tag == "" {
+			return "", false
+		}
+		base, ok := neighborhoodKey(n.Base)
+		if !ok {
+			return "", false
+		}
+		return "filtered:" + base + ":" + n.Tag, true
+	default:
+		return "", false
+	}
 }
 
 func specOrDefault(s, d string) string {
@@ -188,9 +368,10 @@ func specOrDefault(s, d string) string {
 }
 
 // Write ingests a content update (a write on v) with a caller-supplied
-// timestamp (used by time-based windows).
-func (s *System) Write(v NodeID, value int64, ts int64) error {
-	return s.inner.Write(v, value, ts)
+// timestamp (used by time-based windows), fanning it out to every
+// registered query.
+func (s *Session) Write(v NodeID, value int64, ts int64) error {
+	return s.multi.Write(v, value, ts)
 }
 
 // Event is a single element of the combined data stream, used with
@@ -202,43 +383,277 @@ func NewWrite(v NodeID, value int64, ts int64) Event {
 	return graph.Event{Kind: graph.ContentWrite, Node: v, Value: value, TS: ts}
 }
 
-// WriteBatch ingests a batch of content writes through the engine's
+// WriteBatch ingests a batch of content writes through each query engine's
 // sharded parallel write pool. Updates to the same node keep their batch
 // order; distinct nodes ingest in parallel across GOMAXPROCS workers.
-func (s *System) WriteBatch(events []Event) error {
-	return s.inner.WriteBatch(events)
+func (s *Session) WriteBatch(events []Event) error {
+	return s.multi.WriteBatch(events)
+}
+
+// ExpireAll advances every query's time-based windows to ts, propagating
+// expirations (and subscriber notifications) through the push regions.
+func (s *Session) ExpireAll(ts int64) { s.multi.ExpireAll(ts) }
+
+// AddEdge applies a structural edge addition u→v (v's ego network gains u
+// under the default neighborhood) and incrementally repairs every query's
+// overlay.
+func (s *Session) AddEdge(u, v NodeID) error { return mapNodeErr(s.multi.AddEdge(u, v)) }
+
+// RemoveEdge applies a structural edge deletion.
+func (s *Session) RemoveEdge(u, v NodeID) error { return mapNodeErr(s.multi.RemoveEdge(u, v)) }
+
+// AddNode adds a fresh node to the data graph and every query's overlay.
+func (s *Session) AddNode() (NodeID, error) { return s.multi.AddNode() }
+
+// RemoveNode deletes a node and its edges everywhere.
+func (s *Session) RemoveNode(v NodeID) error { return mapNodeErr(s.multi.RemoveNode(v)) }
+
+// mapNodeErr converts the graph package's not-found errors into the
+// API-boundary typed error, preserving the original context.
+func mapNodeErr(err error) error {
+	if err != nil && errors.Is(err, graph.ErrNodeNotFound) {
+		return fmt.Errorf("eagr: %w: %w", ErrUnknownNode, err)
+	}
+	return err
+}
+
+// Rebalance applies the adaptive dataflow scheme (§4.8) to every query
+// using the activity observed since the last call, returning the total
+// number of decision flips. Rebalancing is fully online: concurrent
+// Write/WriteBatch/Read traffic keeps flowing while flipped decisions are
+// resynchronized.
+func (s *Session) Rebalance() (int, error) { return s.multi.Rebalance() }
+
+// Graph returns the session's shared data graph. Mutate it only through
+// the Session's structural methods.
+func (s *Session) Graph() *Graph { return s.g }
+
+// Defaults returns the session's default compile Options (the value passed
+// to Open). Callers that accept partial per-query overrides should merge
+// them over this value before Register, so equivalent queries keep equal
+// configurations and share compiled state.
+func (s *Session) Defaults() Options { return s.defaults }
+
+// Queries returns the live query handles, ordered by registration.
+func (s *Session) Queries() []*Query {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Query, 0, len(s.queries))
+	for _, q := range s.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Query returns the live handle with the given ID, or nil.
+func (s *Session) Query(id int) *Query {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries[id]
+}
+
+// SessionStats summarizes a session: how many queries it hosts, how many
+// compiled overlays they share (Groups < Queries means partial-aggregate
+// sharing is active), and the overlay totals across all groups.
+type SessionStats struct {
+	Queries int
+	// Groups is the number of distinct compiled overlays; queries in one
+	// group share all partial aggregators.
+	Groups   int
+	Writers  int
+	Readers  int
+	Partials int
+	Edges    int
+	// DroppedUpdates counts subscription deliveries discarded because
+	// consumers fell behind, summed over all live queries.
+	DroppedUpdates int64
+}
+
+// Stats returns current session-wide statistics.
+func (s *Session) Stats() SessionStats {
+	st := SessionStats{Groups: s.multi.NumGroups()}
+	for _, sys := range s.multi.Systems() {
+		ov := sys.Stats().Overlay
+		st.Writers += ov.Writers
+		st.Readers += ov.Readers
+		st.Partials += ov.Partials
+		st.Edges += ov.Edges
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.Queries = len(s.queries)
+	for _, q := range s.queries {
+		st.DroppedUpdates += q.dropped()
+	}
+	return st
+}
+
+// Query is the handle of one registered standing query: it carries the
+// query's read surface (Read, ReadInto, Stats), its continuous-delivery
+// surface (Subscribe), and its lifecycle (Close). Handles are safe for
+// concurrent use.
+type Query struct {
+	sess *Session
+	id   int
+	spec QuerySpec
+
+	// sys caches the compiled system; nil after Close, which is how the
+	// read hot path detects retirement without taking a lock. sysRef is
+	// the same pointer, never cleared: subscription teardown needs it
+	// when a cancel races Close (the cancel may unsubscribe after Close
+	// stored nil into sys, and the channel must still be closed).
+	sys    atomic.Pointer[core.System]
+	sysRef *core.System
+
+	mu      sync.Mutex
+	att     *core.Attachment
+	closed  bool
+	subs    map[*exec.Subscription]struct{}
+	retired int64 // dropped-update counts inherited from canceled subscriptions
+}
+
+// ID returns the session-unique query identifier (stable for the lifetime
+// of the handle; used by the HTTP API's /queries/{id} routes).
+func (q *Query) ID() int { return q.id }
+
+// Spec returns the QuerySpec the query was registered with.
+func (q *Query) Spec() QuerySpec { return q.spec }
+
+// system returns the compiled system or ErrQueryClosed.
+func (q *Query) system() (*core.System, error) {
+	sys := q.sys.Load()
+	if sys == nil {
+		return nil, ErrQueryClosed
+	}
+	return sys, nil
 }
 
 // Read returns the current value of the standing query at v.
-func (s *System) Read(v NodeID) (Result, error) { return s.inner.Read(v) }
+func (q *Query) Read(v NodeID) (Result, error) {
+	sys, err := q.system()
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Read(v)
+}
 
 // ReadInto evaluates the standing query at v into a caller-provided result.
 // List-valued answers (TOP-K) reuse res.List's backing array when capacity
 // allows, so a hot read loop that retains res allocates nothing; *res is
 // overwritten on every call.
-func (s *System) ReadInto(v NodeID, res *Result) error { return s.inner.ReadInto(v, res) }
+func (q *Query) ReadInto(v NodeID, res *Result) error {
+	sys, err := q.system()
+	if err != nil {
+		return err
+	}
+	return sys.ReadInto(v, res)
+}
 
-// AddEdge applies a structural edge addition u→v (v's ego network gains u
-// under the default neighborhood) and incrementally repairs the overlay.
-func (s *System) AddEdge(u, v NodeID) error { return s.inner.AddGraphEdge(u, v) }
+// Subscribe registers a continuous listener on the query with a bounded
+// buffer (buffer < 1 defaults to 16). With no nodes it covers every node
+// of the query; otherwise only the standing queries at the given nodes.
+//
+// Updates {Node, Result, TS} are delivered from the engine's push path
+// whenever a write (or window expiry) reaches a subscribed reader's ego
+// network. Delivery never blocks ingestion: when the consumer falls behind
+// the buffer, the oldest pending update is dropped and counted (see
+// Stats.DroppedUpdates). The returned cancel is idempotent and closes the
+// channel; Close cancels all of a query's subscriptions.
+//
+// Note that only push-maintained results notify. Continuous queries
+// (QuerySpec.Continuous) compile all-push, so their coverage is complete;
+// on a quasi-continuous query a subscription observes exactly the readers
+// the optimizer chose to pre-compute.
+func (q *Query) Subscribe(buffer int, nodes ...NodeID) (<-chan Update, func(), error) {
+	sys, err := q.system()
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := sys.Subscribe(buffer, nodes...)
+	if err != nil {
+		return nil, nil, err
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		sys.Unsubscribe(sub)
+		return nil, nil, ErrQueryClosed
+	}
+	q.subs[sub] = struct{}{}
+	q.mu.Unlock()
+	cancel := func() { q.cancelSub(sub) }
+	return sub.Updates(), cancel, nil
+}
 
-// RemoveEdge applies a structural edge deletion.
-func (s *System) RemoveEdge(u, v NodeID) error { return s.inner.RemoveGraphEdge(u, v) }
+// cancelSub tears one subscription down, folding its drop count into the
+// query's retired total.
+func (q *Query) cancelSub(sub *exec.Subscription) {
+	q.mu.Lock()
+	if _, live := q.subs[sub]; !live {
+		q.mu.Unlock()
+		return
+	}
+	delete(q.subs, sub)
+	q.mu.Unlock()
+	dropped := q.unsubscribe(sub)
+	q.mu.Lock()
+	q.retired += dropped
+	q.mu.Unlock()
+}
 
-// AddNode adds a fresh node to the data graph and overlay.
-func (s *System) AddNode() (NodeID, error) { return s.inner.AddGraphNode() }
+// unsubscribe detaches sub via the query's system — sysRef survives Close,
+// and System.Unsubscribe targets the current engine even across
+// recompiles — and returns the final drop count.
+func (q *Query) unsubscribe(sub *exec.Subscription) int64 {
+	q.sysRef.Unsubscribe(sub)
+	return sub.Dropped()
+}
 
-// RemoveNode deletes a node and its edges everywhere.
-func (s *System) RemoveNode(v NodeID) error { return s.inner.RemoveGraphNode(v) }
+// dropped returns the query's total dropped-update count (live + retired
+// subscriptions).
+func (q *Query) dropped() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	total := q.retired
+	for sub := range q.subs {
+		total += sub.Dropped()
+	}
+	return total
+}
 
-// Rebalance applies the adaptive dataflow scheme (§4.8) using the activity
-// observed since the last call, returning the number of decision flips.
-// Rebalancing is fully online: concurrent Write/WriteBatch/Read traffic
-// keeps flowing while flipped decisions are resynchronized (the engine
-// replays concurrently applied deltas across its snapshot cutover).
-func (s *System) Rebalance() (int, error) { return s.inner.Rebalance() }
+// Close retires the query: its subscriptions are canceled, its handle
+// stops serving reads (ErrQueryClosed), and its reference on the shared
+// compiled overlay is released — the overlay itself is torn down only when
+// the last query sharing it closes. Closing an already-closed query
+// returns ErrQueryClosed.
+func (q *Query) Close() error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrQueryClosed
+	}
+	q.closed = true
+	subs := q.subs
+	q.subs = map[*exec.Subscription]struct{}{}
+	q.mu.Unlock()
 
-// Stats summarizes the compiled system.
+	var dropped int64
+	for sub := range subs {
+		dropped += q.unsubscribe(sub)
+	}
+	q.mu.Lock()
+	q.retired += dropped
+	q.mu.Unlock()
+	q.sys.Store(nil)
+	s := q.sess
+	s.mu.Lock()
+	delete(s.queries, q.id)
+	s.mu.Unlock()
+	return s.multi.Detach(q.att)
+}
+
+// Stats summarizes a query's compiled overlay and runtime counters.
 type Stats struct {
 	Writers, Readers, Partials int
 	Edges, NegativeEdges       int
@@ -247,25 +662,40 @@ type Stats struct {
 	Algorithm                  string
 	Mode                       string
 	Maintainable               bool
+	// Shared is the number of queries (including this one) sharing the
+	// compiled overlay these stats describe.
+	Shared int
+	// Subscribers is the number of live subscriptions on the overlay's
+	// engine; DroppedUpdates counts this query's discarded deliveries.
+	Subscribers    int
+	DroppedUpdates int64
 }
 
-// Stats returns current overlay and configuration statistics.
-func (s *System) Stats() Stats {
-	st := s.inner.Stats()
+// Stats returns current overlay and configuration statistics; the zero
+// Stats after Close.
+func (q *Query) Stats() Stats {
+	sys := q.sys.Load()
+	if sys == nil {
+		return Stats{}
+	}
+	st := sys.Stats()
 	return Stats{
-		Writers:       st.Overlay.Writers,
-		Readers:       st.Overlay.Readers,
-		Partials:      st.Overlay.Partials,
-		Edges:         st.Overlay.Edges,
-		NegativeEdges: st.Overlay.NegEdges,
-		SharingIndex:  st.Overlay.SharingIndex,
-		AvgDepth:      st.Overlay.AvgDepth,
-		Algorithm:     st.Algorithm,
-		Mode:          string(st.Mode),
-		Maintainable:  st.Maintainable,
+		Writers:        st.Overlay.Writers,
+		Readers:        st.Overlay.Readers,
+		Partials:       st.Overlay.Partials,
+		Edges:          st.Overlay.Edges,
+		NegativeEdges:  st.Overlay.NegEdges,
+		SharingIndex:   st.Overlay.SharingIndex,
+		AvgDepth:       st.Overlay.AvgDepth,
+		Algorithm:      st.Algorithm,
+		Mode:           string(st.Mode),
+		Maintainable:   st.Maintainable,
+		Shared:         q.att.Shared(),
+		Subscribers:    sys.Subscribers(),
+		DroppedUpdates: q.dropped(),
 	}
 }
 
-// Internal exposes the underlying core system for advanced use (runners,
-// benchmarks, custom cost models).
-func (s *System) Internal() *core.System { return s.inner }
+// Internal exposes the query's underlying core system for advanced use
+// (runners, benchmarks, custom cost models), or nil after Close.
+func (q *Query) Internal() *core.System { return q.sys.Load() }

@@ -4,9 +4,12 @@
 // an alert fires when the count exceeds a per-node baseline — e.g. a burst
 // of calls around a group of numbers.
 //
-// Unlike the trending example, this query is CONTINUOUS: results must be
-// kept up to date as updates arrive (the alert predicate is evaluated on
-// every write), so the system compiles it in all-push mode.
+// Unlike the trending example, this query is CONTINUOUS: results are kept
+// up to date on every write (the system compiles it all-push), and instead
+// of polling we SUBSCRIBE — the engine pushes {Node, Result, TS} updates
+// into a bounded channel whenever a write lands in a subscribed node's ego
+// network, dropping the oldest update (and counting the drop) rather than
+// ever blocking ingestion.
 //
 // Run with: go run ./examples/anomaly
 package main
@@ -36,8 +39,12 @@ func main() {
 		}
 	}
 
+	sess, err := eagr.Open(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	// Continuous COUNT over a 100-tick time window of each neighborhood.
-	sys, err := eagr.Open(g, eagr.QuerySpec{
+	q, err := sess.Register(eagr.QuerySpec{
 		Aggregate:  "count",
 		WindowTime: 100,
 		Continuous: true,
@@ -46,29 +53,51 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("compiled continuous query: mode=%s, %d partial aggregators\n",
-		sys.Stats().Mode, sys.Stats().Partials)
+		q.Stats().Mode, q.Stats().Partials)
 
 	// Phase 1: learn per-node baselines from normal traffic.
 	ts := int64(0)
 	for ; ts < 20000; ts++ {
 		src := eagr.NodeID(rng.Intn(nodes))
-		if err := sys.Write(src, 1, ts); err != nil {
+		if err := sess.Write(src, 1, ts); err != nil {
 			log.Fatal(err)
 		}
 	}
 	baseline := make([]int64, nodes)
 	for v := 0; v < nodes; v++ {
-		res, err := sys.Read(eagr.NodeID(v))
+		res, err := q.Read(eagr.NodeID(v))
 		if err != nil {
 			log.Fatal(err)
 		}
 		baseline[v] = res.Scalar
 	}
 
-	// Phase 2: inject an anomaly — a tight burst of messages among the
-	// neighbors of node 42 — while normal traffic continues.
+	// Phase 2: subscribe to the continuous query — every write now pushes
+	// the refreshed counts of the affected ego networks to us — and inject
+	// an anomaly: a tight burst of messages among the neighbors of node 42
+	// while normal traffic continues.
+	updates, cancel, err := q.Subscribe(1 << 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancel()
+
 	burstCenter := eagr.NodeID(42)
 	alerts := map[eagr.NodeID]int64{}
+	drain := func() {
+		for {
+			select {
+			case u := <-updates:
+				if u.Result.Scalar > 3*baseline[u.Node]+10 {
+					if _, seen := alerts[u.Node]; !seen {
+						alerts[u.Node] = u.Result.Scalar
+					}
+				}
+			default:
+				return
+			}
+		}
+	}
 	for i := 0; i < 5000; i++ {
 		ts++
 		var src eagr.NodeID
@@ -81,25 +110,15 @@ func main() {
 		} else {
 			src = eagr.NodeID(rng.Intn(nodes))
 		}
-		if err := sys.Write(src, 1, ts); err != nil {
+		if err := sess.Write(src, 1, ts); err != nil {
 			log.Fatal(err)
 		}
-		// Continuous predicate: check the written node's consumers.
-		// (Results are push-maintained, so reads are O(1).)
-		for _, watched := range g.Out(src) {
-			res, err := sys.Read(watched)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if res.Scalar > 3*baseline[watched]+10 {
-				if _, seen := alerts[watched]; !seen {
-					alerts[watched] = res.Scalar
-				}
-			}
-		}
+		drain()
 	}
+	drain()
 
-	fmt.Printf("%d nodes raised anomaly alerts\n", len(alerts))
+	fmt.Printf("%d nodes raised anomaly alerts (%d pushed updates dropped)\n",
+		len(alerts), q.Stats().DroppedUpdates)
 	if v, ok := alerts[burstCenter]; ok {
 		fmt.Printf("ALERT at node %d: %d messages in window (baseline %d) — burst detected\n",
 			burstCenter, v, baseline[burstCenter])

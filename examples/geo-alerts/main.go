@@ -59,20 +59,24 @@ func main() {
 			return manhattan(center, cand) <= nearByDst
 		}, "near-friends")
 
-	sys, err := eagr.Open(g, eagr.QuerySpec{Aggregate: "max", WindowTuples: 5},
+	sess, err := eagr.Open(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := sess.Register(eagr.QuerySpec{Aggregate: "max", WindowTuples: 5},
 		eagr.Options{Neighborhood: near})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("compiled: %d readers over filtered neighborhoods, sharing index %.1f%%\n",
-		sys.Stats().Readers, sys.Stats().SharingIndex*100)
+		q.Stats().Readers, q.Stats().SharingIndex*100)
 
 	// Everyone reports low-severity events; then an incident cluster
 	// around one location reports severity 90+.
 	ts := int64(0)
 	for i := 0; i < 20000; i++ {
 		u := eagr.NodeID(rng.Intn(users))
-		if err := sys.Write(u, int64(rng.Intn(20)), ts); err != nil {
+		if err := sess.Write(u, int64(rng.Intn(20)), ts); err != nil {
 			log.Fatal(err)
 		}
 		ts++
@@ -81,7 +85,7 @@ func main() {
 	reporters := 0
 	for u := 0; u < users; u++ {
 		if manhattan(epicenter, eagr.NodeID(u)) <= 10 {
-			if err := sys.Write(eagr.NodeID(u), int64(90+rng.Intn(10)), ts); err != nil {
+			if err := sess.Write(eagr.NodeID(u), int64(90+rng.Intn(10)), ts); err != nil {
 				log.Fatal(err)
 			}
 			ts++
@@ -94,7 +98,7 @@ func main() {
 	// reporters — far-away friends never trip the filtered aggregate.
 	alerted, checked := 0, 0
 	for u := 0; u < users; u++ {
-		res, err := sys.Read(eagr.NodeID(u))
+		res, err := q.Read(eagr.NodeID(u))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,5 +1,6 @@
-// Quickstart: compile an ego-centric SUM query over a small social graph,
-// stream a few content updates, and read the per-user aggregates.
+// Quickstart: open a multi-query session over a small social graph,
+// register standing ego-centric queries, stream a few content updates, and
+// read the per-user aggregates through each query's handle.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -30,41 +31,78 @@ func main() {
 		}
 	}
 
-	// Each user's standing query: SUM over the latest value posted by
-	// each account they follow. The compiler picks the overlay algorithm
-	// and makes optimal push/pull decisions automatically.
-	sys, err := eagr.Open(g, eagr.QuerySpec{Aggregate: "sum"})
+	// One session hosts every standing query over the shared graph.
+	// Register as many as you like; compatible ones share their partial
+	// aggregators.
+	sess, err := eagr.Open(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := sys.Stats()
-	fmt.Printf("compiled overlay: algorithm=%s sharing-index=%.1f%% partials=%d\n",
-		st.Algorithm, st.SharingIndex*100, st.Partials)
+
+	// Query 1: SUM over the latest value posted by each followed account.
+	sums, err := sess.Register(eagr.QuerySpec{Aggregate: "sum"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Query 2: the same SUM registered by another consumer — it attaches
+	// to the already-compiled overlay for free (Groups stays 1).
+	sums2, err := sess.Register(eagr.QuerySpec{Aggregate: "sum"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Query 3: MAX compiles its own overlay, side by side on the graph.
+	maxes, err := sess.Register(eagr.QuerySpec{Aggregate: "max"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sess.Stats()
+	fmt.Printf("session: %d queries in %d overlay groups, %d partial aggregators total\n",
+		st.Queries, st.Groups, st.Partials)
+	fmt.Printf("the sum overlay is shared by %d queries (algorithm=%s)\n",
+		sums.Stats().Shared, sums.Stats().Algorithm)
 
 	// Stream content updates (e.g., engagement scores of each user's
-	// latest post).
+	// latest post); one write feeds every registered query.
 	scores := map[eagr.NodeID]int64{0: 10, 1: 7, 2: 3, 3: 25, 4: 1, 5: 4}
 	ts := int64(0)
 	for user, score := range scores {
-		if err := sys.Write(user, score, ts); err != nil {
+		if err := sess.Write(user, score, ts); err != nil {
 			log.Fatal(err)
 		}
 		ts++
 	}
 
-	// Read every user's aggregate.
-	for u := eagr.NodeID(0); u < users; u++ {
-		res, err := sys.Read(u)
+	// Read each user's standing results through the per-query handles.
+	for user := eagr.NodeID(0); user < users; user++ {
+		s, err := sums.Read(user)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("user %d: neighborhood sum = %s\n", u, res)
+		m, err := maxes.Read(user)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user %d: sum(ego)=%s max(ego)=%s\n", user, s, m)
 	}
 
-	// The graph is dynamic: user 5 starts following user 0.
-	if err := sys.AddEdge(0, 5); err != nil {
+	// The two sum handles answer from the same partial aggregators.
+	a, _ := sums.Read(0)
+	b, _ := sums2.Read(0)
+	fmt.Printf("shared handles agree on user 0: %s == %s\n", a, b)
+
+	// The graph is dynamic: user 5 starts following user 0, and every
+	// query's overlay is repaired incrementally.
+	if err := sess.AddEdge(0, 5); err != nil {
 		log.Fatal(err)
 	}
-	res, _ := sys.Read(5)
+	res, _ := sums.Read(5)
 	fmt.Printf("user 5 after following user 0: %s (was 25)\n", res)
+
+	// Retiring a query releases its reference; the overlay lives on while
+	// the other sum query still uses it.
+	if err := sums2.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after close: %d queries, %d groups\n",
+		sess.Stats().Queries, sess.Stats().Groups)
 }

@@ -3,9 +3,11 @@
 // top-3 most discussed topics among the accounts they follow — not global
 // trends, but trends in their own ego network.
 //
-// The query is quasi-continuous: results are produced on demand (when a
-// user opens their feed), so the optimizer mixes pre-computation for hot
-// readers with on-demand evaluation for cold ones.
+// The trending query is quasi-continuous: results are produced on demand
+// (when a user opens their feed), so the optimizer mixes pre-computation
+// for hot readers with on-demand evaluation for cold ones. A second
+// standing query — posting volume per ego network — rides on the same
+// session and the same write stream.
 //
 // Run with: go run ./examples/trending
 package main
@@ -43,14 +45,23 @@ func main() {
 		}
 	}
 
-	// Top-3 topics over the last 20 posts of each followed account.
-	sys, err := eagr.Open(g, eagr.QuerySpec{Aggregate: "topk(3)", WindowTuples: 20})
+	sess, err := eagr.Open(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := sys.Stats()
-	fmt.Printf("compiled: algorithm=%s, %d partial aggregators, sharing index %.1f%%\n",
-		st.Algorithm, st.Partials, st.SharingIndex*100)
+	// Top-3 topics over the last 20 posts of each followed account.
+	trending, err := sess.Register(eagr.QuerySpec{Aggregate: "topk(3)", WindowTuples: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// How busy is my feed? COUNT over the same windows, same stream.
+	volume, err := sess.Register(eagr.QuerySpec{Aggregate: "count", WindowTuples: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := trending.Stats()
+	fmt.Printf("compiled: algorithm=%s, %d partial aggregators, sharing index %.1f%%; session hosts %d queries\n",
+		st.Algorithm, st.Partials, st.SharingIndex*100, sess.Stats().Queries)
 
 	// Simulate a day of posting: popular users post more; each community
 	// has a topic bias so ego-centric trends differ from global ones.
@@ -62,22 +73,26 @@ func main() {
 		if rng.Intn(3) == 0 {
 			topic = int64(rng.Intn(len(topics))) // plus global noise
 		}
-		if err := sys.Write(author, topic, ts); err != nil {
+		if err := sess.Write(author, topic, ts); err != nil {
 			log.Fatal(err)
 		}
 		posts++
 	}
-	fmt.Printf("ingested %d posts in %v (%.0f posts/s)\n",
+	fmt.Printf("ingested %d posts in %v (%.0f posts/s, fanned out to both queries)\n",
 		posts, time.Since(start).Round(time.Millisecond),
 		float64(posts)/time.Since(start).Seconds())
 
 	// A few users open their feeds.
 	for _, u := range []eagr.NodeID{10, 500, 1500} {
-		res, err := sys.Read(u)
+		res, err := trending.Read(u)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("user %4d trending: ", u)
+		vol, err := volume.Read(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user %4d (%3d windowed posts) trending: ", u, vol.Scalar)
 		for i, tid := range res.List {
 			if i > 0 {
 				fmt.Print(", ")
@@ -88,11 +103,11 @@ func main() {
 	}
 
 	// Feed-opening is bursty; let the adaptive scheme react to what was
-	// actually observed since compile time.
+	// actually observed since compile time, across every query.
 	for i := 0; i < 3000; i++ {
-		_, _ = sys.Read(eagr.NodeID(rng.Intn(100))) // hot readers
+		_, _ = trending.Read(eagr.NodeID(rng.Intn(100))) // hot readers
 	}
-	flips, err := sys.Rebalance()
+	flips, err := sess.Rebalance()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,11 +6,13 @@
 package benchfix
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/agg"
 	"repro/internal/bipartite"
 	"repro/internal/construct"
+	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -119,6 +121,79 @@ func RunMixed(b *testing.B, eng *exec.Engine, events []graph.Event) {
 			_, _ = eng.Read(ev.Node)
 		} else {
 			_ = eng.Write(ev.Node, ev.Value, ev.TS)
+		}
+	}
+}
+
+// MultiMicro builds the multi-query micro-benchmark fixture: a
+// core.MultiSystem over the standard 2000-node social graph with n
+// attached all-push SUM queries. With shared=true every query uses the
+// same compatibility key, so all n share ONE compiled overlay (measuring
+// the sharing win); with shared=false each query gets a distinct tuple
+// window, so writes fan out to n independent engines (measuring the
+// fan-out cost). Returns the multi-system and the fixture's write stream.
+func MultiMicro(n int, shared bool) (*core.MultiSystem, []graph.Event, error) {
+	g := workload.SocialGraph(2000, 8, 1)
+	m := core.NewMulti(g)
+	for i := 0; i < n; i++ {
+		win := 1
+		key := "sum-push-w1"
+		if !shared {
+			win = i + 1
+			key = fmt.Sprintf("sum-push-w%d", win)
+		}
+		q := core.Query{Aggregate: agg.Sum{}, Window: agg.NewTupleWindow(win)}
+		if _, err := m.Attach(key, q, core.Options{Algorithm: core.Baseline, Mode: core.ModeAllPush}); err != nil {
+			return nil, nil, err
+		}
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	return m, Writes(workload.Events(wl, 1<<16, 2)), nil
+}
+
+// RunMultiWrites measures per-write cost of fanning one content update out
+// to every query group of a MultiSystem.
+func RunMultiWrites(b *testing.B, m *core.MultiSystem, writes []graph.Event) {
+	if len(writes) == 0 {
+		b.Fatal("benchfix: no writes in fixture")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := writes[i%len(writes)]
+		if err := m.Write(ev.Node, ev.Value, ev.TS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SubscribedEngine builds the subscription fan-out fixture: the standard
+// all-push SUM engine with one all-readers subscription of the given
+// buffer and NO consumer, so the measured write path includes result
+// finalization and steady-state drop-oldest delivery — the worst case a
+// slow subscriber can inflict on ingestion.
+func SubscribedEngine(buffer int) (*exec.Engine, []graph.Event, error) {
+	eng, events, err := MicroEngine("baseline", "push", agg.Sum{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := eng.Subscribe(buffer); err != nil {
+		return nil, nil, err
+	}
+	return eng, Writes(events), nil
+}
+
+// RunWrites measures the plain write path over a write-only stream.
+func RunWrites(b *testing.B, eng *exec.Engine, writes []graph.Event) {
+	if len(writes) == 0 {
+		b.Fatal("benchfix: no writes in fixture")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := writes[i%len(writes)]
+		if err := eng.Write(ev.Node, ev.Value, ev.TS); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

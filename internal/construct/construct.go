@@ -23,6 +23,17 @@ const (
 	AlgIOB  = "iob"
 )
 
+// KnownAlgorithm reports whether alg names one of the construction
+// algorithms Build accepts.
+func KnownAlgorithm(alg string) bool {
+	switch alg {
+	case AlgVNM, AlgVNMA, AlgVNMN, AlgVNMD, AlgIOB:
+		return true
+	default:
+		return false
+	}
+}
+
 // Result is the outcome of overlay construction.
 type Result struct {
 	Overlay *overlay.Overlay

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -81,9 +82,20 @@ type Options struct {
 // Baseline is the Algorithm value for the direct writer→reader overlay.
 const Baseline = "baseline"
 
+// ErrIncompatible reports a query that cannot be compiled as specified —
+// a missing aggregate, or an overlay algorithm whose correctness
+// precondition (subtractability, duplicate-insensitivity) the aggregate
+// does not meet.
+var ErrIncompatible = errors.New("incompatible query")
+
 // System is a compiled, executable EAGr instance.
 type System struct {
-	mu sync.Mutex // guards structural operations and recompiles
+	// structMu serializes whole public structural operations, including the
+	// data-graph mutation itself (the graph has no internal locking). It is
+	// not used by MultiSystem, whose own mutex serializes structural changes
+	// across every system sharing the graph.
+	structMu sync.Mutex
+	mu       sync.Mutex // guards overlay repair, recompiles and rebalances
 
 	g    *graph.Graph
 	q    Query
@@ -103,7 +115,7 @@ type System struct {
 // structural changes must go through the System's mutation methods.
 func Compile(g *graph.Graph, q Query, opts Options) (*System, error) {
 	if q.Aggregate == nil {
-		return nil, fmt.Errorf("core: query needs an aggregate")
+		return nil, fmt.Errorf("core: query needs an aggregate: %w", ErrIncompatible)
 	}
 	if q.Neighborhood == nil {
 		q.Neighborhood = graph.InNeighbors{}
@@ -113,6 +125,11 @@ func Compile(g *graph.Graph, q Query, opts Options) (*System, error) {
 	}
 	if opts.Mode == "" {
 		opts.Mode = ModeDataflow
+	}
+	switch opts.Mode {
+	case ModeDataflow, ModeGreedy, ModeAllPush, ModeAllPull:
+	default:
+		return nil, fmt.Errorf("core: unknown mode %q: %w", opts.Mode, ErrIncompatible)
 	}
 	if q.Continuous {
 		opts.Mode = ModeAllPush
@@ -147,14 +164,17 @@ func Compile(g *graph.Graph, q Query, opts Options) (*System, error) {
 }
 
 func checkLegality(alg string, props agg.Properties) error {
+	if !construct.KnownAlgorithm(alg) && alg != Baseline {
+		return fmt.Errorf("core: unknown algorithm %q: %w", alg, ErrIncompatible)
+	}
 	switch alg {
 	case construct.AlgVNMN:
 		if !props.Subtractable {
-			return fmt.Errorf("core: %s requires a subtractable aggregate (negative edges)", alg)
+			return fmt.Errorf("core: %s requires a subtractable aggregate (negative edges): %w", alg, ErrIncompatible)
 		}
 	case construct.AlgVNMD:
 		if !props.DuplicateInsensitive {
-			return fmt.Errorf("core: %s requires a duplicate-insensitive aggregate (duplicate paths)", alg)
+			return fmt.Errorf("core: %s requires a duplicate-insensitive aggregate (duplicate paths): %w", alg, ErrIncompatible)
 		}
 	}
 	return nil
@@ -226,10 +246,15 @@ func (s *System) decideAndStart() error {
 			return err
 		}
 	}
+	prevEng := s.eng
 	s.eng, err = exec.New(s.ov, s.q.Aggregate, s.q.Window)
 	if err != nil {
 		return err
 	}
+	// A full recompile (non-maintainable overlays) replaces the engine;
+	// live subscriptions move over so continuous consumers keep receiving
+	// updates across the rebuild.
+	s.eng.AdoptSubscriptions(prevEng)
 	s.adaptor = dataflow.NewAdaptor(s.ov, f, s.cost)
 	// Incremental maintenance requires single-path, negative-edge-free
 	// overlays; when unavailable, structural updates fall back to
@@ -264,6 +289,44 @@ func (s *System) ReadInto(v graph.NodeID, res *agg.Result) error {
 
 // Engine exposes the underlying execution engine (for runners/benchmarks).
 func (s *System) Engine() *exec.Engine { return s.eng }
+
+// Subscribe registers a continuous listener on the system's engine (see
+// exec.Engine.Subscribe). It serializes with recompiles under the system
+// mutex, so a subscription can never land on an engine that a concurrent
+// structural rebuild has already drained — it is either installed before
+// the swap (and adopted by the new engine) or installed on the new engine.
+func (s *System) Subscribe(buffer int, nodes ...graph.NodeID) (*exec.Subscription, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Subscribe(buffer, nodes...)
+}
+
+// Unsubscribe removes a subscription from the system's current engine
+// (recompiles move live subscriptions onto the rebuilt engine); like
+// Subscribe it serializes with rebuilds under the system mutex.
+func (s *System) Unsubscribe(sub *exec.Subscription) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.Unsubscribe(sub)
+}
+
+// Subscribers reports the engine's live subscription count, serialized
+// with rebuilds like Subscribe/Unsubscribe.
+func (s *System) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Subscribers()
+}
+
+// ExpireAll advances time-based windows to ts at every writer, propagating
+// expirations (and subscriber notifications) through the push region. Like
+// Subscribe it serializes with engine rebuilds under the system mutex, so
+// an expiry never lands on an engine a concurrent recompile discarded.
+func (s *System) ExpireAll(ts int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.ExpireAll(ts)
+}
 
 // Overlay exposes the compiled overlay (for inspection).
 func (s *System) Overlay() *overlay.Overlay { return s.ov }
@@ -324,43 +387,91 @@ func (s *System) workloadOrUniform() *dataflow.Workload {
 // AddGraphEdge applies a structural edge addition (S_G event) to the data
 // graph and incrementally repairs the overlay.
 func (s *System) AddGraphEdge(u, v graph.NodeID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	if err := s.g.AddEdge(u, v); err != nil {
 		return err
 	}
-	return s.repairReaders(construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v))
+	return s.edgeAdded(u, v)
 }
 
 // RemoveGraphEdge applies a structural edge deletion.
 func (s *System) RemoveGraphEdge(u, v graph.NodeID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	affected := construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v)
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	affected := s.edgeAffected(u, v)
 	if err := s.g.RemoveEdge(u, v); err != nil {
 		return err
 	}
-	return s.repairReaders(affected)
+	return s.edgeRemoved(affected)
 }
 
 // AddGraphNode adds a node to the data graph and registers it with the
 // overlay (initially with no edges).
 func (s *System) AddGraphNode() (graph.NodeID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	v := s.g.AddNode()
-	if s.maint == nil {
-		return v, s.recompileLocked()
-	}
-	if err := s.maint.AddNode(v, nil, nil); err != nil {
-		return v, err
-	}
-	s.afterMaintenance()
-	return v, nil
+	return v, s.nodeAdded(v)
 }
 
 // RemoveGraphNode deletes a node and its incident edges.
 func (s *System) RemoveGraphNode(v graph.NodeID) error {
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	affected := s.nodeRemovalAffected(v)
+	if err := s.g.RemoveNode(v); err != nil {
+		return err
+	}
+	return s.nodeRemoved(v, affected)
+}
+
+// The *Added/*Removed/*Affected methods below are the graph-mutation-free
+// halves of the structural operations: they consult or repair the overlay
+// but never touch the data graph, so a MultiSystem hosting several overlays
+// over ONE shared graph can mutate the graph exactly once and then fan the
+// repair out to every attached system (multi.go).
+
+// edgeAdded repairs the overlay after edge u→v appeared in the data graph.
+func (s *System) edgeAdded(u, v graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairReaders(construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v))
+}
+
+// edgeAffected returns the readers whose neighborhoods an u→v edge change
+// touches; it must be called BEFORE a removal mutates the graph.
+func (s *System) edgeAffected(u, v graph.NodeID) []graph.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v)
+}
+
+// edgeRemoved repairs the overlay after an edge disappeared; affected is the
+// pre-removal edgeAffected set.
+func (s *System) edgeRemoved(affected []graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairReaders(affected)
+}
+
+// nodeAdded registers a freshly added (edge-less) graph node.
+func (s *System) nodeAdded(v graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maint == nil {
+		return s.recompileLocked()
+	}
+	if err := s.maint.AddNode(v, nil, nil); err != nil {
+		return err
+	}
+	s.afterMaintenance()
+	return nil
+}
+
+// nodeRemovalAffected returns the sorted reader set a removal of v would
+// touch; it must be called BEFORE the graph mutation.
+func (s *System) nodeRemovalAffected(v graph.NodeID) []graph.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	affected := map[graph.NodeID]bool{}
@@ -375,21 +486,26 @@ func (s *System) RemoveGraphNode(v graph.NodeID) error {
 		}
 	}
 	delete(affected, v)
-	if err := s.g.RemoveNode(v); err != nil {
-		return err
+	var list []graph.NodeID
+	for r := range affected {
+		list = append(list, r)
 	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	return list
+}
+
+// nodeRemoved repairs the overlay after node v left the graph; affected is
+// the pre-removal nodeRemovalAffected set.
+func (s *System) nodeRemoved(v graph.NodeID, affected []graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.maint == nil {
 		return s.recompileLocked()
 	}
 	if err := s.maint.RemoveNode(v); err != nil {
 		return err
 	}
-	var list []graph.NodeID
-	for r := range affected {
-		list = append(list, r)
-	}
-	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-	return s.repairReadersLocked(list)
+	return s.repairReadersLocked(affected)
 }
 
 // repairReaders diffs each affected reader's neighborhood against the
@@ -480,8 +596,12 @@ type Stats struct {
 	Mode         Mode
 }
 
-// Stats returns the system's current summary.
+// Stats returns the system's current summary. It serializes with
+// structural operations under the system mutex: ComputeStats walks the
+// live overlay, which repairs mutate.
 func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return Stats{
 		Overlay:      s.ov.ComputeStats(),
 		Maintainable: s.maint != nil,

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// ErrDetached reports an operation on an attachment that was already
+// detached from its MultiSystem.
+var ErrDetached = errors.New("query detached")
+
+// MultiSystem hosts any number of standing queries over ONE shared data
+// graph, the unit of optimization the paper argues for (§1, §3): queries
+// with identical compile configuration share a single compiled System —
+// one overlay, one set of partial aggregators, one engine — via
+// reference-counted groups, while incompatible queries get their own
+// system over the same graph. Content writes fan out to every group;
+// structural changes mutate the graph exactly once and repair every
+// group's overlay.
+//
+// Concurrency: Attach/Detach and the structural mutators serialize on the
+// MultiSystem mutex. Write/WriteBatch/Rebalance run against an atomically
+// swapped snapshot of the attached systems, so ingest keeps flowing while
+// queries come and go.
+type MultiSystem struct {
+	mu sync.Mutex
+
+	g      *graph.Graph
+	groups map[string]*queryGroup
+	// systems is the lock-free fan-out snapshot: one entry per live group,
+	// rebuilt under mu whenever the group set changes.
+	systems atomic.Pointer[[]*System]
+	// nextAnon disambiguates attachments that must never share.
+	nextAnon int
+}
+
+// queryGroup is one shared compiled system and its reference count.
+type queryGroup struct {
+	key  string
+	sys  *System
+	refs int
+}
+
+// Attachment is one query's handle into a MultiSystem. Multiple
+// attachments may point at the same underlying System (that is the
+// sharing); Detach releases the reference and tears the system down when
+// the last one leaves.
+type Attachment struct {
+	m   *MultiSystem
+	grp *queryGroup
+	// detached is atomic so System() stays lock-free for readers racing a
+	// Detach (they observe either the live system or nil, never a torn
+	// state).
+	detached atomic.Bool
+}
+
+// NewMulti returns an empty multi-query system over g. The graph is
+// retained, not copied; all structural changes must go through the
+// MultiSystem's mutators.
+func NewMulti(g *graph.Graph) *MultiSystem {
+	m := &MultiSystem{g: g, groups: map[string]*queryGroup{}}
+	m.systems.Store(&[]*System{})
+	return m
+}
+
+// Attach registers a query. key identifies the query's full compile
+// configuration: attachments with equal non-empty keys share one compiled
+// System (the paper's cross-query sharing of partial aggregates); an empty
+// key never shares. The first attachment of a key compiles; later ones
+// reuse the compiled system and cost nothing.
+func (m *MultiSystem) Attach(key string, q Query, opts Options) (*Attachment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if key == "" {
+		m.nextAnon++
+		key = fmt.Sprintf("\x00anon-%d", m.nextAnon)
+	}
+	grp, ok := m.groups[key]
+	if !ok {
+		sys, err := Compile(m.g, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		grp = &queryGroup{key: key, sys: sys}
+		m.groups[key] = grp
+		m.publishLocked()
+	}
+	grp.refs++
+	return &Attachment{m: m, grp: grp}, nil
+}
+
+// Detach releases the attachment's reference; the last detach of a group
+// discards its compiled system. Idempotent per attachment.
+func (m *MultiSystem) Detach(a *Attachment) error {
+	if a == nil || a.m != m {
+		return fmt.Errorf("core: %w", ErrDetached)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a.detached.Swap(true) {
+		return fmt.Errorf("core: %w", ErrDetached)
+	}
+	a.grp.refs--
+	if a.grp.refs == 0 {
+		delete(m.groups, a.grp.key)
+		m.publishLocked()
+	}
+	return nil
+}
+
+// publishLocked rebuilds the fan-out snapshot; callers hold m.mu.
+func (m *MultiSystem) publishLocked() {
+	list := make([]*System, 0, len(m.groups))
+	for _, grp := range m.groups {
+		list = append(list, grp.sys)
+	}
+	m.systems.Store(&list)
+}
+
+// System returns the attachment's compiled system (shared with every other
+// attachment in its group), or nil after Detach.
+func (a *Attachment) System() *System {
+	if a.detached.Load() {
+		return nil
+	}
+	return a.grp.sys
+}
+
+// Shared reports how many attachments currently share this attachment's
+// compiled system.
+func (a *Attachment) Shared() int {
+	a.m.mu.Lock()
+	defer a.m.mu.Unlock()
+	return a.grp.refs
+}
+
+// Graph returns the shared data graph.
+func (m *MultiSystem) Graph() *graph.Graph { return m.g }
+
+// NumGroups returns the number of distinct compiled systems (shared query
+// groups) currently attached.
+func (m *MultiSystem) NumGroups() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.groups)
+}
+
+// Systems returns a snapshot of the attached compiled systems, one per
+// group.
+func (m *MultiSystem) Systems() []*System { return *m.systems.Load() }
+
+// Write ingests a content update into every attached query group. It never
+// takes the structural mutex: the fan-out list is an atomic snapshot.
+func (m *MultiSystem) Write(v graph.NodeID, value int64, ts int64) error {
+	for _, sys := range *m.systems.Load() {
+		if err := sys.Write(v, value, ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBatch ingests a batch of content writes into every attached query
+// group through each engine's sharded parallel write pool.
+func (m *MultiSystem) WriteBatch(events []graph.Event) error {
+	for _, sys := range *m.systems.Load() {
+		if err := sys.WriteBatch(events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExpireAll advances time-based windows to ts in every attached group.
+func (m *MultiSystem) ExpireAll(ts int64) {
+	for _, sys := range *m.systems.Load() {
+		sys.ExpireAll(ts)
+	}
+}
+
+// Rebalance runs the adaptive dataflow scheme (§4.8) on every group and
+// returns the total number of decision flips.
+func (m *MultiSystem) Rebalance() (int, error) {
+	total := 0
+	for _, sys := range *m.systems.Load() {
+		flips, err := sys.Rebalance()
+		if err != nil {
+			return total, err
+		}
+		total += flips
+	}
+	return total, nil
+}
+
+// AddEdge applies a structural edge addition u→v to the shared graph once
+// and incrementally repairs every group's overlay. Repair is best-effort
+// across groups: one group's failure does not leave the remaining groups
+// unrepaired (the graph has already moved); all failures are joined.
+func (m *MultiSystem) AddEdge(u, v graph.NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.g.AddEdge(u, v); err != nil {
+		return err
+	}
+	var errs []error
+	for _, grp := range m.groups {
+		if err := grp.sys.edgeAdded(u, v); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RemoveEdge applies a structural edge deletion: each group's affected
+// reader set is computed against the pre-removal graph, the graph mutates
+// once, then every overlay is repaired.
+func (m *MultiSystem) RemoveEdge(u, v graph.NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	affected := make(map[*queryGroup][]graph.NodeID, len(m.groups))
+	for _, grp := range m.groups {
+		affected[grp] = grp.sys.edgeAffected(u, v)
+	}
+	if err := m.g.RemoveEdge(u, v); err != nil {
+		return err
+	}
+	var errs []error
+	for _, grp := range m.groups {
+		if err := grp.sys.edgeRemoved(affected[grp]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// AddNode adds a fresh node to the shared graph and registers it with
+// every group's overlay.
+func (m *MultiSystem) AddNode() (graph.NodeID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.g.AddNode()
+	var errs []error
+	for _, grp := range m.groups {
+		if err := grp.sys.nodeAdded(v); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return v, errors.Join(errs...)
+}
+
+// RemoveNode deletes a node and its incident edges from the shared graph
+// and repairs every group's overlay.
+func (m *MultiSystem) RemoveNode(v graph.NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	affected := make(map[*queryGroup][]graph.NodeID, len(m.groups))
+	for _, grp := range m.groups {
+		affected[grp] = grp.sys.nodeRemovalAffected(v)
+	}
+	if err := m.g.RemoveNode(v); err != nil {
+		return err
+	}
+	var errs []error
+	for _, grp := range m.groups {
+		if err := grp.sys.nodeRemoved(v, affected[grp]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -95,6 +95,13 @@ type Engine struct {
 	// against each other. It is never taken on the read/write hot paths.
 	rebuildMu sync.Mutex
 
+	// notify is the immutable subscriber table (notify.go); nil whenever no
+	// subscription is attached, so the write hot path pays one atomic load
+	// and a branch — and allocates nothing — in the unsubscribed case.
+	// subMu serializes table swaps (Subscribe/Unsubscribe).
+	notify atomic.Pointer[notifyTable]
+	subMu  sync.Mutex
+
 	writes atomic.Int64
 	reads  atomic.Int64
 
@@ -356,6 +363,9 @@ func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64)
 		ns.pushObs.Add(1)
 		e.writes.Add(1)
 		e.propagateScalar(st, wref, dSum, dCnt)
+		if nt := e.notify.Load(); nt != nil {
+			e.notifyFanout(nt, st, wref, ts)
+		}
 	} else {
 		if lg := e.log.Load(); lg != nil {
 			lg.record(wref, paoDelta(st.epoch, value, true, removed))
@@ -365,6 +375,9 @@ func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64)
 		e.writes.Add(1)
 		ws.add[0] = value
 		e.propagate(st, wref, ws.add[:1], removed)
+		if nt := e.notify.Load(); nt != nil {
+			e.notifyFanout(nt, st, wref, ts)
+		}
 	}
 	e.putScratch(ws)
 	return nil
@@ -434,7 +447,7 @@ func (e *Engine) ReadInto(v graph.NodeID, res *agg.Result) error {
 func (e *Engine) readOn(st *engineState, v graph.NodeID, buf []int64) (agg.Result, error) {
 	rref := st.plan.reader(v)
 	if rref == overlay.NoNode {
-		return agg.Result{}, fmt.Errorf("exec: node %d has no reader in the overlay", v)
+		return agg.Result{}, fmt.Errorf("exec: read node %d: %w", v, ErrUnknownNode)
 	}
 	e.reads.Add(1)
 	top := st.plan.top
@@ -571,6 +584,9 @@ func (e *Engine) ExpireAll(ts int64) {
 				e.propagateScalar(st, wref, -remSum, -int64(len(removed)))
 			} else {
 				e.propagate(st, wref, nil, removed)
+			}
+			if nt := e.notify.Load(); nt != nil {
+				e.notifyFanout(nt, st, wref, ts)
 			}
 		}
 		e.putScratch(ws)

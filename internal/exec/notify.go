@@ -1,0 +1,305 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// ErrUnknownNode reports an operation on a data-graph node the overlay has
+// no reader for (it was never queried, or has been removed).
+var ErrUnknownNode = errors.New("unknown node")
+
+// Update is one continuous-query result delivery: the standing query at
+// Node changed to Result because of a write with timestamp TS somewhere in
+// Node's ego network.
+type Update struct {
+	Node   graph.NodeID
+	Result agg.Result
+	TS     int64
+}
+
+// Subscription is a registered continuous-query listener. Updates are
+// delivered on a bounded channel with drop-oldest semantics: when the
+// consumer falls behind, the oldest buffered update is discarded (and
+// counted) so the ingest path never blocks on a slow consumer.
+type Subscription struct {
+	// nodes holds the subscribed data-graph nodes (nil = every reader);
+	// refs the corresponding reader slots in the engine that currently
+	// hosts the subscription. refs is re-derived from nodes when a
+	// subscription moves to a rebuilt engine (AdoptSubscriptions), since
+	// recompilation may renumber overlay slots.
+	nodes []graph.NodeID
+	refs  map[overlay.NodeRef]bool
+
+	mu      sync.Mutex
+	ch      chan Update
+	closed  bool
+	dropped atomic.Int64
+}
+
+// Updates returns the delivery channel. It is closed by Engine.Unsubscribe;
+// a consumer can simply range over it.
+func (s *Subscription) Updates() <-chan Update { return s.ch }
+
+// Dropped returns the number of updates discarded because the consumer fell
+// behind the bounded buffer.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// deliver enqueues u without ever blocking: if the buffer is full the
+// oldest pending update is evicted first (drop-oldest), and every eviction
+// or failed retry is counted. Safe against a concurrent Unsubscribe.
+func (s *Subscription) deliver(u Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- u:
+		return
+	default:
+	}
+	select {
+	case <-s.ch:
+		s.dropped.Add(1)
+	default:
+	}
+	select {
+	case s.ch <- u:
+	default:
+		// The consumer raced us for the freed slot; count the loss.
+		s.dropped.Add(1)
+	}
+}
+
+// close marks the subscription dead and closes the channel. deliver holds
+// the same mutex, so no send can race the close.
+func (s *Subscription) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// notifyTable is the engine's immutable subscriber snapshot, swapped
+// copy-on-write under Engine.subMu. The write hot path loads it with one
+// atomic pointer read; it is nil whenever no subscription exists, so
+// unsubscribed engines pay a single predictable branch per write.
+type notifyTable struct {
+	// all lists subscriptions covering every reader; byRef those restricted
+	// to specific reader slots.
+	all   []*Subscription
+	byRef map[overlay.NodeRef][]*Subscription
+}
+
+// Subscribe registers a continuous-query listener with a bounded buffer
+// (buffer < 1 defaults to 16). With no nodes, the subscription covers every
+// reader of the engine; otherwise only the standing queries at the given
+// data-graph nodes. A node without a reader in the overlay returns
+// ErrUnknownNode.
+//
+// Updates are produced on the compiled push path: a write (or time-window
+// expiry) that reaches a push-annotated reader's slot emits that reader's
+// refreshed result. Pull-annotated readers change value implicitly and are
+// not notified; continuous queries compile all-push, so for them coverage
+// is complete. Cancel with Unsubscribe; ingest never blocks on a slow
+// consumer (drop-oldest, see Subscription).
+func (e *Engine) Subscribe(buffer int, nodes ...graph.NodeID) (*Subscription, error) {
+	if buffer < 1 {
+		buffer = 16
+	}
+	sub := &Subscription{ch: make(chan Update, buffer)}
+	if len(nodes) > 0 {
+		st := e.state.Load()
+		sub.nodes = append([]graph.NodeID(nil), nodes...)
+		sub.refs = make(map[overlay.NodeRef]bool, len(nodes))
+		for _, v := range nodes {
+			rref := st.plan.reader(v)
+			if rref == overlay.NoNode {
+				return nil, fmt.Errorf("exec: subscribe node %d: %w", v, ErrUnknownNode)
+			}
+			sub.refs[rref] = true
+		}
+	}
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	e.installLocked(sub)
+	return sub, nil
+}
+
+// installLocked adds sub to a fresh copy of the notify table; callers hold
+// e.subMu.
+func (e *Engine) installLocked(sub *Subscription) {
+	next := &notifyTable{byRef: map[overlay.NodeRef][]*Subscription{}}
+	if prev := e.notify.Load(); prev != nil {
+		next.all = append(next.all, prev.all...)
+		for ref, subs := range prev.byRef {
+			next.byRef[ref] = append([]*Subscription(nil), subs...)
+		}
+	}
+	if sub.refs == nil {
+		next.all = append(next.all, sub)
+	} else {
+		for ref := range sub.refs {
+			next.byRef[ref] = append(next.byRef[ref], sub)
+		}
+	}
+	e.notify.Store(next)
+}
+
+// AdoptSubscriptions moves every live subscription from old onto e,
+// re-resolving node-restricted subscriptions against e's current plan
+// (a rebuilt overlay may renumber reader slots; nodes that no longer have
+// a reader are dropped from the subscription's coverage). It is the
+// companion of a full engine rebuild: the compiling layer swaps in a new
+// engine and adopts the old one's listeners so channels keep delivering.
+func (e *Engine) AdoptSubscriptions(old *Engine) {
+	if old == nil || old == e {
+		return
+	}
+	old.subMu.Lock()
+	prev := old.notify.Load()
+	old.notify.Store(nil)
+	old.subMu.Unlock()
+	if prev == nil {
+		return
+	}
+	seen := map[*Subscription]bool{}
+	var subs []*Subscription
+	for _, s := range prev.all {
+		if !seen[s] {
+			seen[s] = true
+			subs = append(subs, s)
+		}
+	}
+	for _, list := range prev.byRef {
+		for _, s := range list {
+			if !seen[s] {
+				seen[s] = true
+				subs = append(subs, s)
+			}
+		}
+	}
+	st := e.state.Load()
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	for _, sub := range subs {
+		sub.mu.Lock()
+		closed := sub.closed
+		sub.mu.Unlock()
+		if closed {
+			continue
+		}
+		if sub.nodes != nil {
+			refs := make(map[overlay.NodeRef]bool, len(sub.nodes))
+			for _, v := range sub.nodes {
+				if rref := st.plan.reader(v); rref != overlay.NoNode {
+					refs[rref] = true
+				}
+			}
+			sub.refs = refs
+		}
+		e.installLocked(sub)
+	}
+}
+
+// Unsubscribe removes the subscription and closes its channel. Idempotent;
+// safe to call concurrently with writes (an in-flight fan-out that already
+// snapshotted the old table delivers nothing to a closed subscription).
+func (e *Engine) Unsubscribe(sub *Subscription) {
+	if sub == nil {
+		return
+	}
+	e.subMu.Lock()
+	prev := e.notify.Load()
+	if prev != nil {
+		next := &notifyTable{byRef: map[overlay.NodeRef][]*Subscription{}}
+		for _, s := range prev.all {
+			if s != sub {
+				next.all = append(next.all, s)
+			}
+		}
+		for ref, subs := range prev.byRef {
+			var kept []*Subscription
+			for _, s := range subs {
+				if s != sub {
+					kept = append(kept, s)
+				}
+			}
+			if kept != nil {
+				next.byRef[ref] = kept
+			}
+		}
+		if len(next.all) == 0 && len(next.byRef) == 0 {
+			e.notify.Store(nil)
+		} else {
+			e.notify.Store(next)
+		}
+	}
+	e.subMu.Unlock()
+	sub.close()
+}
+
+// Subscribers reports the number of live subscriptions (for stats).
+func (e *Engine) Subscribers() int {
+	nt := e.notify.Load()
+	if nt == nil {
+		return 0
+	}
+	seen := map[*Subscription]bool{}
+	for _, s := range nt.all {
+		seen[s] = true
+	}
+	for _, subs := range nt.byRef {
+		for _, s := range subs {
+			seen[s] = true
+		}
+	}
+	return len(seen)
+}
+
+// notifyFanout pushes refreshed results to subscribers after a write on
+// writer slot wref propagated through its push region. It runs only when at
+// least one subscription exists (the caller checks the atomic table first),
+// and finalizes each touched reader's result at most once per write no
+// matter how many subscriptions cover it.
+//
+// Finalize and deliver happen under the reader's node mutex: concurrent
+// writes touching the same reader (parallel WriteBatch shards) therefore
+// deliver in a consistent per-reader order, and the last update a
+// subscriber sees always reflects the reader's settled value once writes
+// quiesce. The lock is per touched reader and only taken when a
+// subscription exists, so the unsubscribed path is unaffected.
+func (e *Engine) notifyFanout(nt *notifyTable, st *engineState, wref overlay.NodeRef, ts int64) {
+	for _, t := range st.plan.pushReaders[wref] {
+		byRef := nt.byRef[t.ref]
+		if len(nt.all) == 0 && len(byRef) == 0 {
+			continue
+		}
+		ns := st.nodes[t.ref]
+		ns.mu.Lock()
+		var res agg.Result
+		if e.scalar != nil {
+			cell := st.scalars[t.ref]
+			res = e.scalar.FinalizeScalar(cell.sum.Load(), cell.cnt.Load())
+		} else {
+			res = finalizePAO(st.paos[t.ref], nil)
+		}
+		u := Update{Node: t.gid, Result: res, TS: ts}
+		for _, s := range nt.all {
+			s.deliver(u)
+		}
+		for _, s := range byRef {
+			s.deliver(u)
+		}
+		ns.mu.Unlock()
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/graph"
 	"repro/internal/overlay"
 )
 
@@ -29,12 +30,29 @@ type plan struct {
 	top *overlay.Topology
 	// closure[w] is writer w's packed push-region application list.
 	closure [][]int32
+	// pushReaders[w] lists, deduplicated, the push-annotated reader slots a
+	// write on w reaches — the readers whose standing-query results change
+	// when w's content stream advances. The subscription fan-out walks this
+	// list; it is empty for writers whose push region contains no reader, and
+	// nil for non-writer slots.
+	pushReaders [][]readerTouch
+}
+
+// readerTouch is one (overlay slot, data-graph node) pair on a writer's
+// notification list.
+type readerTouch struct {
+	ref overlay.NodeRef
+	gid graph.NodeID
 }
 
 // compilePlan flattens the overlay and precomputes per-writer push closures.
 func compilePlan(ov *overlay.Overlay) *plan {
 	top := ov.Flatten()
-	p := &plan{top: top, closure: make([][]int32, top.N)}
+	p := &plan{
+		top:         top,
+		closure:     make([][]int32, top.N),
+		pushReaders: make([][]readerTouch, top.N),
+	}
 	// stack is reused across writers; entries are packed (ref, inverted).
 	var stack []int32
 	for _, w := range top.Writers {
@@ -55,6 +73,23 @@ func compilePlan(ov *overlay.Overlay) *plan {
 			}
 		}
 		p.closure[w] = apps
+	}
+	// Second pass: derive each writer's deduplicated reader-touch list from
+	// its closure. Built after every closure so the touch slices do not
+	// interleave with the hot closure arrays in the heap (the propagation
+	// loop is cache-sensitive).
+	seen := map[overlay.NodeRef]bool{}
+	for _, w := range top.Writers {
+		var touches []readerTouch
+		clear(seen)
+		for _, pe := range p.closure[w] {
+			ref, _ := overlay.UnpackRef(pe)
+			if top.Kind[ref] == overlay.ReaderNode && !seen[ref] {
+				seen[ref] = true
+				touches = append(touches, readerTouch{ref: ref, gid: top.GID[ref]})
+			}
+		}
+		p.pushReaders[w] = touches
 	}
 	return p
 }

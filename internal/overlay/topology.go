@@ -23,6 +23,9 @@ type Topology struct {
 	Kind []NodeKind
 	Dec  []Decision
 	Dead []bool
+	// GID maps a slot back to its data-graph node (writers and readers);
+	// -1 for partial aggregation nodes.
+	GID []graph.NodeID
 	// Out/OutOff is the downstream CSR: node r's out-edges are
 	// Out[OutOff[r]:OutOff[r+1]], each packed with PackRef.
 	OutOff []int32
@@ -59,6 +62,7 @@ func (o *Overlay) Flatten() *Topology {
 		Kind:     make([]NodeKind, n),
 		Dec:      make([]Decision, n),
 		Dead:     make([]bool, n),
+		GID:      make([]graph.NodeID, n),
 		OutOff:   make([]int32, n+1),
 		InOff:    make([]int32, n+1),
 		WriterOf: make(map[graph.NodeID]NodeRef, len(o.writerOf)),
@@ -70,6 +74,7 @@ func (o *Overlay) Flatten() *Topology {
 		t.Kind[i] = nd.Kind
 		t.Dec[i] = nd.Dec
 		t.Dead[i] = nd.dead
+		t.GID[i] = nd.GID
 		outTotal += len(nd.Out)
 		inTotal += len(nd.In)
 	}

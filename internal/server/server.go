@@ -1,40 +1,88 @@
-// Package server exposes a compiled EAGr system over HTTP with a small
+// Package server exposes a multi-query EAGr session over HTTP with a small
 // JSON API, turning the library into a deployable continuous-query
-// service:
+// service. Queries are first-class resources:
 //
-//	POST /write      {"node":1,"value":42,"ts":7}       ingest a write
-//	POST /write-batch [{"node":1,"value":42,"ts":7},…]   parallel batched ingest
-//	GET  /read?node=1                                    evaluate the query
-//	POST /edge       {"from":1,"to":2}                   structural add
-//	DELETE /edge?from=1&to=2                             structural delete
-//	POST /node       {}                                  add a node
-//	POST /rebalance                                      adaptive re-decision
-//	GET  /stats                                          overlay statistics
+//	POST   /queries          {"aggregate":"sum","windowTuples":3}   register a query
+//	GET    /queries                                                 list registered queries
+//	DELETE /queries/{id}                                            retire a query
+//	GET    /queries/{id}/read?node=1                                evaluate the query at a node
+//	GET    /queries/{id}/watch?node=1&buffer=64                     SSE stream of continuous updates
+//	GET    /queries/{id}/stats                                      per-query overlay statistics
+//
+// plus the shared graph/stream surface:
+//
+//	POST   /write        {"node":1,"value":42,"ts":7}     ingest a write (fans out to all queries)
+//	POST   /write-batch  [{"node":1,"value":42,"ts":7},…] parallel batched ingest
+//	POST   /edge         {"from":1,"to":2}                structural add
+//	DELETE /edge?from=1&to=2                              structural delete
+//	POST   /node         {}                               add a node
+//	DELETE /node?node=1                                   remove a node and its edges
+//	POST   /rebalance                                     adaptive re-decision (all queries)
+//	GET    /stats                                         session statistics
+//
+// /queries/{id}/watch streams Server-Sent Events: one `data: {"node":…,
+// "valid":…,"scalar":…,"ts":…}` frame per pushed update, produced whenever
+// a write reaches a watched reader's ego network. Without a node parameter
+// the stream covers every node of the query. Buffers are bounded and
+// drop-oldest, so a slow watcher never blocks ingestion.
+//
+// The deprecated single-query route GET /read?node= still works: it reads
+// through the oldest registered query.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
+	eagr "repro"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
 
-// Server wraps a compiled system with HTTP handlers.
-type Server struct {
-	sys *core.System
-	mux *http.ServeMux
+// maxWatchBuffer bounds the per-watcher update buffer a client may request
+// (the channel is preallocated; drop-oldest handles anything beyond it).
+const maxWatchBuffer = 1 << 16
 
-	writes atomic.Int64
-	reads  atomic.Int64
+// maxWindowTuples / maxHops / maxQueries bound wire-supplied query
+// parameters: tuple windows preallocate a ring per writer, hops drive a
+// per-reader BFS, and every distinct configuration compiles (and pins) a
+// full overlay — so unbounded values are a client-driven resource DoS.
+const (
+	maxWindowTuples = 1 << 20
+	maxHops         = 16
+	maxQueries      = 1024
+)
+
+// Server wraps a multi-query session with HTTP handlers.
+type Server struct {
+	sess *eagr.Session
+	mux  *http.ServeMux
+
+	writes  atomic.Int64
+	reads   atomic.Int64
+	watches atomic.Int64
+
+	// watchDone, when closed by CloseWatchers, terminates every open
+	// /watch stream so http.Server.Shutdown can drain them.
+	watchDone chan struct{}
+	closeOnce sync.Once
 }
 
-// New returns a server for the system.
-func New(sys *core.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
+// New returns a server for the session. Queries registered directly on the
+// session (e.g. by the hosting process at startup) are served too.
+func New(sess *eagr.Session) *Server {
+	s := &Server{sess: sess, mux: http.NewServeMux(), watchDone: make(chan struct{})}
+	s.mux.HandleFunc("POST /queries", s.handleRegister)
+	s.mux.HandleFunc("GET /queries", s.handleListQueries)
+	s.mux.HandleFunc("DELETE /queries/{id}", s.handleRetire)
+	s.mux.HandleFunc("GET /queries/{id}/read", s.handleQueryRead)
+	s.mux.HandleFunc("GET /queries/{id}/watch", s.handleWatch)
+	s.mux.HandleFunc("GET /queries/{id}/stats", s.handleQueryStats)
 	s.mux.HandleFunc("/write", s.handleWrite)
 	s.mux.HandleFunc("/write-batch", s.handleWriteBatch)
 	s.mux.HandleFunc("/read", s.handleRead)
@@ -50,6 +98,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// CloseWatchers ends every open /watch stream (idempotent). Wire it to
+// http.Server.RegisterOnShutdown so a graceful Shutdown can drain
+// long-lived SSE connections instead of waiting out its context.
+func (s *Server) CloseWatchers() {
+	s.closeOnce.Do(func() { close(s.watchDone) })
+}
+
 type writeReq struct {
 	Node  graph.NodeID `json:"node"`
 	Value int64        `json:"value"`
@@ -61,11 +116,264 @@ type readResp struct {
 	Valid  bool         `json:"valid"`
 	Scalar int64        `json:"scalar,omitempty"`
 	List   []int64      `json:"list,omitempty"`
+	TS     int64        `json:"ts,omitempty"`
 }
 
 type edgeReq struct {
 	From graph.NodeID `json:"from"`
 	To   graph.NodeID `json:"to"`
+}
+
+// querySpecReq mirrors eagr.QuerySpec plus the subset of Options that makes
+// sense over the wire.
+type querySpecReq struct {
+	Aggregate    string `json:"aggregate"`
+	WindowTuples int    `json:"windowTuples"`
+	WindowTime   int64  `json:"windowTime"`
+	Hops         int    `json:"hops"`
+	Continuous   bool   `json:"continuous"`
+	Algorithm    string `json:"algorithm"`
+	Mode         string `json:"mode"`
+}
+
+type queryResp struct {
+	ID           int    `json:"id"`
+	Aggregate    string `json:"aggregate"`
+	WindowTuples int    `json:"windowTuples,omitempty"`
+	WindowTime   int64  `json:"windowTime,omitempty"`
+	Hops         int    `json:"hops,omitempty"`
+	Continuous   bool   `json:"continuous,omitempty"`
+	Shared       int    `json:"shared"`
+	Partials     int    `json:"partials"`
+	Mode         string `json:"mode"`
+}
+
+func queryToResp(q *eagr.Query) queryResp {
+	return queryToRespWith(q, q.Stats())
+}
+
+// queryToRespWith builds the wire form from precomputed stats, letting the
+// list endpoint compute each shared overlay's stats once instead of once
+// per query (overlay stat computation walks the whole overlay).
+func queryToRespWith(q *eagr.Query, st eagr.Stats) queryResp {
+	spec := q.Spec()
+	return queryResp{
+		ID:           q.ID(),
+		Aggregate:    spec.Aggregate,
+		WindowTuples: spec.WindowTuples,
+		WindowTime:   spec.WindowTime,
+		Hops:         spec.Hops,
+		Continuous:   spec.Continuous,
+		Shared:       st.Shared,
+		Partials:     st.Partials,
+		Mode:         st.Mode,
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req querySpecReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.WindowTuples > maxWindowTuples {
+		httpError(w, http.StatusUnprocessableEntity, "windowTuples %d exceeds limit %d", req.WindowTuples, maxWindowTuples)
+		return
+	}
+	if req.Hops > maxHops {
+		httpError(w, http.StatusUnprocessableEntity, "hops %d exceeds limit %d", req.Hops, maxHops)
+		return
+	}
+	if req.WindowTuples < 0 || req.WindowTime < 0 || req.Hops < 0 {
+		httpError(w, http.StatusUnprocessableEntity, "negative query parameters")
+		return
+	}
+	if len(s.sess.Queries()) >= maxQueries {
+		httpError(w, http.StatusTooManyRequests, "query limit %d reached; retire one first", maxQueries)
+		return
+	}
+	// Merge wire-level overrides over the session defaults, so a query
+	// registered over HTTP with the same effective configuration as a
+	// locally registered one shares its compiled overlay.
+	opts := s.sess.Defaults()
+	if req.Algorithm != "" {
+		opts.Algorithm = req.Algorithm
+	}
+	if req.Mode != "" {
+		opts.Mode = req.Mode
+	}
+	q, err := s.sess.Register(eagr.QuerySpec{
+		Aggregate:    req.Aggregate,
+		WindowTuples: req.WindowTuples,
+		WindowTime:   req.WindowTime,
+		Hops:         req.Hops,
+		Continuous:   req.Continuous,
+	}, opts)
+	if err != nil {
+		httpError(w, statusFor(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(queryToResp(q))
+}
+
+func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {
+	list := s.sess.Queries()
+	out := make([]queryResp, 0, len(list))
+	// Queries sharing one compiled overlay report identical overlay
+	// stats; compute them once per underlying system.
+	cache := map[*core.System]eagr.Stats{}
+	for _, q := range list {
+		sys := q.Internal()
+		st, ok := cache[sys]
+		if !ok {
+			st = q.Stats()
+			cache[sys] = st
+		}
+		out = append(out, queryToRespWith(q, st))
+	}
+	writeJSON(w, out)
+}
+
+// queryFor resolves the {id} path value; nil means the response was sent.
+func (s *Server) queryFor(w http.ResponseWriter, r *http.Request) *eagr.Query {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query id %q", r.PathValue("id"))
+		return nil
+	}
+	q := s.sess.Query(id)
+	if q == nil {
+		httpError(w, http.StatusNotFound, "no query %d", id)
+		return nil
+	}
+	return q
+}
+
+func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
+	q := s.queryFor(w, r)
+	if q == nil {
+		return
+	}
+	if err := q.Close(); err != nil {
+		httpError(w, statusFor(err), "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQueryRead(w http.ResponseWriter, r *http.Request) {
+	q := s.queryFor(w, r)
+	if q == nil {
+		return
+	}
+	node, err := nodeParam(r, "node")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := q.Read(node)
+	if err != nil {
+		httpError(w, statusFor(err), "%v", err)
+		return
+	}
+	s.reads.Add(1)
+	writeJSON(w, readResp{Node: node, Valid: res.Valid, Scalar: res.Scalar, List: res.List})
+}
+
+func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
+	q := s.queryFor(w, r)
+	if q == nil {
+		return
+	}
+	st := q.Stats()
+	writeJSON(w, map[string]any{
+		"id":             q.ID(),
+		"algorithm":      st.Algorithm,
+		"mode":           st.Mode,
+		"maintainable":   st.Maintainable,
+		"writers":        st.Writers,
+		"readers":        st.Readers,
+		"partials":       st.Partials,
+		"edges":          st.Edges,
+		"negativeEdges":  st.NegativeEdges,
+		"sharingIndex":   st.SharingIndex,
+		"avgDepth":       st.AvgDepth,
+		"shared":         st.Shared,
+		"subscribers":    st.Subscribers,
+		"droppedUpdates": st.DroppedUpdates,
+	})
+}
+
+// handleWatch streams continuous-query updates as Server-Sent Events until
+// the client disconnects or the query is retired.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	q := s.queryFor(w, r)
+	if q == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	buffer := 64
+	if raw := r.URL.Query().Get("buffer"); raw != "" {
+		if b, err := strconv.Atoi(raw); err == nil && b > 0 {
+			// Cap the client-supplied capacity: the channel is allocated
+			// up front, so an unbounded value is a one-request memory DoS.
+			buffer = min(b, maxWatchBuffer)
+		}
+	}
+	var nodes []graph.NodeID
+	if raw := r.URL.Query().Get("node"); raw != "" {
+		node, err := nodeParam(r, "node")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		nodes = append(nodes, node)
+	}
+	ch, cancel, err := q.Subscribe(buffer, nodes...)
+	if err != nil {
+		httpError(w, statusFor(err), "%v", err)
+		return
+	}
+	defer cancel()
+	s.watches.Add(1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.watchDone:
+			// Server shutting down; end the stream so Shutdown can drain.
+			return
+		case u, open := <-ch:
+			if !open {
+				// Query retired under the watcher.
+				return
+			}
+			if _, err := fmt.Fprint(w, "data: "); err != nil {
+				return
+			}
+			if err := enc.Encode(readResp{Node: u.Node, Valid: u.Result.Valid,
+				Scalar: u.Result.Scalar, List: u.Result.List, TS: u.TS}); err != nil {
+				return
+			}
+			if _, err := fmt.Fprint(w, "\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
 }
 
 func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
@@ -78,7 +386,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	if err := s.sys.Write(req.Node, req.Value, req.TS); err != nil {
+	if err := s.sess.Write(req.Node, req.Value, req.TS); err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -100,7 +408,7 @@ func (s *Server) handleWriteBatch(w http.ResponseWriter, r *http.Request) {
 	for i, req := range reqs {
 		events[i] = graph.Event{Kind: graph.ContentWrite, Node: req.Node, Value: req.Value, TS: req.TS}
 	}
-	if err := s.sys.WriteBatch(events); err != nil {
+	if err := s.sess.WriteBatch(events); err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -108,6 +416,8 @@ func (s *Server) handleWriteBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int{"accepted": len(events)})
 }
 
+// handleRead is the deprecated single-query read: it answers through the
+// oldest registered query. Prefer GET /queries/{id}/read.
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
@@ -118,9 +428,14 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.sys.Read(node)
+	queries := s.sess.Queries()
+	if len(queries) == 0 {
+		httpError(w, http.StatusNotFound, "no queries registered")
+		return
+	}
+	res, err := queries[0].Read(node)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		httpError(w, statusFor(err), "%v", err)
 		return
 	}
 	s.reads.Add(1)
@@ -135,8 +450,8 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 			return
 		}
-		if err := s.sys.AddGraphEdge(req.From, req.To); err != nil {
-			httpError(w, http.StatusConflict, "%v", err)
+		if err := s.sess.AddEdge(req.From, req.To); err != nil {
+			httpError(w, statusFor(err), "%v", err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -147,8 +462,8 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "from and to required")
 			return
 		}
-		if err := s.sys.RemoveGraphEdge(from, to); err != nil {
-			httpError(w, http.StatusNotFound, "%v", err)
+		if err := s.sess.RemoveEdge(from, to); err != nil {
+			httpError(w, statusFor(err), "%v", err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -160,7 +475,7 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
-		v, err := s.sys.AddGraphNode()
+		v, err := s.sess.AddNode()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -172,8 +487,8 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		if err := s.sys.RemoveGraphNode(v); err != nil {
-			httpError(w, http.StatusNotFound, "%v", err)
+		if err := s.sess.RemoveNode(v); err != nil {
+			httpError(w, statusFor(err), "%v", err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -187,7 +502,7 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	flips, err := s.sys.Rebalance()
+	flips, err := s.sess.Rebalance()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -200,21 +515,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	st := s.sys.Stats()
+	st := s.sess.Stats()
 	writeJSON(w, map[string]any{
-		"algorithm":     st.Algorithm,
-		"mode":          string(st.Mode),
-		"maintainable":  st.Maintainable,
-		"writers":       st.Overlay.Writers,
-		"readers":       st.Overlay.Readers,
-		"partials":      st.Overlay.Partials,
-		"edges":         st.Overlay.Edges,
-		"negativeEdges": st.Overlay.NegEdges,
-		"sharingIndex":  st.Overlay.SharingIndex,
-		"avgDepth":      st.Overlay.AvgDepth,
-		"servedWrites":  s.writes.Load(),
-		"servedReads":   s.reads.Load(),
+		"queries":        st.Queries,
+		"groups":         st.Groups,
+		"writers":        st.Writers,
+		"readers":        st.Readers,
+		"partials":       st.Partials,
+		"edges":          st.Edges,
+		"droppedUpdates": st.DroppedUpdates,
+		"servedWrites":   s.writes.Load(),
+		"servedReads":    s.reads.Load(),
+		"servedWatches":  s.watches.Load(),
 	})
+}
+
+// statusFor maps the façade's typed errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, eagr.ErrUnknownNode), errors.Is(err, graph.ErrNodeNotFound),
+		errors.Is(err, graph.ErrEdgeNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, graph.ErrEdgeExists), errors.Is(err, graph.ErrNodeExists):
+		return http.StatusConflict
+	case errors.Is(err, eagr.ErrQueryClosed):
+		return http.StatusGone
+	case errors.Is(err, eagr.ErrConflictingWindow), errors.Is(err, eagr.ErrIncompatibleQuery):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func nodeParam(r *http.Request, name string) (graph.NodeID, error) {

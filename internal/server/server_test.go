@@ -1,34 +1,47 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
-	"repro/internal/agg"
-	"repro/internal/construct"
-	"repro/internal/core"
+	eagr "repro"
 	"repro/internal/graph"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+// testSession builds a session over the 5-node fixture graph with one
+// registered sum query.
+func testSession(t *testing.T) (*eagr.Session, *eagr.Query) {
 	t.Helper()
-	g := graph.NewWithNodes(5)
+	g := eagr.NewGraph(5)
 	// 1 -> 0, 2 -> 0, 3 -> 2
 	for _, e := range [][2]graph.NodeID{{1, 0}, {2, 0}, {3, 2}} {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	sys, err := core.Compile(g, core.Query{Aggregate: agg.Sum{}},
-		core.Options{Algorithm: construct.AlgIOB})
+	sess, err := eagr.Open(g, eagr.Options{Algorithm: "iob"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(sys))
+	q, err := sess.Register(eagr.QuerySpec{Aggregate: "sum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, q
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sess, _ := testSession(t)
+	ts := httptest.NewServer(New(sess))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -42,6 +55,16 @@ func post(t *testing.T, url string, body any) *http.Response {
 		}
 	}
 	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func del(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,6 +103,170 @@ func TestWriteThenRead(t *testing.T) {
 	}
 }
 
+func TestQueryLifecycleAPI(t *testing.T) {
+	ts := testServer(t)
+	// Register a second sum query: it must share the first one's overlay.
+	resp := post(t, ts.URL+"/queries", map[string]any{"aggregate": "sum"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+	created := decode[map[string]any](t, resp)
+	id := int(created["id"].(float64))
+	if created["shared"].(float64) != 2 {
+		t.Fatalf("second sum query shared = %v, want 2", created["shared"])
+	}
+	// And a max query, which compiles its own overlay.
+	resp = post(t, ts.URL+"/queries", map[string]any{"aggregate": "max", "windowTuples": 3})
+	maxID := int(decode[map[string]any](t, resp)["id"].(float64))
+
+	list := decode[[]map[string]any](t, mustGet(t, ts.URL+"/queries"))
+	if len(list) != 3 {
+		t.Fatalf("queries = %v, want 3", list)
+	}
+
+	// Per-query reads see per-query results.
+	post(t, ts.URL+"/write", map[string]any{"node": 1, "value": 7, "ts": 1}).Body.Close()
+	got := decode[map[string]any](t, mustGet(t, fmt.Sprintf("%s/queries/%d/read?node=0", ts.URL, id)))
+	if got["scalar"].(float64) != 7 {
+		t.Fatalf("query read = %v, want 7", got)
+	}
+	st := decode[map[string]any](t, mustGet(t, fmt.Sprintf("%s/queries/%d/stats", ts.URL, maxID)))
+	if st["mode"] != "dataflow" || st["shared"].(float64) != 1 {
+		t.Fatalf("query stats = %v", st)
+	}
+
+	// Retire the second sum query; the first keeps answering.
+	if resp := del(t, fmt.Sprintf("%s/queries/%d", ts.URL, id)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("retire status = %d", resp.StatusCode)
+	}
+	if resp := del(t, fmt.Sprintf("%s/queries/%d", ts.URL, id)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double retire status = %d", resp.StatusCode)
+	}
+	got = decode[map[string]any](t, mustGet(t, ts.URL+"/read?node=0"))
+	if got["scalar"].(float64) != 7 {
+		t.Fatalf("read after retire = %v, want 7", got)
+	}
+}
+
+func TestRegisterErrorsHTTP(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/queries", map[string]any{"aggregate": "nope"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown aggregate status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post(t, ts.URL+"/queries", map[string]any{"aggregate": "sum", "windowTuples": 2, "windowTime": 5})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("conflicting window status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post(t, ts.URL+"/queries", map[string]any{"aggregate": "max", "algorithm": "vnmn"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("illegal algorithm status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Resource-bound rejections: oversized windows/hops and negatives.
+	for _, body := range []map[string]any{
+		{"aggregate": "sum", "windowTuples": 1 << 24},
+		{"aggregate": "sum", "hops": 99},
+		{"aggregate": "sum", "windowTuples": -1},
+	} {
+		resp = post(t, ts.URL+"/queries", body)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("%v status = %d, want 422", body, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestWatchSSE subscribes to the continuous stream and checks a pushed
+// frame arrives for a write in the watched ego network.
+func TestWatchSSE(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/queries", map[string]any{"aggregate": "sum", "continuous": true})
+	id := int(decode[map[string]any](t, resp)["id"].(float64))
+
+	wresp, err := http.Get(fmt.Sprintf("%s/queries/%d/watch?node=0&buffer=8", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	if ct := wresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	frames := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(wresp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "data: ") {
+				frames <- strings.TrimPrefix(line, "data: ")
+				return
+			}
+		}
+	}()
+	post(t, ts.URL+"/write", map[string]any{"node": 1, "value": 9, "ts": 3}).Body.Close()
+	select {
+	case frame := <-frames:
+		var u map[string]any
+		if err := json.Unmarshal([]byte(frame), &u); err != nil {
+			t.Fatalf("bad frame %q: %v", frame, err)
+		}
+		if u["node"].(float64) != 0 || u["scalar"].(float64) != 9 || u["ts"].(float64) != 3 {
+			t.Fatalf("frame = %v, want node 0 scalar 9 ts 3", u)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SSE frame within 5s")
+	}
+}
+
+// TestCloseWatchersEndsStreams pins the graceful-shutdown contract: an
+// open /watch stream terminates when CloseWatchers fires (the hook
+// eagr-serve wires to http.Server.RegisterOnShutdown), instead of pinning
+// Shutdown until its context expires.
+func TestCloseWatchersEndsStreams(t *testing.T) {
+	sess, _ := testSession(t)
+	srv := New(sess)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	resp := post(t, ts.URL+"/queries", map[string]any{"aggregate": "sum", "continuous": true})
+	id := int(decode[map[string]any](t, resp)["id"].(float64))
+	wresp, err := http.Get(fmt.Sprintf("%s/queries/%d/watch", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, wresp.Body)
+		done <- err
+	}()
+	srv.CloseWatchers()
+	srv.CloseWatchers() // idempotent
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch stream did not end after CloseWatchers")
+	}
+}
+
+// TestRegisterInheritsSessionDefaults pins that wire-registered queries
+// merge over the session defaults, so they share overlays with queries
+// registered by the hosting process.
+func TestRegisterInheritsSessionDefaults(t *testing.T) {
+	ts := testServer(t) // session default Algorithm "iob", one sum query
+	resp := post(t, ts.URL+"/queries", map[string]any{"aggregate": "sum"})
+	created := decode[map[string]any](t, resp)
+	if created["shared"].(float64) != 2 {
+		t.Fatalf("HTTP-registered twin query shared = %v, want 2 (defaults must merge)", created["shared"])
+	}
+	st := decode[map[string]any](t, mustGet(t, ts.URL+"/stats"))
+	if st["groups"].(float64) != 1 {
+		t.Fatalf("groups = %v, want 1", st["groups"])
+	}
+}
+
 func TestWriteBatchThenRead(t *testing.T) {
 	ts := testServer(t)
 	resp := post(t, ts.URL+"/write-batch", []map[string]any{
@@ -93,11 +280,7 @@ func TestWriteBatchThenRead(t *testing.T) {
 	if out["accepted"] != 2 {
 		t.Fatalf("accepted = %v, want 2", out)
 	}
-	rresp, err := http.Get(ts.URL + "/read?node=0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := decode[map[string]any](t, rresp)
+	got := decode[map[string]any](t, mustGet(t, ts.URL+"/read?node=0"))
 	if got["scalar"].(float64) != 42 {
 		t.Fatalf("read after batch = %v, want 42", got)
 	}
@@ -132,8 +315,7 @@ func TestStructuralEdgeAPI(t *testing.T) {
 		t.Fatalf("edge add status = %d", resp.StatusCode)
 	}
 	resp.Body.Close()
-	resp, _ = http.Get(ts.URL + "/read?node=0")
-	got := decode[map[string]any](t, resp)
+	got := decode[map[string]any](t, mustGet(t, ts.URL+"/read?node=0"))
 	if got["scalar"].(float64) != 5 {
 		t.Fatalf("read after edge add = %v, want 5", got)
 	}
@@ -144,17 +326,10 @@ func TestStructuralEdgeAPI(t *testing.T) {
 	}
 	resp.Body.Close()
 	// Delete it again.
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/edge?from=3&to=0", nil)
-	dresp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if dresp.StatusCode != http.StatusNoContent {
+	if dresp := del(t, ts.URL+"/edge?from=3&to=0"); dresp.StatusCode != http.StatusNoContent {
 		t.Fatalf("edge delete status = %d", dresp.StatusCode)
 	}
-	dresp.Body.Close()
-	resp, _ = http.Get(ts.URL + "/read?node=0")
-	got = decode[map[string]any](t, resp)
+	got = decode[map[string]any](t, mustGet(t, ts.URL+"/read?node=0"))
 	if got["valid"].(bool) {
 		t.Fatalf("read after delete = %v, want invalid (no written inputs)", got)
 	}
@@ -171,25 +346,19 @@ func TestNodeLifecycleAPI(t *testing.T) {
 	if id != 5 {
 		t.Fatalf("new node = %d, want 5", id)
 	}
-	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/node?node=%d", ts.URL, id), nil)
-	dresp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if dresp.StatusCode != http.StatusNoContent {
+	if dresp := del(t, fmt.Sprintf("%s/node?node=%d", ts.URL, id)); dresp.StatusCode != http.StatusNoContent {
 		t.Fatalf("node delete status = %d", dresp.StatusCode)
 	}
-	dresp.Body.Close()
+	// Deleting it again is a typed unknown-node error -> 404.
+	if dresp := del(t, fmt.Sprintf("%s/node?node=%d", ts.URL, id)); dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double node delete status = %d", dresp.StatusCode)
+	}
 }
 
 func TestStatsAndRebalance(t *testing.T) {
 	ts := testServer(t)
-	resp, err := http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	st := decode[map[string]any](t, resp)
-	if st["algorithm"] != "iob" {
+	st := decode[map[string]any](t, mustGet(t, ts.URL+"/stats"))
+	if st["queries"].(float64) != 1 || st["groups"].(float64) != 1 {
 		t.Fatalf("stats = %v", st)
 	}
 	if st["readers"].(float64) != 5 {
@@ -217,6 +386,7 @@ func TestMethodChecks(t *testing.T) {
 		{http.MethodPost, "/stats"},
 		{http.MethodPut, "/edge"},
 		{http.MethodPut, "/node"},
+		{http.MethodPut, "/queries"},
 	}
 	for _, c := range cases {
 		req, _ := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader(nil))
@@ -233,12 +403,26 @@ func TestMethodChecks(t *testing.T) {
 
 func TestBadJSON(t *testing.T) {
 	ts := testServer(t)
-	resp, err := http.Post(ts.URL+"/write", "application/json", bytes.NewReader([]byte("{")))
+	for _, path := range []string{"/write", "/queries"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte("{")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s bad JSON status = %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad JSON status = %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status = %d", url, resp.StatusCode)
 	}
-	resp.Body.Close()
+	return resp
 }
