@@ -201,6 +201,21 @@ func BenchmarkOpSumPush1Query(b *testing.B)           { benchMultiWrites(b, 1, t
 func BenchmarkOpSumPush8QueriesShared(b *testing.B)   { benchMultiWrites(b, 8, true) }
 func BenchmarkOpSumPush8QueriesDistinct(b *testing.B) { benchMultiWrites(b, 8, false) }
 
+// benchMergedWrites measures the merged-overlay sharing win: one Write
+// feeding n partially-overlapping all-push SUM queries, either compiled
+// into ONE merged family overlay with per-query reader views (merged) or
+// into n distinct overlays the write fans out to.
+func benchMergedWrites(b *testing.B, n int, merged bool) {
+	m, writes, err := benchfix.MergedMicro(n, merged)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchfix.RunMultiWrites(b, m, writes)
+}
+
+func BenchmarkOpSumPushMergedQueries(b *testing.B)    { benchMergedWrites(b, 8, true) }
+func BenchmarkOpSumPushMergedVsDistinct(b *testing.B) { benchMergedWrites(b, 8, false) }
+
 // BenchmarkOpSubscribeFanout measures the push path with one all-readers
 // subscription and no consumer: every write finalizes the touched
 // readers' results and delivers with steady-state drop-oldest.
@@ -210,6 +225,17 @@ func BenchmarkOpSubscribeFanout(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchfix.RunWrites(b, eng, writes)
+}
+
+// BenchmarkOpSubscribeFanoutBatch measures the same subscribed engine
+// through WriteBatch, where fan-out is coalesced to at most one
+// finalize+deliver per touched reader per batch instead of one per write.
+func BenchmarkOpSubscribeFanoutBatch(b *testing.B) {
+	eng, writes, err := benchfix.SubscribedEngine(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchfix.RunWriteBatch(b, eng, writes, 1)
 }
 
 func BenchmarkOpSumDataflow(b *testing.B) { benchOps(b, construct.AlgVNMA, "dataflow", agg.Sum{}) }

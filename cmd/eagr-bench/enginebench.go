@@ -44,6 +44,12 @@ var seedBaseline = map[string]engineBenchResult{
 	"OpSumAllPull":   {NsPerOp: 176.8, OpsPerSec: 5.66e6, AllocsPerOp: 1, BytesPerOp: 39},
 	"OpMaxPullRead":  {NsPerOp: 771.7, OpsPerSec: 1.30e6, AllocsPerOp: 5, BytesPerOp: 438},
 	"OpTopKPullRead": {NsPerOp: 1379.0, OpsPerSec: 0.73e6, AllocsPerOp: 5, BytesPerOp: 394},
+	// Measured just before merged multi-query overlays landed: 8
+	// partially-overlapping SUM queries could only compile as 8 distinct
+	// overlays (the MergedVsDistinct fixture), and a WriteBatch against a
+	// subscribed engine fanned out once per write, not once per batch.
+	"OpSumPushMergedQueries": {NsPerOp: 1972.0, OpsPerSec: 0.51e6, AllocsPerOp: 0, BytesPerOp: 0},
+	"OpSubscribeFanoutBatch": {NsPerOp: 1007.0, OpsPerSec: 0.99e6, AllocsPerOp: 0, BytesPerOp: 0},
 }
 
 func toResult(r testing.BenchmarkResult) engineBenchResult {
@@ -129,6 +135,28 @@ func runEngineBench(path string) error {
 		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
+	// Merged-overlay sharing: 8 partially-overlapping SUM queries compiled
+	// into ONE merged family overlay (per-query reader views) vs 8
+	// distinct overlays the write fans out to.
+	mergeds := []struct {
+		name   string
+		merged bool
+	}{
+		{"OpSumPushMergedQueries", true},
+		{"OpSumPushMergedVsDistinct", false},
+	}
+	for _, m := range mergeds {
+		ms, writes, err := benchfix.MergedMicro(8, m.merged)
+		if err != nil {
+			return err
+		}
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunMultiWrites(b, ms, writes)
+		}))
+		cur[m.name] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
 	{
 		eng, writes, err := benchfix.SubscribedEngine(1024)
 		if err != nil {
@@ -140,6 +168,20 @@ func runEngineBench(path string) error {
 		cur["OpSubscribeFanout"] = r
 		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			"OpSubscribeFanout", r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	{
+		// The same subscribed engine through WriteBatch: fan-out coalesced
+		// to once per touched reader per batch.
+		eng, writes, err := benchfix.SubscribedEngine(1024)
+		if err != nil {
+			return err
+		}
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunWriteBatch(b, eng, writes, 1)
+		}))
+		cur["OpSubscribeFanoutBatch"] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			"OpSubscribeFanoutBatch", r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
 	workers := []int{1}
 	if p := runtime.GOMAXPROCS(0); p > 1 {

@@ -15,8 +15,13 @@
 // The public API is organized around multi-query Sessions: one Session
 // hosts any number of standing queries over one shared dynamic graph, the
 // paper's unit of optimization. Queries with identical configuration share
-// one compiled overlay — and therefore their partial aggregators — while
-// incompatible queries run side by side over the same graph.
+// one compiled overlay outright, and queries with the same
+// aggregate/window semantics but different neighborhoods, hop depths or
+// reader sets are compiled together into ONE merged overlay over the union
+// of their query sets (a "merge family") — partial aggregators shared
+// wherever neighborhoods overlap, with each query reading its own
+// per-query view. Incompatible queries run side by side over the same
+// graph.
 //
 // Basic usage:
 //
@@ -118,6 +123,10 @@ var (
 	// cannot be compiled (unknown aggregate, or an overlay algorithm whose
 	// correctness precondition the aggregate does not meet).
 	ErrIncompatibleQuery = core.ErrIncompatible
+	// ErrIncompatibleMerge reports a query that could not be merged into
+	// (or retired from) a merge family's shared overlay. It wraps
+	// ErrIncompatibleQuery, so errors.Is on either matches.
+	ErrIncompatibleMerge = core.ErrIncompatibleMerge
 	// ErrConflictingWindow reports a QuerySpec that sets both WindowTuples
 	// and WindowTime; a query has exactly one window.
 	ErrConflictingWindow = errors.New("eagr: QuerySpec sets both WindowTuples and WindowTime")
@@ -219,8 +228,14 @@ func Open(g *Graph, opts ...Options) (*Session, error) {
 // Queries with identical configuration (same aggregate, window,
 // neighborhood and compile options) share one compiled overlay — and its
 // partial aggregators — per the paper's sharing construction; the second
-// registration of such a query is free. Incompatible queries compile their
-// own overlay over the same graph.
+// registration of such a query is free. Queries that differ ONLY in their
+// neighborhood (hop depth, tagged filter) join the same merge family: the
+// family's queries compile into one merged overlay over the union of their
+// query sets, sharing partial aggregation work wherever their
+// neighborhoods overlap, while this handle reads exactly its own query's
+// view. Registering into an existing family extends the merged overlay
+// online (ingest keeps flowing). Incompatible queries compile their own
+// overlay over the same graph.
 func (s *Session) Register(spec QuerySpec, opts ...Options) (*Query, error) {
 	o := s.defaults
 	if len(opts) > 1 {
@@ -262,7 +277,8 @@ func (s *Session) Register(spec QuerySpec, opts ...Options) (*Query, error) {
 		copy(wl.Write, o.WriteFreq)
 		co.Workload = wl
 	}
-	att, err := s.multi.Attach(compatKey(spec, o), q, co)
+	full, fam := compatKey(spec, o)
+	att, err := s.multi.AttachMerged(full, fam, q, co)
 	if err != nil {
 		return nil, err
 	}
@@ -274,6 +290,7 @@ func (s *Session) Register(spec QuerySpec, opts ...Options) (*Query, error) {
 		id:   s.nextID,
 		spec: spec,
 		att:  att,
+		tag:  att.ViewTag(),
 		subs: map[*exec.Subscription]struct{}{},
 	}
 	h.sysRef = att.System()
@@ -282,15 +299,23 @@ func (s *Session) Register(spec QuerySpec, opts ...Options) (*Query, error) {
 	return h, nil
 }
 
-// compatKey canonicalizes a query's full compile configuration; equal keys
-// share one compiled system. Spellings that compile identically map to one
-// key (WindowTuples 0 ≡ 1, Hops 0 ≡ 1, empty mode ≡ "dataflow", zero
-// iterations ≡ the construct default). The empty key means "never share":
-// explicit per-node frequencies and neighborhoods without a stable
-// identity opt out.
-func compatKey(spec QuerySpec, o Options) string {
+// compatKey canonicalizes a query's compile configuration into two sharing
+// keys. full is the complete configuration: equal full keys share one
+// compiled member outright (the Nth identical registration is free). family
+// is everything EXCEPT the neighborhood/reader set — aggregate, window,
+// continuity, algorithm, mode, construction knobs: queries with equal
+// non-empty family keys but different neighborhoods or hop depths compile
+// into ONE merged overlay over the union of their query sets, each reading
+// its own per-query view (the paper's cross-query sharing).
+//
+// Spellings that compile identically map to one key (WindowTuples 0 ≡ 1,
+// Hops 0 ≡ 1, empty mode ≡ "dataflow", zero iterations ≡ the construct
+// default). Empty keys mean "never share": explicit per-node frequencies
+// opt out entirely, and neighborhoods without a stable identity opt out of
+// both levels.
+func compatKey(spec QuerySpec, o Options) (full, family string) {
 	if o.ReadFreq != nil || o.WriteFreq != nil {
-		return ""
+		return "", ""
 	}
 	// Canonical neighborhood identity: Options.Neighborhood overrides
 	// spec.Hops exactly as Register does, so QuerySpec{Hops: 2} and
@@ -303,7 +328,7 @@ func compatKey(spec QuerySpec, o Options) string {
 	if o.Neighborhood != nil {
 		key, ok := neighborhoodKey(o.Neighborhood)
 		if !ok {
-			return ""
+			return "", ""
 		}
 		nbr = key
 	}
@@ -322,10 +347,11 @@ func compatKey(spec QuerySpec, o Options) string {
 		// continuous queries would not share.
 		mode = string(core.ModeAllPush)
 	}
-	return fmt.Sprintf("agg=%s|wc=%d|wt=%d|nbr=%s|cont=%t|alg=%s|mode=%s|it=%d|split=%t|mrc=%g",
-		specOrDefault(spec.Aggregate, "sum"), wc, spec.WindowTime, nbr,
+	family = fmt.Sprintf("agg=%s|wc=%d|wt=%d|cont=%t|alg=%s|mode=%s|it=%d|split=%t|mrc=%g",
+		specOrDefault(spec.Aggregate, "sum"), wc, spec.WindowTime,
 		spec.Continuous, o.Algorithm, mode,
 		it, o.SplitNodes, o.MaxReadCost)
+	return family + "|nbr=" + nbr, family
 }
 
 // neighborhoodKey canonicalizes a neighborhood's sharing identity. K is
@@ -460,11 +486,16 @@ type SessionStats struct {
 	Queries int
 	// Groups is the number of distinct compiled overlays; queries in one
 	// group share all partial aggregators.
-	Groups   int
-	Writers  int
-	Readers  int
-	Partials int
-	Edges    int
+	Groups int
+	// MergedFamilies counts the overlays hosting more than one member
+	// query (the merged multi-query overlays), and MergedQueries the
+	// member queries they host: sharing beyond exact configuration twins.
+	MergedFamilies int
+	MergedQueries  int
+	Writers        int
+	Readers        int
+	Partials       int
+	Edges          int
 	// DroppedUpdates counts subscription deliveries discarded because
 	// consumers fell behind, summed over all live queries.
 	DroppedUpdates int64
@@ -473,6 +504,7 @@ type SessionStats struct {
 // Stats returns current session-wide statistics.
 func (s *Session) Stats() SessionStats {
 	st := SessionStats{Groups: s.multi.NumGroups()}
+	st.MergedFamilies, st.MergedQueries = s.multi.NumMergedFamilies()
 	for _, sys := range s.multi.Systems() {
 		ov := sys.Stats().Overlay
 		st.Writers += ov.Writers
@@ -497,6 +529,10 @@ type Query struct {
 	sess *Session
 	id   int
 	spec QuerySpec
+	// tag is the query's member view within its (possibly merged) compiled
+	// system: reads, subscriptions and coverage checks address exactly
+	// this query's readers even when several queries share one overlay.
+	tag int32
 
 	// sys caches the compiled system; nil after Close, which is how the
 	// read hot path detects retirement without taking a lock. sysRef is
@@ -535,7 +571,21 @@ func (q *Query) Read(v NodeID) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return sys.Read(v)
+	return sys.ReadView(q.tag, v)
+}
+
+// Covered reports whether the standing query's result at v is
+// push-maintained (pre-computed on every covering write) — exactly the
+// nodes a Subscribe observes. Continuous queries compile all-push, so every
+// node of theirs is covered; on a quasi-continuous query coverage reflects
+// the optimizer's push/pull decisions and may change across Rebalance.
+// Unknown nodes and closed queries report false.
+func (q *Query) Covered(v NodeID) bool {
+	sys := q.sys.Load()
+	if sys == nil {
+		return false
+	}
+	return sys.ViewCovered(q.tag, v)
 }
 
 // ReadInto evaluates the standing query at v into a caller-provided result.
@@ -547,7 +597,7 @@ func (q *Query) ReadInto(v NodeID, res *Result) error {
 	if err != nil {
 		return err
 	}
-	return sys.ReadInto(v, res)
+	return sys.ReadViewInto(q.tag, v, res)
 }
 
 // Subscribe registers a continuous listener on the query with a bounded
@@ -570,7 +620,7 @@ func (q *Query) Subscribe(buffer int, nodes ...NodeID) (<-chan Update, func(), e
 	if err != nil {
 		return nil, nil, err
 	}
-	sub, err := sys.Subscribe(buffer, nodes...)
+	sub, err := sys.SubscribeView(q.tag, buffer, nodes...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -662,9 +712,18 @@ type Stats struct {
 	Algorithm                  string
 	Mode                       string
 	Maintainable               bool
-	// Shared is the number of queries (including this one) sharing the
-	// compiled overlay these stats describe.
+	// Shared is the number of identically-configured queries (including
+	// this one) sharing this query's compiled member for free.
 	Shared int
+	// Family is the number of distinct member queries (including this one)
+	// merged into the compiled overlay these stats describe: Family > 1
+	// means this query reads a per-query view of a MERGED overlay whose
+	// partial aggregators are shared across members with different
+	// neighborhoods or reader sets.
+	Family int
+	// OwnReaders is the number of reader nodes this query's view owns in
+	// the (possibly shared) overlay; Readers counts all members' readers.
+	OwnReaders int
 	// Subscribers is the number of live subscriptions on the overlay's
 	// engine; DroppedUpdates counts this query's discarded deliveries.
 	Subscribers    int
@@ -691,9 +750,24 @@ func (q *Query) Stats() Stats {
 		Mode:           string(st.Mode),
 		Maintainable:   st.Maintainable,
 		Shared:         q.att.Shared(),
+		Family:         q.att.FamilySize(),
+		OwnReaders:     st.Overlay.QueryReaders[q.tag],
 		Subscribers:    sys.Subscribers(),
 		DroppedUpdates: q.dropped(),
 	}
+}
+
+// Sharing returns the query's sharing counters without walking the overlay
+// for full statistics: how many identical registrations share its compiled
+// member (shared), how many member queries its merge family hosts — itself
+// included — on the shared overlay (family), and how many reader nodes its
+// own view owns there (ownReaders). Zeros after Close.
+func (q *Query) Sharing() (shared, family, ownReaders int) {
+	sys := q.sys.Load()
+	if sys == nil {
+		return 0, 0, 0
+	}
+	return q.att.Shared(), q.att.FamilySize(), sys.ViewReaders(q.tag)
 }
 
 // Internal exposes the query's underlying core system for advanced use

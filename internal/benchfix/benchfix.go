@@ -151,6 +151,44 @@ func MultiMicro(n int, shared bool) (*core.MultiSystem, []graph.Event, error) {
 	return m, Writes(workload.Events(wl, 1<<16, 2)), nil
 }
 
+// MergedMicro builds the merged-overlay benchmark fixture: n
+// partially-overlapping all-push SUM queries over the standard 2000-node
+// social graph — query i's readers are the nodes in a wrapping range of
+// 1250 ids starting at i*2000/n, so adjacent queries overlap heavily but
+// none are identical. With merged=true all n join ONE merge family
+// (AttachMerged with a shared family key) and compile into a single merged
+// overlay with per-query reader views; with merged=false each compiles its
+// own overlay and writes fan out to n independent engines. The ns/op gap
+// between the two is the merged-overlay sharing win the paper's multi-query
+// construction targets.
+func MergedMicro(n int, merged bool) (*core.MultiSystem, []graph.Event, error) {
+	const nodes = 2000
+	g := workload.SocialGraph(nodes, 8, 1)
+	m := core.NewMulti(g)
+	famKey := ""
+	if merged {
+		famKey = "bench-family"
+	}
+	for i := 0; i < n; i++ {
+		lo := graph.NodeID(i * nodes / n)
+		hi := (lo + 1250) % nodes
+		pred := func(_ *graph.Graph, v graph.NodeID) bool {
+			if lo <= hi {
+				return v >= lo && v < hi
+			}
+			return v >= lo || v < hi
+		}
+		q := core.Query{Aggregate: agg.Sum{}, Window: agg.NewTupleWindow(1), Predicate: pred}
+		_, err := m.AttachMerged(fmt.Sprintf("bench-q%d", i), famKey, q,
+			core.Options{Algorithm: construct.AlgVNMA, Mode: core.ModeAllPush, Construct: construct.Config{Iterations: 3}})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	return m, Writes(workload.Events(wl, 1<<16, 2)), nil
+}
+
 // RunMultiWrites measures per-write cost of fanning one content update out
 // to every query group of a MultiSystem.
 func RunMultiWrites(b *testing.B, m *core.MultiSystem, writes []graph.Event) {

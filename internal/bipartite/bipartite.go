@@ -60,6 +60,64 @@ func Build(g *graph.Graph, n graph.Neighborhood, pred graph.Predicate) *AG {
 	return ag
 }
 
+// Member describes one query's reader population for a merged multi-query
+// build: its neighborhood function, its predicate, and the query tag that
+// namespaces its reader ids.
+type Member struct {
+	Neighborhood graph.Neighborhood
+	Predicate    graph.Predicate
+	Tag          int32
+}
+
+// BuildUnion constructs the UNION bipartite graph of several queries over
+// one data graph — the merged-overlay construction input (paper §3: sharing
+// partial aggregates ACROSS queries). Every member contributes one reader
+// per predicate-selected node, identified by the encoded id
+// tag*stride + node, with that member's own neighborhood as its input list;
+// writers keep their real data-graph ids and their degrees accumulate
+// across members, so FP-tree mining ranks writers by their union frequency
+// and bicliques are shared wherever members' neighborhoods overlap.
+//
+// stride must exceed every data-graph node id. The resulting AG is a plain
+// bipartite graph with unique reader ids; construction algorithms need no
+// merged-mode awareness.
+func BuildUnion(g *graph.Graph, members []Member, stride graph.NodeID) *AG {
+	ag := &AG{
+		WriterDegree: make(map[graph.NodeID]int),
+		maxID:        g.MaxID(),
+	}
+	g.ForEachNode(func(v graph.NodeID) {
+		ag.AllNodes = append(ag.AllNodes, v)
+	})
+	for _, m := range members {
+		nbr := m.Neighborhood
+		if nbr == nil {
+			nbr = graph.InNeighbors{}
+		}
+		pred := m.Predicate
+		if pred == nil {
+			pred = graph.AllNodes
+		}
+		base := graph.NodeID(m.Tag) * stride
+		g.ForEachNode(func(v graph.NodeID) {
+			if !pred(g, v) {
+				return
+			}
+			inputs := nbr.Select(g, v)
+			sort.Slice(inputs, func(i, j int) bool { return inputs[i] < inputs[j] })
+			ag.Readers = append(ag.Readers, Reader{Node: base + v, Inputs: inputs})
+			for _, w := range inputs {
+				ag.WriterDegree[w]++
+			}
+			ag.numEdges += len(inputs)
+			if int(base+v) >= ag.maxID {
+				ag.maxID = int(base+v) + 1
+			}
+		})
+	}
+	return ag
+}
+
 // FromInputLists builds an AG directly from explicit reader input lists,
 // useful in tests and for replaying the paper's running example. Input
 // lists are copied and sorted.

@@ -213,6 +213,56 @@ func (m *Maintainer) AddNode(v graph.NodeID, inputs []graph.NodeID, consumers []
 	return m.b.addReader(v, inputs)
 }
 
+// AddWriter registers a writer node for data-graph node v (idempotent). It
+// is the writer half of AddNode, split out so a merged multi-query overlay
+// can register the writer once and then add one tagged reader per member
+// query.
+func (m *Maintainer) AddWriter(v graph.NodeID) {
+	m.b.addWriter(v)
+}
+
+// AddReader inserts a brand-new reader with the given input list through
+// the IOB algorithm, covering the inputs with existing partial aggregates
+// where profitable. r is the reader's overlay GID — in a merged multi-query
+// overlay the encoded tag*stride+node id — and must not already exist. An
+// empty input list still creates the (empty-aggregate) reader, unlike
+// AddReaderInputs. This is the online family-extension primitive: attaching
+// a query to an existing merged overlay adds its readers one by one without
+// recompiling the shared structure.
+func (m *Maintainer) AddReader(r graph.NodeID, inputs []graph.NodeID) error {
+	if m.b.ov.Reader(r) != overlay.NoNode {
+		return fmt.Errorf("construct: reader %d already exists", r)
+	}
+	if err := m.b.addReader(r, inputs); err != nil {
+		return err
+	}
+	// The union bipartite graph gained this reader's input list; keep the
+	// sharing-index denominator in step.
+	m.b.ov.AddAGEdges(len(inputs))
+	return nil
+}
+
+// RemoveReader removes reader r (by overlay GID) and garbage-collects any
+// partial aggregates nobody else consumes, leaving the writer role of the
+// underlying data-graph node untouched. Missing readers are a no-op: query
+// retirement sweeps all of a member's possible reader ids. This is the
+// online family-retirement primitive.
+func (m *Maintainer) RemoveReader(r graph.NodeID) error {
+	rref := m.b.ov.Reader(r)
+	if rref == overlay.NoNode {
+		return nil
+	}
+	inputs := len(m.b.iset[rref])
+	if err := m.b.ov.RemoveNode(rref); err != nil {
+		return err
+	}
+	delete(m.b.iset, rref)
+	delete(m.directCount, r)
+	m.b.ov.GCOrphans()
+	m.b.ov.AddAGEdges(-inputs)
+	return nil
+}
+
 // RemoveNode removes both roles of a data-graph node from the overlay and
 // repairs the indexes (§3.3). Aggregates upstream of the removed writer
 // shrink accordingly.

@@ -9,8 +9,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/agg"
 	"repro/internal/bipartite"
@@ -88,7 +90,49 @@ const Baseline = "baseline"
 // does not meet.
 var ErrIncompatible = errors.New("incompatible query")
 
-// System is a compiled, executable EAGr instance.
+// ErrIncompatibleMerge reports a query that could not be merged into (or
+// retired from) an existing merge family's shared overlay. It wraps
+// ErrIncompatible so callers treating merge failures as compilation
+// failures keep working (errors.Is on either matches).
+var ErrIncompatibleMerge = fmt.Errorf("incompatible merge: %w", ErrIncompatible)
+
+// errMergeFull is the internal capacity signal: the family cannot take
+// another member (tag space exhausted for its stride). Callers fall back to
+// compiling a fresh system instead of surfacing an error.
+var errMergeFull = fmt.Errorf("merge family full: %w", ErrIncompatibleMerge)
+
+// maxFamilyViews bounds the member count of one merged overlay; beyond it a
+// fresh family is opened (per-write reader fan-out grows with every member,
+// so unbounded families would trade the sharing win back away).
+const maxFamilyViews = 64
+
+// MemberSpec describes one member query's reader population in a merged
+// family: the neighborhood and predicate that may differ between members,
+// while the aggregate, window, and mode are shared by the family's base
+// Query.
+type MemberSpec struct {
+	Neighborhood graph.Neighborhood
+	Predicate    graph.Predicate
+}
+
+// view is one member query's compiled reader view inside a System. tag
+// namespaces its readers in the shared overlay (reader GID = tag*stride +
+// node); retired views keep their slot (tags are never reused) so live
+// handles' tags stay stable.
+type view struct {
+	nbr  graph.Neighborhood
+	pred graph.Predicate
+	tag  int32
+	live bool
+}
+
+// System is a compiled, executable EAGr instance hosting one or more
+// member queries over ONE shared overlay. A single-query System (Compile)
+// has one view with tag 0 and plain reader GIDs; a merged System
+// (CompileMerged, or a single System extended by AddMember) compiles the
+// UNION of its members' query sets into one overlay whose partial
+// aggregators are shared wherever neighborhoods overlap, with per-member
+// reader views addressed by tag (paper §3: cross-query sharing).
 type System struct {
 	// structMu serializes whole public structural operations, including the
 	// data-graph mutation itself (the graph has no internal locking). It is
@@ -101,19 +145,63 @@ type System struct {
 	q    Query
 	opts Options
 
+	// views and stride are the merge-family state, mutated only under mu
+	// (and read by mutators under mu); the read/subscribe hot paths never
+	// touch them — they resolve tags through the engine's immutable plan
+	// snapshot, so member attach/retire never blocks or races reads.
+	views  []view
+	stride graph.NodeID // reader-GID stride; 0 until the system goes merged
+
 	ag      *bipartite.AG
 	ov      *overlay.Overlay
-	eng     *exec.Engine
+	eng     atomic.Pointer[exec.Engine]
 	adaptor *dataflow.Adaptor
 	maint   *construct.Maintainer
 	cost    dataflow.CostModel
 	wl      *dataflow.Workload
 }
 
+// engine returns the current execution engine. Full recompiles swap it
+// atomically, so ingest and reads racing a structural rebuild observe
+// either the old or the new engine, never a torn pointer.
+func (s *System) engine() *exec.Engine { return s.eng.Load() }
+
 // Compile builds the overlay for the query, makes dataflow decisions, and
 // returns a ready-to-run system. The data graph is retained (not copied);
 // structural changes must go through the System's mutation methods.
 func Compile(g *graph.Graph, q Query, opts Options) (*System, error) {
+	return compileViews(g, q, opts, nil, 0)
+}
+
+// CompileMerged compiles several member queries sharing base's aggregate,
+// window and mode — but each with its own neighborhood and predicate — into
+// ONE merged overlay over the union of their query sets, the paper's
+// cross-query sharing construction. base's own Neighborhood/Predicate are
+// ignored; members[i] becomes the view with tag i, readable through
+// ReadView(i, v).
+func CompileMerged(g *graph.Graph, base Query, members []MemberSpec, opts Options) (*System, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: merged compile needs at least one member: %w", ErrIncompatibleMerge)
+	}
+	stride := strideFor(g)
+	if len(members) > viewCapacity(stride) {
+		return nil, fmt.Errorf("core: %d members exceed merge capacity %d: %w",
+			len(members), viewCapacity(stride), ErrIncompatibleMerge)
+	}
+	views := make([]view, len(members))
+	for i, m := range members {
+		nbr := m.Neighborhood
+		if nbr == nil {
+			nbr = graph.InNeighbors{}
+		}
+		views[i] = view{nbr: nbr, pred: m.Predicate, tag: int32(i), live: true}
+	}
+	return compileViews(g, base, opts, views, stride)
+}
+
+// compileViews is the shared compile path. views nil means single-query
+// (one view derived from q, stride 0); otherwise the merged construction.
+func compileViews(g *graph.Graph, q Query, opts Options, views []view, stride graph.NodeID) (*System, error) {
 	if q.Aggregate == nil {
 		return nil, fmt.Errorf("core: query needs an aggregate: %w", ErrIncompatible)
 	}
@@ -149,7 +237,10 @@ func Compile(g *graph.Graph, q Query, opts Options) (*System, error) {
 		return nil, err
 	}
 
-	s := &System{g: g, q: q, opts: opts}
+	if views == nil {
+		views = []view{{nbr: q.Neighborhood, pred: q.Predicate, tag: 0, live: true}}
+	}
+	s := &System{g: g, q: q, opts: opts, views: views, stride: stride}
 	s.cost = opts.CostModel
 	if s.cost == nil {
 		s.cost = dataflow.ModelFor(q.Aggregate)
@@ -161,6 +252,27 @@ func Compile(g *graph.Graph, q Query, opts Options) (*System, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// strideFor picks the reader-GID stride for a merged overlay over g: the
+// next power of two with at least 2x headroom over the current id space, so
+// moderate graph growth never forces a re-stride recompile.
+func strideFor(g *graph.Graph) graph.NodeID {
+	stride := graph.NodeID(1024)
+	for int(stride) < 2*(g.MaxID()+1) {
+		stride <<= 1
+	}
+	return stride
+}
+
+// viewCapacity bounds the member count for a stride: every encoded reader
+// GID (tag*stride + node) must stay a positive int32.
+func viewCapacity(stride graph.NodeID) int {
+	c := int(int64(math.MaxInt32)/int64(stride)) - 1
+	if c > maxFamilyViews {
+		c = maxFamilyViews
+	}
+	return c
 }
 
 func checkLegality(alg string, props agg.Properties) error {
@@ -180,18 +292,39 @@ func checkLegality(alg string, props agg.Properties) error {
 	return nil
 }
 
-// buildOverlay constructs AG and the overlay.
+// buildOverlay constructs AG and the overlay. Merged systems (stride > 0)
+// build the UNION bipartite graph of every live view, so construction mines
+// bicliques — and therefore places shared partial aggregation nodes —
+// across member queries wherever their neighborhoods overlap.
 func (s *System) buildOverlay() error {
-	s.ag = bipartite.Build(s.g, s.q.Neighborhood, s.q.Predicate)
+	if s.stride > 0 {
+		members := make([]bipartite.Member, 0, len(s.views))
+		for i := range s.views {
+			if !s.views[i].live {
+				continue
+			}
+			members = append(members, bipartite.Member{
+				Neighborhood: s.views[i].nbr,
+				Predicate:    s.views[i].pred,
+				Tag:          s.views[i].tag,
+			})
+		}
+		s.ag = bipartite.BuildUnion(s.g, members, s.stride)
+	} else {
+		s.ag = bipartite.Build(s.g, s.q.Neighborhood, s.q.Predicate)
+	}
 	if s.opts.Algorithm == Baseline {
 		s.ov = construct.Baseline(s.ag)
-		return nil
+	} else {
+		res, err := construct.Build(s.opts.Algorithm, s.ag, s.opts.Construct)
+		if err != nil {
+			return err
+		}
+		s.ov = res.Overlay
 	}
-	res, err := construct.Build(s.opts.Algorithm, s.ag, s.opts.Construct)
-	if err != nil {
-		return err
+	if s.stride > 0 {
+		s.ov.SetReaderStride(int32(s.stride))
 	}
-	s.ov = res.Overlay
 	return nil
 }
 
@@ -206,10 +339,7 @@ func (s *System) windowSizeHint() int {
 
 // decideAndStart makes dataflow decisions and (re)creates the engine.
 func (s *System) decideAndStart() error {
-	wl := s.opts.Workload
-	if wl == nil {
-		wl = dataflow.Uniform(s.g.MaxID(), 1, 1)
-	}
+	wl := s.stridedWorkload(s.workloadOrUniform())
 	s.wl = wl
 	f, err := dataflow.ComputeFreqs(s.ov, wl, s.windowSizeHint())
 	if err != nil {
@@ -246,15 +376,17 @@ func (s *System) decideAndStart() error {
 			return err
 		}
 	}
-	prevEng := s.eng
-	s.eng, err = exec.New(s.ov, s.q.Aggregate, s.q.Window)
+	prevEng := s.eng.Load()
+	eng, err := exec.New(s.ov, s.q.Aggregate, s.q.Window)
 	if err != nil {
 		return err
 	}
-	// A full recompile (non-maintainable overlays) replaces the engine;
-	// live subscriptions move over so continuous consumers keep receiving
-	// updates across the rebuild.
-	s.eng.AdoptSubscriptions(prevEng)
+	// A full recompile (non-maintainable overlays, member attach/retire on
+	// them, re-strides) replaces the engine; live subscriptions move over
+	// so continuous consumers keep receiving updates across the rebuild,
+	// re-resolving their (tag, node) coverage against the new plan.
+	eng.AdoptSubscriptions(prevEng)
+	s.eng.Store(eng)
 	s.adaptor = dataflow.NewAdaptor(s.ov, f, s.cost)
 	// Incremental maintenance requires single-path, negative-edge-free
 	// overlays; when unavailable, structural updates fall back to
@@ -265,30 +397,50 @@ func (s *System) decideAndStart() error {
 
 // Write ingests a content update (a write on v).
 func (s *System) Write(v graph.NodeID, value int64, ts int64) error {
-	return s.eng.Write(v, value, ts)
+	return s.engine().Write(v, value, ts)
 }
 
 // WriteBatch ingests a batch of content writes through the engine's
 // sharded parallel write pool (per-writer ordering is preserved;
 // non-write events are skipped).
 func (s *System) WriteBatch(events []graph.Event) error {
-	return s.eng.WriteBatch(events)
+	return s.engine().WriteBatch(events)
 }
 
-// Read evaluates the standing query at v.
+// Read evaluates the standing query at v (the first member's view on a
+// merged system).
 func (s *System) Read(v graph.NodeID) (agg.Result, error) {
-	return s.eng.Read(v)
+	return s.engine().Read(v)
 }
 
 // ReadInto evaluates the standing query at v into a caller-provided result,
 // reusing res.List's backing array for list-valued aggregates (TOP-K) so a
 // caller that retains res across calls reads without allocating.
 func (s *System) ReadInto(v graph.NodeID, res *agg.Result) error {
-	return s.eng.ReadInto(v, res)
+	return s.engine().ReadInto(v, res)
+}
+
+// ReadView evaluates member tag's standing query at v — each member of a
+// merged family reads exactly its own view of the shared overlay. Lock-free
+// against member attach/retire: the tag resolves through the engine's
+// immutable plan snapshot.
+func (s *System) ReadView(tag int32, v graph.NodeID) (agg.Result, error) {
+	return s.engine().ReadTagged(tag, v)
+}
+
+// ReadViewInto is ReadView with a caller-provided result (see ReadInto).
+func (s *System) ReadViewInto(tag int32, v graph.NodeID, res *agg.Result) error {
+	return s.engine().ReadTaggedInto(tag, v, res)
+}
+
+// ViewCovered reports whether member tag's result at v is push-maintained —
+// i.e. whether a subscription on v observes updates (see exec.Engine.Covered).
+func (s *System) ViewCovered(tag int32, v graph.NodeID) bool {
+	return s.engine().CoveredTagged(tag, v)
 }
 
 // Engine exposes the underlying execution engine (for runners/benchmarks).
-func (s *System) Engine() *exec.Engine { return s.eng }
+func (s *System) Engine() *exec.Engine { return s.engine() }
 
 // Subscribe registers a continuous listener on the system's engine (see
 // exec.Engine.Subscribe). It serializes with recompiles under the system
@@ -296,9 +448,17 @@ func (s *System) Engine() *exec.Engine { return s.eng }
 // structural rebuild has already drained — it is either installed before
 // the swap (and adopted by the new engine) or installed on the new engine.
 func (s *System) Subscribe(buffer int, nodes ...graph.NodeID) (*exec.Subscription, error) {
+	return s.SubscribeView(0, buffer, nodes...)
+}
+
+// SubscribeView is Subscribe for member tag's reader view of a merged
+// family: with no nodes it covers every reader the member owns (never a
+// sibling member's), otherwise only the member's standing queries at the
+// given nodes. It serializes with recompiles like Subscribe.
+func (s *System) SubscribeView(tag int32, buffer int, nodes ...graph.NodeID) (*exec.Subscription, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.eng.Subscribe(buffer, nodes...)
+	return s.engine().SubscribeTagged(tag, buffer, nodes...)
 }
 
 // Unsubscribe removes a subscription from the system's current engine
@@ -307,7 +467,7 @@ func (s *System) Subscribe(buffer int, nodes ...graph.NodeID) (*exec.Subscriptio
 func (s *System) Unsubscribe(sub *exec.Subscription) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.eng.Unsubscribe(sub)
+	s.engine().Unsubscribe(sub)
 }
 
 // Subscribers reports the engine's live subscription count, serialized
@@ -315,7 +475,7 @@ func (s *System) Unsubscribe(sub *exec.Subscription) {
 func (s *System) Subscribers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.eng.Subscribers()
+	return s.engine().Subscribers()
 }
 
 // ExpireAll advances time-based windows to ts at every writer, propagating
@@ -325,7 +485,7 @@ func (s *System) Subscribers() int {
 func (s *System) ExpireAll(ts int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.eng.ExpireAll(ts)
+	s.engine().ExpireAll(ts)
 }
 
 // Overlay exposes the compiled overlay (for inspection).
@@ -346,11 +506,11 @@ func (s *System) AG() *bipartite.AG { return s.ag }
 func (s *System) Rebalance() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	pushes, pulls := s.eng.Observations()
+	pushes, pulls := s.engine().Observations()
 	s.adaptor.ObserveBatch(pushes, pulls)
 	flips := s.adaptor.Rebalance()
 	if flips > 0 {
-		if err := s.eng.ResyncPushState(); err != nil {
+		if err := s.engine().ResyncPushState(); err != nil {
 			return flips, err
 		}
 	}
@@ -365,7 +525,8 @@ func (s *System) Reoptimize(wl *dataflow.Workload) error {
 	if wl != nil {
 		s.opts.Workload = wl
 	}
-	f, err := dataflow.ComputeFreqs(s.ov, s.workloadOrUniform(), s.windowSizeHint())
+	s.wl = s.stridedWorkload(s.workloadOrUniform())
+	f, err := dataflow.ComputeFreqs(s.ov, s.wl, s.windowSizeHint())
 	if err != nil {
 		return err
 	}
@@ -373,8 +534,9 @@ func (s *System) Reoptimize(wl *dataflow.Workload) error {
 		return err
 	}
 	s.adaptor = dataflow.NewAdaptor(s.ov, f, s.cost)
-	s.eng.Grow(s.q.Window)
-	return s.eng.ResyncPushState()
+	eng := s.engine()
+	eng.Grow(s.q.Window)
+	return eng.ResyncPushState()
 }
 
 func (s *System) workloadOrUniform() *dataflow.Workload {
@@ -382,6 +544,21 @@ func (s *System) workloadOrUniform() *dataflow.Workload {
 		return s.opts.Workload
 	}
 	return dataflow.Uniform(s.g.MaxID(), 1, 1)
+}
+
+// stridedWorkload applies the system's reader stride to a workload so
+// merged-overlay reader GIDs (tag*stride+node) decode back to data-graph
+// nodes in frequency lookups. Copy-on-write: a caller-owned workload is
+// never mutated. EVERY path that feeds a workload into ComputeFreqs on a
+// merged system must go through this, or tag>=1 readers read frequency 0
+// and the decisions demote them to pull.
+func (s *System) stridedWorkload(wl *dataflow.Workload) *dataflow.Workload {
+	if s.stride == 0 || wl == nil || wl.Stride == int(s.stride) {
+		return wl
+	}
+	strided := *wl
+	strided.Stride = int(s.stride)
+	return &strided
 }
 
 // AddGraphEdge applies a structural edge addition (S_G event) to the data
@@ -432,111 +609,205 @@ func (s *System) RemoveGraphNode(v graph.NodeID) error {
 // over ONE shared graph can mutate the graph exactly once and then fan the
 // repair out to every attached system (multi.go).
 
-// edgeAdded repairs the overlay after edge u→v appeared in the data graph.
+// edgeAdded repairs the overlay after edge u→v appeared in the data graph,
+// once per member view (each view's neighborhood decides which of its
+// readers the edge touches).
 func (s *System) edgeAdded(u, v graph.NodeID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.repairReaders(construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v))
-}
-
-// edgeAffected returns the readers whose neighborhoods an u→v edge change
-// touches; it must be called BEFORE a removal mutates the graph.
-func (s *System) edgeAffected(u, v graph.NodeID) []graph.NodeID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v)
-}
-
-// edgeRemoved repairs the overlay after an edge disappeared; affected is the
-// pre-removal edgeAffected set.
-func (s *System) edgeRemoved(affected []graph.NodeID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.repairReaders(affected)
-}
-
-// nodeAdded registers a freshly added (edge-less) graph node.
-func (s *System) nodeAdded(v graph.NodeID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.maint == nil {
 		return s.recompileLocked()
 	}
-	if err := s.maint.AddNode(v, nil, nil); err != nil {
-		return err
+	for i := range s.views {
+		if !s.views[i].live {
+			continue
+		}
+		affected := construct.AffectedByEdge(s.g, s.views[i].nbr, u, v)
+		if err := s.repairViewLocked(&s.views[i], affected); err != nil {
+			return err
+		}
 	}
 	s.afterMaintenance()
 	return nil
 }
 
-// nodeRemovalAffected returns the sorted reader set a removal of v would
-// touch; it must be called BEFORE the graph mutation.
-func (s *System) nodeRemovalAffected(v graph.NodeID) []graph.NodeID {
+// edgeAffected returns, per member view, the readers whose neighborhoods an
+// u→v edge change touches; it must be called BEFORE a removal mutates the
+// graph.
+func (s *System) edgeAffected(u, v graph.NodeID) [][]graph.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	affected := map[graph.NodeID]bool{}
-	for _, u := range s.g.Out(v) {
-		for _, r := range construct.AffectedByEdge(s.g, s.q.Neighborhood, v, u) {
-			affected[r] = true
+	out := make([][]graph.NodeID, len(s.views))
+	for i := range s.views {
+		if !s.views[i].live {
+			continue
+		}
+		out[i] = construct.AffectedByEdge(s.g, s.views[i].nbr, u, v)
+	}
+	return out
+}
+
+// edgeRemoved repairs the overlay after an edge disappeared; affected is the
+// pre-removal edgeAffected set.
+func (s *System) edgeRemoved(affected [][]graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maint == nil {
+		return s.recompileLocked()
+	}
+	for i := range s.views {
+		if !s.views[i].live || i >= len(affected) {
+			continue
+		}
+		if err := s.repairViewLocked(&s.views[i], affected[i]); err != nil {
+			return err
 		}
 	}
-	for _, u := range s.g.In(v) {
-		for _, r := range construct.AffectedByEdge(s.g, s.q.Neighborhood, u, v) {
-			affected[r] = true
+	s.afterMaintenance()
+	return nil
+}
+
+// nodeAdded registers a freshly added (edge-less) graph node: the writer
+// once, plus one reader per member view whose predicate admits it.
+func (s *System) nodeAdded(v graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stride > 0 && v >= s.stride {
+		// The id space outgrew the reader stride: encoded reader GIDs
+		// would collide with the next tag's. Recompile with a wider one —
+		// BEFORE the non-maintainable fallback, whose recompile would
+		// rebuild the union with the stale stride and silently alias
+		// members' readers.
+		return s.restrideLocked()
+	}
+	if s.maint == nil {
+		return s.recompileLocked()
+	}
+	s.maint.AddWriter(v)
+	for i := range s.views {
+		vw := &s.views[i]
+		if !vw.live {
+			continue
+		}
+		if vw.pred != nil && !vw.pred(s.g, v) {
+			continue
+		}
+		if err := s.maint.AddReader(s.viewBase(vw)+v, nil); err != nil {
+			return err
 		}
 	}
-	delete(affected, v)
-	var list []graph.NodeID
-	for r := range affected {
-		list = append(list, r)
+	s.afterMaintenance()
+	return nil
+}
+
+// nodeRemovalAffected returns, per member view, the sorted reader set a
+// removal of v would touch; it must be called BEFORE the graph mutation.
+func (s *System) nodeRemovalAffected(v graph.NodeID) [][]graph.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]graph.NodeID, len(s.views))
+	for i := range s.views {
+		if !s.views[i].live {
+			continue
+		}
+		nbr := s.views[i].nbr
+		affected := map[graph.NodeID]bool{}
+		for _, u := range s.g.Out(v) {
+			for _, r := range construct.AffectedByEdge(s.g, nbr, v, u) {
+				affected[r] = true
+			}
+		}
+		for _, u := range s.g.In(v) {
+			for _, r := range construct.AffectedByEdge(s.g, nbr, u, v) {
+				affected[r] = true
+			}
+		}
+		delete(affected, v)
+		var list []graph.NodeID
+		for r := range affected {
+			list = append(list, r)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out[i] = list
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-	return list
+	return out
 }
 
 // nodeRemoved repairs the overlay after node v left the graph; affected is
-// the pre-removal nodeRemovalAffected set.
-func (s *System) nodeRemoved(v graph.NodeID, affected []graph.NodeID) error {
+// the pre-removal nodeRemovalAffected set. Every member view's reader for v
+// dies with the node.
+func (s *System) nodeRemoved(v graph.NodeID, affected [][]graph.NodeID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.maint == nil {
 		return s.recompileLocked()
 	}
+	// RemoveNode drops the writer and the tag-0 reader (whose GID is the
+	// plain node id); higher tags' readers are swept explicitly.
 	if err := s.maint.RemoveNode(v); err != nil {
 		return err
 	}
-	return s.repairReadersLocked(affected)
-}
-
-// repairReaders diffs each affected reader's neighborhood against the
-// overlay and applies the deltas through the maintainer; it falls back to a
-// full recompile when incremental maintenance is unavailable.
-func (s *System) repairReaders(affected []graph.NodeID) error {
-	if s.maint == nil {
-		return s.recompileLocked()
+	for i := range s.views {
+		vw := &s.views[i]
+		if !vw.live || vw.tag == 0 {
+			continue
+		}
+		if err := s.maint.RemoveReader(s.viewBase(vw) + v); err != nil {
+			return err
+		}
 	}
-	return s.repairReadersLocked(affected)
+	for i := range s.views {
+		if !s.views[i].live || i >= len(affected) {
+			continue
+		}
+		if err := s.repairViewLocked(&s.views[i], affected[i]); err != nil {
+			return err
+		}
+	}
+	s.afterMaintenance()
+	return nil
 }
 
-func (s *System) repairReadersLocked(affected []graph.NodeID) error {
+// viewBase returns the reader-GID offset of a member view.
+func (s *System) viewBase(vw *view) graph.NodeID {
+	return graph.NodeID(vw.tag) * s.stride
+}
+
+// repairViewLocked diffs each affected reader's neighborhood (under the
+// member view's own neighborhood function and predicate) against the
+// overlay and applies the deltas through the maintainer. The caller runs
+// afterMaintenance once all views are repaired.
+func (s *System) repairViewLocked(vw *view, affected []graph.NodeID) error {
+	base := s.viewBase(vw)
 	for _, r := range affected {
 		if !s.g.Alive(r) {
 			continue
 		}
-		if s.q.Predicate != nil && !s.q.Predicate(s.g, r) {
+		rid := base + r
+		if vw.pred != nil && !vw.pred(s.g, r) {
+			// The predicate no longer admits r: its reader (if any) must
+			// go, or this view would diverge from a freshly compiled one.
+			if err := s.maint.RemoveReader(rid); err != nil {
+				return err
+			}
 			continue
 		}
-		want := s.q.Neighborhood.Select(s.g, r)
+		want := vw.nbr.Select(s.g, r)
 		wantSet := make(map[graph.NodeID]bool, len(want))
 		for _, w := range want {
 			wantSet[w] = true
 		}
-		var have map[graph.NodeID]int
-		if ref := s.ov.Reader(r); ref != overlay.NoNode {
-			have = s.ov.InputSet(ref)
-		} else {
-			have = map[graph.NodeID]int{}
+		ref := s.ov.Reader(rid)
+		if ref == overlay.NoNode {
+			// Newly admitted (or never materialized) reader: insert it
+			// whole through the incremental builder, empty-input readers
+			// included — compile keeps those queryable too.
+			if err := s.maint.AddReader(rid, want); err != nil {
+				return err
+			}
+			continue
 		}
+		have := s.ov.InputSet(ref)
 		var adds, dels []graph.NodeID
 		for w := range wantSet {
 			if have[w] == 0 {
@@ -551,28 +822,190 @@ func (s *System) repairReadersLocked(affected []graph.NodeID) error {
 		sort.Slice(adds, func(i, j int) bool { return adds[i] < adds[j] })
 		sort.Slice(dels, func(i, j int) bool { return dels[i] < dels[j] })
 		if len(dels) > 0 {
-			if err := s.maint.RemoveReaderInputs(r, dels); err != nil {
+			if err := s.maint.RemoveReaderInputs(rid, dels); err != nil {
 				return err
 			}
 		}
 		if len(adds) > 0 {
-			if err := s.maint.AddReaderInputs(r, adds); err != nil {
+			if err := s.maint.AddReaderInputs(rid, adds); err != nil {
 				return err
 			}
 		}
 	}
-	s.afterMaintenance()
 	return nil
 }
 
 // afterMaintenance resizes and resynchronizes the engine after the overlay
 // changed shape. Restructuring may have inserted pull-annotated partials
 // beneath push nodes; the repair pass restores the decision invariant
-// before state is rebuilt.
+// before state is rebuilt. All-push systems (notably continuous queries,
+// whose Subscribe coverage must stay complete) re-force every node to push,
+// since maintenance creates new readers pull-annotated.
 func (s *System) afterMaintenance() {
-	dataflow.RepairDecisions(s.ov)
-	s.eng.Grow(s.q.Window)
-	_ = s.eng.ResyncPushState()
+	if s.opts.Mode == ModeAllPush {
+		dataflow.DecideAll(s.ov, overlay.Push)
+	} else {
+		dataflow.RepairDecisions(s.ov)
+	}
+	// The adaptor's per-node arrays are sized for the overlay it was built
+	// from; maintenance may have added nodes (partial splits, merged-family
+	// member insertion), so rebuild it or the next Rebalance would observe
+	// refs it has no slots for.
+	if f, err := dataflow.ComputeFreqs(s.ov, s.wl, s.windowSizeHint()); err == nil {
+		s.adaptor = dataflow.NewAdaptor(s.ov, f, s.cost)
+	}
+	eng := s.engine()
+	eng.Grow(s.q.Window)
+	_ = eng.ResyncPushState()
+}
+
+// restrideLocked rebuilds a merged system whose data graph outgrew its
+// reader stride. Member tags survive (subscriptions and handles address
+// views by tag plus real node id, never by encoded GID), so the rebuild is
+// invisible to readers apart from window state loss.
+func (s *System) restrideLocked() error {
+	stride := strideFor(s.g)
+	if len(s.views) > viewCapacity(stride) {
+		return fmt.Errorf("core: graph growth to %d nodes leaves no room for %d merged views: %w",
+			s.g.MaxID(), len(s.views), ErrIncompatibleMerge)
+	}
+	s.stride = stride
+	return s.recompileLocked()
+}
+
+// AddMember extends the merged overlay with one more member query ONLINE:
+// on a maintainable overlay the new member's readers are inserted one by
+// one through the incremental builder — covered by the existing shared
+// partial aggregates where profitable — while ingest keeps flowing on the
+// unchanged engine (state republishes via Grow + online resync). Overlays
+// without incremental maintenance recompile the union from scratch; live
+// subscriptions survive either way. Returns the new member's view tag.
+//
+// A single-query System converts to a merged one on its first AddMember;
+// its existing tag-0 readers already use plain node ids, which is exactly
+// tag 0 of the encoded scheme, so conversion adds no work.
+func (s *System) AddMember(spec MemberSpec) (int32, error) {
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nbr := spec.Neighborhood
+	if nbr == nil {
+		nbr = graph.InNeighbors{}
+	}
+	if s.stride == 0 {
+		s.stride = strideFor(s.g)
+		s.ov.SetReaderStride(int32(s.stride))
+		// The maintainable path below skips decideAndStart, so the
+		// workload must pick up the stride here or every subsequent
+		// freq computation sees tag>=1 readers as never read.
+		s.wl = s.stridedWorkload(s.wl)
+	} else if graph.NodeID(s.g.MaxID()) > s.stride {
+		if err := s.restrideLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if len(s.views)+1 > viewCapacity(s.stride) {
+		return 0, errMergeFull
+	}
+	tag := int32(len(s.views))
+	vw := view{nbr: nbr, pred: spec.Predicate, tag: tag, live: true}
+	s.views = append(s.views, vw)
+	if s.maint == nil {
+		if err := s.recompileLocked(); err != nil {
+			s.views[tag].live = false
+			return 0, fmt.Errorf("core: merged recompile: %w: %w", ErrIncompatibleMerge, err)
+		}
+		return tag, nil
+	}
+	base := s.viewBase(&s.views[tag])
+	var insertErr error
+	s.g.ForEachNode(func(v graph.NodeID) {
+		if insertErr != nil {
+			return
+		}
+		if vw.pred != nil && !vw.pred(s.g, v) {
+			return
+		}
+		insertErr = s.maint.AddReader(base+v, nbr.Select(s.g, v))
+	})
+	if insertErr != nil {
+		// Roll back by recompiling from the remaining live views: the
+		// half-inserted view is already marked dead, and the rebuild
+		// discards the partially-extended overlay wholesale (no point
+		// sweeping its readers out one by one first).
+		s.views[tag].live = false
+		if err := s.recompileLocked(); err != nil {
+			return 0, fmt.Errorf("core: merge rollback recompile: %w: %w", ErrIncompatibleMerge, err)
+		}
+		return 0, fmt.Errorf("core: merge extension: %w: %w", ErrIncompatibleMerge, insertErr)
+	}
+	s.afterMaintenance()
+	return tag, nil
+}
+
+// RetireMember removes member tag's reader view from the merged overlay —
+// online on maintainable overlays (its readers leave one by one and orphan
+// partials are garbage-collected), via recompile otherwise. The member's
+// tag is never reused. The last live member cannot be retired; tear the
+// System down instead.
+func (s *System) RetireMember(tag int32) error {
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(tag) >= len(s.views) || !s.views[tag].live {
+		return fmt.Errorf("core: retire member %d: %w", tag, ErrDetached)
+	}
+	if s.liveViewsLocked() == 1 {
+		return fmt.Errorf("core: cannot retire the last member: %w", ErrIncompatibleMerge)
+	}
+	s.views[tag].live = false
+	if s.maint == nil {
+		if err := s.recompileLocked(); err != nil {
+			return fmt.Errorf("core: retire recompile: %w: %w", ErrIncompatibleMerge, err)
+		}
+		return nil
+	}
+	var gids []graph.NodeID
+	s.ov.ForEachNode(func(ref overlay.NodeRef, n *overlay.Node) {
+		if n.Kind == overlay.ReaderNode && s.ov.TagOf(ref) == tag {
+			gids = append(gids, n.GID)
+		}
+	})
+	for _, gid := range gids {
+		if err := s.maint.RemoveReader(gid); err != nil {
+			return fmt.Errorf("core: retire member %d: %w: %w", tag, ErrIncompatibleMerge, err)
+		}
+	}
+	s.afterMaintenance()
+	return nil
+}
+
+// ViewReaders counts the reader nodes member tag's view owns, from the
+// engine's immutable plan snapshot — O(1) (precomputed at Flatten), no
+// lock, safe concurrently with structural repairs.
+func (s *System) ViewReaders(tag int32) int {
+	return s.engine().Topology().TagReaders[tag]
+}
+
+// LiveViews reports the number of live member queries sharing this system's
+// overlay (1 for a plain single-query system).
+func (s *System) LiveViews() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveViewsLocked()
+}
+
+// liveViewsLocked counts the live member views; callers hold s.mu.
+func (s *System) liveViewsLocked() int {
+	live := 0
+	for i := range s.views {
+		if s.views[i].live {
+			live++
+		}
+	}
+	return live
 }
 
 // recompileLocked rebuilds the overlay and engine from scratch (used when
@@ -594,6 +1027,10 @@ type Stats struct {
 	Maintainable bool
 	Algorithm    string
 	Mode         Mode
+	// Views is the number of live member queries sharing the overlay (the
+	// merge family size; 1 for single-query systems). Per-member reader
+	// counts are in Overlay.QueryReaders, keyed by view tag.
+	Views int
 }
 
 // Stats returns the system's current summary. It serializes with
@@ -607,5 +1044,6 @@ func (s *System) Stats() Stats {
 		Maintainable: s.maint != nil,
 		Algorithm:    s.opts.Algorithm,
 		Mode:         s.opts.Mode,
+		Views:        s.liveViewsLocked(),
 	}
 }

@@ -14,13 +14,25 @@ import (
 var ErrDetached = errors.New("query detached")
 
 // MultiSystem hosts any number of standing queries over ONE shared data
-// graph, the unit of optimization the paper argues for (§1, §3): queries
-// with identical compile configuration share a single compiled System —
-// one overlay, one set of partial aggregators, one engine — via
-// reference-counted groups, while incompatible queries get their own
-// system over the same graph. Content writes fan out to every group;
-// structural changes mutate the graph exactly once and repair every
-// group's overlay.
+// graph, the unit of optimization the paper argues for (§1, §3). Sharing
+// happens at two levels:
+//
+//   - Exact sharing: attachments with identical full compile configuration
+//     (equal non-empty keys) reference one member of one compiled System;
+//     the Nth identical registration costs nothing.
+//   - Merge families: attachments with the same aggregate/window/mode
+//     semantics (equal non-empty family keys) but DIFFERENT neighborhoods,
+//     hop depths, or reader predicates are compiled together into ONE
+//     merged overlay over the union of their query sets — the paper's
+//     cross-query sharing of partial aggregates — each reading through its
+//     own per-query view. Members join an existing family incrementally
+//     (System.AddMember extends the overlay online) and leave one by one
+//     (System.RetireMember); the family's overlay is torn down when the
+//     last member detaches.
+//
+// Incompatible queries get their own system over the same graph. Content
+// writes fan out to every system; structural changes mutate the graph
+// exactly once and repair every overlay.
 //
 // Concurrency: Attach/Detach and the structural mutators serialize on the
 // MultiSystem mutex. Write/WriteBatch/Rebalance run against an atomically
@@ -29,29 +41,44 @@ var ErrDetached = errors.New("query detached")
 type MultiSystem struct {
 	mu sync.Mutex
 
-	g      *graph.Graph
-	groups map[string]*queryGroup
-	// systems is the lock-free fan-out snapshot: one entry per live group,
-	// rebuilt under mu whenever the group set changes.
+	g *graph.Graph
+	// members indexes every live attachment group by its full compile key;
+	// families indexes the open (extendable) merge family per family key.
+	// A family superseded for capacity stays alive through its members but
+	// is no longer joined.
+	members  map[string]*familyMember
+	families map[string]*family
+	// systems is the lock-free fan-out snapshot: one entry per live
+	// compiled system, rebuilt under mu whenever the system set changes.
 	systems atomic.Pointer[[]*System]
 	// nextAnon disambiguates attachments that must never share.
 	nextAnon int
 }
 
-// queryGroup is one shared compiled system and its reference count.
-type queryGroup struct {
-	key  string
+// family is one compiled System together with its member bookkeeping.
+type family struct {
+	key  string // family key; "" = never merged into
 	sys  *System
-	refs int
+	live int // live members (distinct full keys)
 }
 
-// Attachment is one query's handle into a MultiSystem. Multiple
-// attachments may point at the same underlying System (that is the
-// sharing); Detach releases the reference and tears the system down when
-// the last one leaves.
+// familyMember is one full-key group inside a family: every attachment with
+// this exact configuration shares the member (and its view tag).
+type familyMember struct {
+	fam     *family
+	fullKey string
+	tag     int32
+	refs    int
+}
+
+// Attachment is one query's handle into a MultiSystem. Multiple attachments
+// may share one member (exact sharing), and multiple members one System
+// (merge-family sharing); Detach releases the reference, retiring the
+// member when its last attachment leaves and tearing the system down when
+// the last member does.
 type Attachment struct {
-	m   *MultiSystem
-	grp *queryGroup
+	m  *MultiSystem
+	fm *familyMember
 	// detached is atomic so System() stays lock-free for readers racing a
 	// Detach (they observe either the live system or nil, never a torn
 	// state).
@@ -62,39 +89,80 @@ type Attachment struct {
 // retained, not copied; all structural changes must go through the
 // MultiSystem's mutators.
 func NewMulti(g *graph.Graph) *MultiSystem {
-	m := &MultiSystem{g: g, groups: map[string]*queryGroup{}}
+	m := &MultiSystem{
+		g:        g,
+		members:  map[string]*familyMember{},
+		families: map[string]*family{},
+	}
 	m.systems.Store(&[]*System{})
 	return m
 }
 
-// Attach registers a query. key identifies the query's full compile
-// configuration: attachments with equal non-empty keys share one compiled
-// System (the paper's cross-query sharing of partial aggregates); an empty
-// key never shares. The first attachment of a key compiles; later ones
-// reuse the compiled system and cost nothing.
+// Attach registers a query with exact sharing only: attachments with equal
+// non-empty keys share one compiled System; an empty key never shares. It
+// is AttachMerged without a family key.
 func (m *MultiSystem) Attach(key string, q Query, opts Options) (*Attachment, error) {
+	return m.AttachMerged(key, "", q, opts)
+}
+
+// AttachMerged registers a query. key identifies the query's full compile
+// configuration: attachments with equal non-empty keys share one compiled
+// member for free. familyKey identifies the mergeable semantics (aggregate,
+// window, mode — everything but the neighborhood/reader set): when
+// non-empty and a family with that key is open, the query joins it as a new
+// member of the MERGED overlay (compiled over the union of the family's
+// query sets, online where the overlay supports incremental maintenance)
+// instead of compiling its own. The query's Neighborhood and Predicate
+// define its member view. An empty key never shares at all.
+func (m *MultiSystem) AttachMerged(key, familyKey string, q Query, opts Options) (*Attachment, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if key == "" {
 		m.nextAnon++
 		key = fmt.Sprintf("\x00anon-%d", m.nextAnon)
+		familyKey = ""
 	}
-	grp, ok := m.groups[key]
-	if !ok {
-		sys, err := Compile(m.g, q, opts)
-		if err != nil {
-			return nil, err
+	if fm, ok := m.members[key]; ok {
+		fm.refs++
+		return &Attachment{m: m, fm: fm}, nil
+	}
+	if familyKey != "" {
+		if fam, ok := m.families[familyKey]; ok {
+			tag, err := fam.sys.AddMember(MemberSpec{
+				Neighborhood: q.Neighborhood,
+				Predicate:    q.Predicate,
+			})
+			switch {
+			case err == nil:
+				fm := &familyMember{fam: fam, fullKey: key, tag: tag, refs: 1}
+				fam.live++
+				m.members[key] = fm
+				return &Attachment{m: m, fm: fm}, nil
+			case errors.Is(err, errMergeFull):
+				// Family at capacity: open a fresh one below. The full
+				// family stays reachable through its members.
+			default:
+				return nil, err
+			}
 		}
-		grp = &queryGroup{key: key, sys: sys}
-		m.groups[key] = grp
-		m.publishLocked()
 	}
-	grp.refs++
-	return &Attachment{m: m, grp: grp}, nil
+	sys, err := Compile(m.g, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	fam := &family{key: familyKey, sys: sys, live: 1}
+	if familyKey != "" {
+		m.families[familyKey] = fam
+	}
+	fm := &familyMember{fam: fam, fullKey: key, tag: 0, refs: 1}
+	m.members[key] = fm
+	m.publishLocked()
+	return &Attachment{m: m, fm: fm}, nil
 }
 
-// Detach releases the attachment's reference; the last detach of a group
-// discards its compiled system. Idempotent per attachment.
+// Detach releases the attachment's reference. The last detach of a member
+// retires its view from the family's merged overlay; the last member's
+// detach discards the compiled system. Idempotent per attachment.
 func (m *MultiSystem) Detach(a *Attachment) error {
 	if a == nil || a.m != m {
 		return fmt.Errorf("core: %w", ErrDetached)
@@ -104,49 +172,90 @@ func (m *MultiSystem) Detach(a *Attachment) error {
 	if a.detached.Swap(true) {
 		return fmt.Errorf("core: %w", ErrDetached)
 	}
-	a.grp.refs--
-	if a.grp.refs == 0 {
-		delete(m.groups, a.grp.key)
-		m.publishLocked()
+	fm := a.fm
+	fm.refs--
+	if fm.refs > 0 {
+		return nil
 	}
-	return nil
+	delete(m.members, fm.fullKey)
+	fam := fm.fam
+	fam.live--
+	if fam.live == 0 {
+		if fam.key != "" && m.families[fam.key] == fam {
+			delete(m.families, fam.key)
+		}
+		m.publishLocked()
+		return nil
+	}
+	return fam.sys.RetireMember(fm.tag)
 }
 
 // publishLocked rebuilds the fan-out snapshot; callers hold m.mu.
 func (m *MultiSystem) publishLocked() {
-	list := make([]*System, 0, len(m.groups))
-	for _, grp := range m.groups {
-		list = append(list, grp.sys)
+	seen := map[*System]bool{}
+	list := make([]*System, 0, len(m.members))
+	for _, fm := range m.members {
+		if !seen[fm.fam.sys] {
+			seen[fm.fam.sys] = true
+			list = append(list, fm.fam.sys)
+		}
 	}
 	m.systems.Store(&list)
 }
 
 // System returns the attachment's compiled system (shared with every other
-// attachment in its group), or nil after Detach.
+// attachment in its member and family), or nil after Detach.
 func (a *Attachment) System() *System {
 	if a.detached.Load() {
 		return nil
 	}
-	return a.grp.sys
+	return a.fm.fam.sys
 }
 
+// ViewTag returns the attachment's member view tag within its (possibly
+// merged) system: the tag to pass to System.ReadView / SubscribeView.
+func (a *Attachment) ViewTag() int32 { return a.fm.tag }
+
 // Shared reports how many attachments currently share this attachment's
-// compiled system.
+// exact member (identical configurations).
 func (a *Attachment) Shared() int {
 	a.m.mu.Lock()
 	defer a.m.mu.Unlock()
-	return a.grp.refs
+	return a.fm.refs
+}
+
+// FamilySize reports how many distinct member queries share this
+// attachment's compiled system through its merge family (1 when unmerged).
+func (a *Attachment) FamilySize() int {
+	a.m.mu.Lock()
+	defer a.m.mu.Unlock()
+	return a.fm.fam.live
 }
 
 // Graph returns the shared data graph.
 func (m *MultiSystem) Graph() *graph.Graph { return m.g }
 
 // NumGroups returns the number of distinct compiled systems (shared query
-// groups) currently attached.
+// groups / merge families) currently attached.
 func (m *MultiSystem) NumGroups() int {
+	return len(*m.systems.Load())
+}
+
+// NumMergedFamilies returns the number of compiled systems hosting more
+// than one member query (active merged overlays), and NumMergedQueries the
+// member queries they host in total.
+func (m *MultiSystem) NumMergedFamilies() (families, queries int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.groups)
+	seen := map[*family]bool{}
+	for _, fm := range m.members {
+		if !seen[fm.fam] && fm.fam.live > 1 {
+			seen[fm.fam] = true
+			families++
+			queries += fm.fam.live
+		}
+	}
+	return families, queries
 }
 
 // Systems returns a snapshot of the attached compiled systems, one per
@@ -207,8 +316,8 @@ func (m *MultiSystem) AddEdge(u, v graph.NodeID) error {
 		return err
 	}
 	var errs []error
-	for _, grp := range m.groups {
-		if err := grp.sys.edgeAdded(u, v); err != nil {
+	for _, sys := range *m.systems.Load() {
+		if err := sys.edgeAdded(u, v); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -216,21 +325,22 @@ func (m *MultiSystem) AddEdge(u, v graph.NodeID) error {
 }
 
 // RemoveEdge applies a structural edge deletion: each group's affected
-// reader set is computed against the pre-removal graph, the graph mutates
+// reader sets are computed against the pre-removal graph, the graph mutates
 // once, then every overlay is repaired.
 func (m *MultiSystem) RemoveEdge(u, v graph.NodeID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	affected := make(map[*queryGroup][]graph.NodeID, len(m.groups))
-	for _, grp := range m.groups {
-		affected[grp] = grp.sys.edgeAffected(u, v)
+	systems := *m.systems.Load()
+	affected := make(map[*System][][]graph.NodeID, len(systems))
+	for _, sys := range systems {
+		affected[sys] = sys.edgeAffected(u, v)
 	}
 	if err := m.g.RemoveEdge(u, v); err != nil {
 		return err
 	}
 	var errs []error
-	for _, grp := range m.groups {
-		if err := grp.sys.edgeRemoved(affected[grp]); err != nil {
+	for _, sys := range systems {
+		if err := sys.edgeRemoved(affected[sys]); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -244,8 +354,8 @@ func (m *MultiSystem) AddNode() (graph.NodeID, error) {
 	defer m.mu.Unlock()
 	v := m.g.AddNode()
 	var errs []error
-	for _, grp := range m.groups {
-		if err := grp.sys.nodeAdded(v); err != nil {
+	for _, sys := range *m.systems.Load() {
+		if err := sys.nodeAdded(v); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -257,16 +367,17 @@ func (m *MultiSystem) AddNode() (graph.NodeID, error) {
 func (m *MultiSystem) RemoveNode(v graph.NodeID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	affected := make(map[*queryGroup][]graph.NodeID, len(m.groups))
-	for _, grp := range m.groups {
-		affected[grp] = grp.sys.nodeRemovalAffected(v)
+	systems := *m.systems.Load()
+	affected := make(map[*System][][]graph.NodeID, len(systems))
+	for _, sys := range systems {
+		affected[sys] = sys.nodeRemovalAffected(v)
 	}
 	if err := m.g.RemoveNode(v); err != nil {
 		return err
 	}
 	var errs []error
-	for _, grp := range m.groups {
-		if err := grp.sys.nodeRemoved(v, affected[grp]); err != nil {
+	for _, sys := range systems {
+		if err := sys.nodeRemoved(v, affected[sys]); err != nil {
 			errs = append(errs, err)
 		}
 	}

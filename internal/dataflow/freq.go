@@ -13,6 +13,11 @@ import (
 type Workload struct {
 	Read  []float64 // indexed by graph.NodeID
 	Write []float64
+	// Stride, when positive, decodes merged-overlay reader GIDs
+	// (tag*Stride + node, see overlay.SetReaderStride) back to data-graph
+	// nodes before the frequency lookup, so every query's reader view of a
+	// node shares that node's expected read rate.
+	Stride int
 }
 
 // NewWorkload allocates a zero workload for maxID nodes.
@@ -36,6 +41,9 @@ func Uniform(maxID int, read, write float64) *Workload {
 
 // readOf returns r(v), tolerating out-of-range ids.
 func (w *Workload) readOf(v graph.NodeID) float64 {
+	if w.Stride > 0 {
+		v %= graph.NodeID(w.Stride)
+	}
 	if int(v) < len(w.Read) {
 		return w.Read[v]
 	}
@@ -44,6 +52,9 @@ func (w *Workload) readOf(v graph.NodeID) float64 {
 
 // writeOf returns w(v).
 func (w *Workload) writeOf(v graph.NodeID) float64 {
+	if w.Stride > 0 {
+		v %= graph.NodeID(w.Stride)
+	}
 	if int(v) < len(w.Write) {
 		return w.Write[v]
 	}

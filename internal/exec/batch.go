@@ -37,12 +37,25 @@ func (e *Engine) writeBatchOn(st *engineState, events []graph.Event, workers int
 	if workers > len(events) {
 		workers = len(events)
 	}
+	// With live subscriptions, fan-out is coalesced per batch: writes only
+	// RECORD the push readers they touch, and after the whole batch applied
+	// each touched reader is finalized and delivered exactly once — N
+	// writes into one ego network cost one notification, not N.
+	coalesce := e.notify.Load() != nil
 	if workers <= 1 || len(events) < minParallelBatch {
+		var tc *touchCollector
+		if coalesce {
+			tc = e.getTouch()
+		}
 		for _, ev := range events {
 			if ev.Kind != graph.ContentWrite {
 				continue
 			}
-			_ = e.writeOn(st, ev.Node, ev.Value, ev.TS)
+			_ = e.writeOn(st, ev.Node, ev.Value, ev.TS, tc)
+		}
+		if tc != nil {
+			e.flushTouches(tc)
+			e.putTouch(tc)
 		}
 		return nil
 	}
@@ -60,21 +73,145 @@ func (e *Engine) writeBatchOn(st *engineState, events []graph.Event, workers int
 		}
 		parts[p] = append(parts[p], ev)
 	}
+	var tcs []*touchCollector
 	var wg sync.WaitGroup
 	for _, part := range parts {
 		if len(part) == 0 {
 			continue
 		}
+		var tc *touchCollector
+		if coalesce {
+			tc = e.getTouch()
+			tcs = append(tcs, tc)
+		}
 		wg.Add(1)
-		go func(part []graph.Event) {
+		go func(part []graph.Event, tc *touchCollector) {
 			defer wg.Done()
 			for _, ev := range part {
-				_ = e.writeOn(st, ev.Node, ev.Value, ev.TS)
+				_ = e.writeOn(st, ev.Node, ev.Value, ev.TS, tc)
 			}
-		}(part)
+		}(part, tc)
 	}
 	wg.Wait()
+	if len(tcs) > 0 {
+		e.flushTouches(tcs...)
+		for _, tc := range tcs {
+			e.putTouch(tc)
+		}
+	}
 	return nil
+}
+
+// touchCollector accumulates the distinct push readers one batch shard's
+// writes reach, with the latest write timestamp seen per reader. mark is an
+// epoch-stamped dense array over overlay slots (no clearing between
+// batches: a slot is "recorded" iff mark[slot] == stamp), so collection is
+// allocation-free in steady state.
+type touchCollector struct {
+	stamp uint32
+	mark  []uint32
+	ts    []int64
+	refs  []overlay.NodeRef
+}
+
+// collect records the push readers a write on writer slot wref touches.
+func (tc *touchCollector) collect(st *engineState, wref overlay.NodeRef, ts int64) {
+	for _, t := range st.plan.pushReaders[wref] {
+		i := int(t.ref)
+		if i >= len(tc.mark) {
+			tc.growTo(st.plan.top.N)
+		}
+		if tc.mark[i] != tc.stamp {
+			tc.mark[i] = tc.stamp
+			tc.refs = append(tc.refs, t.ref)
+			tc.ts[i] = ts
+		} else if ts > tc.ts[i] {
+			tc.ts[i] = ts
+		}
+	}
+}
+
+// growTo resizes the dense arrays (the overlay can grow mid-batch).
+func (tc *touchCollector) growTo(n int) {
+	if n <= len(tc.mark) {
+		return
+	}
+	mark := make([]uint32, n)
+	copy(mark, tc.mark)
+	tc.mark = mark
+	ts := make([]int64, n)
+	copy(ts, tc.ts)
+	tc.ts = ts
+}
+
+func (e *Engine) getTouch() *touchCollector {
+	tc := e.touchPool.Get().(*touchCollector)
+	tc.stamp++
+	if tc.stamp == 0 {
+		// Wrapped: zeroed mark entries would look freshly stamped.
+		clear(tc.mark)
+		tc.stamp = 1
+	}
+	tc.refs = tc.refs[:0]
+	return tc
+}
+
+func (e *Engine) putTouch(tc *touchCollector) { e.touchPool.Put(tc) }
+
+// flushTouches delivers the coalesced batch notifications: each reader
+// recorded by any shard's collector is finalized and handed to its
+// subscribers exactly once, with the latest timestamp any shard saw for it.
+// Cross-shard deduplication reuses the first collector's mark array under a
+// fresh stamp.
+func (e *Engine) flushTouches(tcs ...*touchCollector) {
+	nt := e.notify.Load()
+	if nt == nil {
+		return
+	}
+	st := e.state.Load()
+	top := st.plan.top
+	ded := tcs[0]
+	ded.stamp++
+	if ded.stamp == 0 {
+		clear(ded.mark)
+		ded.stamp = 1
+	}
+	// Merge pass: union the shards' touch sets into ded with max-ts, THEN
+	// deliver, so no reader is notified before a later shard's newer
+	// timestamp has been folded in.
+	merged := ded.refs[:0] // ded's own refs are re-deduplicated too
+	for _, tc := range tcs {
+		for _, ref := range tc.refs {
+			i := int(ref)
+			ts := tc.ts[i]
+			if i >= len(ded.mark) {
+				ded.growTo(i + 1)
+			}
+			if ded.mark[i] != ded.stamp {
+				ded.mark[i] = ded.stamp
+				ded.ts[i] = ts
+				merged = append(merged, ref)
+			} else if ts > ded.ts[i] {
+				ded.ts[i] = ts
+			}
+		}
+	}
+	ded.refs = merged
+	lastTag := int32(-1)
+	var byTag []*Subscription
+	for _, ref := range merged {
+		// The reader may have vanished or changed annotation across a
+		// mid-batch snapshot swap; deliverReader re-checks PAO presence
+		// against the current snapshot.
+		if int(ref) >= top.N || top.Dead[ref] || top.Kind[ref] != overlay.ReaderNode {
+			continue
+		}
+		if tag := top.ReaderTag(ref); tag != lastTag {
+			lastTag = tag
+			byTag = nt.byTag[tag]
+		}
+		e.deliverReader(nt, st, byTag, ref, top.ReaderGID(ref), ded.ts[int(ref)])
+	}
 }
 
 // shardOf maps a data-graph node to its sharding key: the writer slot when

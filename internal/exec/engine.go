@@ -106,9 +106,12 @@ type Engine struct {
 	reads  atomic.Int64
 
 	// scratch pools per-write buffers (expiry recorder, delta slice);
-	// readPool pools per-read PAO arenas for non-scalar pull evaluation.
-	scratch  sync.Pool
-	readPool sync.Pool
+	// readPool pools per-read PAO arenas for non-scalar pull evaluation;
+	// touchPool pools the per-batch reader-touch collectors that coalesce
+	// subscription fan-out to once per reader per WriteBatch.
+	scratch   sync.Pool
+	readPool  sync.Pool
+	touchPool sync.Pool
 }
 
 // engineState is one generation of engine state, identified by epoch. The
@@ -168,6 +171,7 @@ func New(ov *overlay.Overlay, a agg.Aggregate, window agg.Window) (*Engine, erro
 	}
 	e.scratch.New = func() any { return &writeScratch{} }
 	e.readPool.New = func() any { return &readScratch{} }
+	e.touchPool.New = func() any { return &touchCollector{} }
 	e.state.Store(e.buildState(nil, window))
 	return e, nil
 }
@@ -225,6 +229,10 @@ func (e *Engine) buildState(prev *engineState, window agg.Window) *engineState {
 
 // Overlay returns the engine's overlay.
 func (e *Engine) Overlay() *overlay.Overlay { return e.ov }
+
+// Topology returns the current compiled-plan topology snapshot (immutable;
+// safe to read concurrently with every engine operation).
+func (e *Engine) Topology() *overlay.Topology { return e.state.Load().plan.top }
 
 // Aggregate returns the engine's aggregate function.
 func (e *Engine) Aggregate() agg.Aggregate { return e.agg }
@@ -320,7 +328,7 @@ func finalizePAO(p agg.PAO, buf []int64) agg.Result {
 // Write ingests a content update on data-graph node v (a "write on v") and
 // synchronously propagates it through the push region of the overlay.
 func (e *Engine) Write(v graph.NodeID, value int64, ts int64) error {
-	return e.writeOn(e.state.Load(), v, value, ts)
+	return e.writeOn(e.state.Load(), v, value, ts, nil)
 }
 
 // writeOn executes one write. st is the caller's pinned snapshot (used for
@@ -329,7 +337,12 @@ func (e *Engine) Write(v graph.NodeID, value int64, ts int64) error {
 // a cutover, the first lock acquisition per writer observes the new
 // snapshot, so deltas tagged with pre-cutover epochs can only be appended
 // before the resync's post-cutover drain locks that writer (resync.go).
-func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64) error {
+//
+// tc, when non-nil, defers subscriber notification: instead of fanning out
+// immediately, the touched push readers are recorded in the collector so a
+// batch can notify each reader at most once after all its writes applied
+// (batch.go). A nil tc keeps the single-write behavior: fan out per write.
+func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64, tc *touchCollector) error {
 	wref := st.plan.writer(v)
 	if wref == overlay.NoNode {
 		// The node feeds no reader (like g_w in Figure 1(c)): the write
@@ -364,7 +377,11 @@ func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64)
 		e.writes.Add(1)
 		e.propagateScalar(st, wref, dSum, dCnt)
 		if nt := e.notify.Load(); nt != nil {
-			e.notifyFanout(nt, st, wref, ts)
+			if tc != nil {
+				tc.collect(st, wref, ts)
+			} else {
+				e.notifyFanout(nt, st, wref, ts)
+			}
 		}
 	} else {
 		if lg := e.log.Load(); lg != nil {
@@ -376,7 +393,11 @@ func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64)
 		ws.add[0] = value
 		e.propagate(st, wref, ws.add[:1], removed)
 		if nt := e.notify.Load(); nt != nil {
-			e.notifyFanout(nt, st, wref, ts)
+			if tc != nil {
+				tc.collect(st, wref, ts)
+			} else {
+				e.notifyFanout(nt, st, wref, ts)
+			}
 		}
 	}
 	e.putScratch(ws)
@@ -429,7 +450,8 @@ func (e *Engine) propagateScalar(st *engineState, wref overlay.NodeRef, dSum, dC
 // Read evaluates the standing query at data-graph node v (a "read on v")
 // and returns the aggregate over N(v).
 func (e *Engine) Read(v graph.NodeID) (agg.Result, error) {
-	return e.readOn(e.state.Load(), v, nil)
+	st := e.state.Load()
+	return e.readOn(st, st.plan.reader(v), v, nil)
 }
 
 // ReadInto is Read with a caller-provided result: list-valued answers
@@ -437,15 +459,48 @@ func (e *Engine) Read(v graph.NodeID) (agg.Result, error) {
 // caller that retains res across calls reads without allocating. On return
 // *res holds the new answer; its previous contents are overwritten.
 func (e *Engine) ReadInto(v graph.NodeID, res *agg.Result) error {
-	r, err := e.readOn(e.state.Load(), v, res.List)
+	st := e.state.Load()
+	r, err := e.readOn(st, st.plan.reader(v), v, res.List)
 	*res = r
 	return err
 }
 
-// readOn executes one read against a fixed snapshot; buf, when non-nil, is
-// offered to the finalizer as the result-list backing array.
-func (e *Engine) readOn(st *engineState, v graph.NodeID, buf []int64) (agg.Result, error) {
-	rref := st.plan.reader(v)
+// ReadTagged evaluates query tag's standing query at v — the per-query
+// reader view of a merged multi-query overlay. On single-query engines only
+// tag 0 resolves; Read is ReadTagged(0, v).
+func (e *Engine) ReadTagged(tag int32, v graph.NodeID) (agg.Result, error) {
+	st := e.state.Load()
+	return e.readOn(st, st.plan.readerTagged(tag, v), v, nil)
+}
+
+// ReadTaggedInto is ReadTagged with a caller-provided result (see ReadInto).
+func (e *Engine) ReadTaggedInto(tag int32, v graph.NodeID, res *agg.Result) error {
+	st := e.state.Load()
+	r, err := e.readOn(st, st.plan.readerTagged(tag, v), v, res.List)
+	*res = r
+	return err
+}
+
+// Covered reports whether node v's standing query result is push-maintained
+// (pre-computed on every covering write), i.e. whether a subscription on v
+// will observe updates. Pull-annotated readers recompute on demand and are
+// not covered; unknown nodes report false.
+func (e *Engine) Covered(v graph.NodeID) bool {
+	return e.CoveredTagged(0, v)
+}
+
+// CoveredTagged is Covered for query tag's reader view of a merged overlay.
+func (e *Engine) CoveredTagged(tag int32, v graph.NodeID) bool {
+	st := e.state.Load()
+	rref := st.plan.readerTagged(tag, v)
+	return rref != overlay.NoNode && !st.plan.top.Dead[rref] &&
+		st.plan.top.Dec[rref] == overlay.Push
+}
+
+// readOn executes one read against a fixed snapshot; rref is the resolved
+// reader slot (NoNode reports ErrUnknownNode for v) and buf, when non-nil,
+// is offered to the finalizer as the result-list backing array.
+func (e *Engine) readOn(st *engineState, rref overlay.NodeRef, v graph.NodeID, buf []int64) (agg.Result, error) {
 	if rref == overlay.NoNode {
 		return agg.Result{}, fmt.Errorf("exec: read node %d: %w", v, ErrUnknownNode)
 	}

@@ -29,11 +29,14 @@ type Update struct {
 // consumer falls behind, the oldest buffered update is discarded (and
 // counted) so the ingest path never blocks on a slow consumer.
 type Subscription struct {
-	// nodes holds the subscribed data-graph nodes (nil = every reader);
-	// refs the corresponding reader slots in the engine that currently
-	// hosts the subscription. refs is re-derived from nodes when a
-	// subscription moves to a rebuilt engine (AdoptSubscriptions), since
-	// recompilation may renumber overlay slots.
+	// tag is the query view the subscription observes (0 on single-query
+	// engines); nodes holds the subscribed data-graph nodes (nil = every
+	// reader of the tag's view); refs the corresponding reader slots in
+	// the engine that currently hosts the subscription. refs is re-derived
+	// from (tag, nodes) when a subscription moves to a rebuilt engine
+	// (AdoptSubscriptions), since recompilation may renumber overlay
+	// slots; tag and nodes are stable across rebuilds and re-strides.
+	tag   int32
 	nodes []graph.NodeID
 	refs  map[overlay.NodeRef]bool
 
@@ -94,9 +97,11 @@ func (s *Subscription) close() {
 // atomic pointer read; it is nil whenever no subscription exists, so
 // unsubscribed engines pay a single predictable branch per write.
 type notifyTable struct {
-	// all lists subscriptions covering every reader; byRef those restricted
-	// to specific reader slots.
-	all   []*Subscription
+	// byTag lists, per query tag, the subscriptions covering every reader
+	// of that tag's view (the whole engine on single-query engines, where
+	// every reader carries tag 0); byRef those restricted to specific
+	// reader slots.
+	byTag map[int32][]*Subscription
 	byRef map[overlay.NodeRef][]*Subscription
 }
 
@@ -113,16 +118,24 @@ type notifyTable struct {
 // is complete. Cancel with Unsubscribe; ingest never blocks on a slow
 // consumer (drop-oldest, see Subscription).
 func (e *Engine) Subscribe(buffer int, nodes ...graph.NodeID) (*Subscription, error) {
+	return e.SubscribeTagged(0, buffer, nodes...)
+}
+
+// SubscribeTagged is Subscribe for query tag's reader view of a merged
+// multi-query overlay: with no nodes it covers every reader the tag owns
+// (never another query's readers, even though they share the engine);
+// otherwise only the tag's standing queries at the given data-graph nodes.
+func (e *Engine) SubscribeTagged(tag int32, buffer int, nodes ...graph.NodeID) (*Subscription, error) {
 	if buffer < 1 {
 		buffer = 16
 	}
-	sub := &Subscription{ch: make(chan Update, buffer)}
+	sub := &Subscription{tag: tag, ch: make(chan Update, buffer)}
 	if len(nodes) > 0 {
 		st := e.state.Load()
 		sub.nodes = append([]graph.NodeID(nil), nodes...)
 		sub.refs = make(map[overlay.NodeRef]bool, len(nodes))
 		for _, v := range nodes {
-			rref := st.plan.reader(v)
+			rref := st.plan.readerTagged(tag, v)
 			if rref == overlay.NoNode {
 				return nil, fmt.Errorf("exec: subscribe node %d: %w", v, ErrUnknownNode)
 			}
@@ -138,15 +151,20 @@ func (e *Engine) Subscribe(buffer int, nodes ...graph.NodeID) (*Subscription, er
 // installLocked adds sub to a fresh copy of the notify table; callers hold
 // e.subMu.
 func (e *Engine) installLocked(sub *Subscription) {
-	next := &notifyTable{byRef: map[overlay.NodeRef][]*Subscription{}}
+	next := &notifyTable{
+		byTag: map[int32][]*Subscription{},
+		byRef: map[overlay.NodeRef][]*Subscription{},
+	}
 	if prev := e.notify.Load(); prev != nil {
-		next.all = append(next.all, prev.all...)
+		for tag, subs := range prev.byTag {
+			next.byTag[tag] = append([]*Subscription(nil), subs...)
+		}
 		for ref, subs := range prev.byRef {
 			next.byRef[ref] = append([]*Subscription(nil), subs...)
 		}
 	}
 	if sub.refs == nil {
-		next.all = append(next.all, sub)
+		next.byTag[sub.tag] = append(next.byTag[sub.tag], sub)
 	} else {
 		for ref := range sub.refs {
 			next.byRef[ref] = append(next.byRef[ref], sub)
@@ -174,10 +192,12 @@ func (e *Engine) AdoptSubscriptions(old *Engine) {
 	}
 	seen := map[*Subscription]bool{}
 	var subs []*Subscription
-	for _, s := range prev.all {
-		if !seen[s] {
-			seen[s] = true
-			subs = append(subs, s)
+	for _, list := range prev.byTag {
+		for _, s := range list {
+			if !seen[s] {
+				seen[s] = true
+				subs = append(subs, s)
+			}
 		}
 	}
 	for _, list := range prev.byRef {
@@ -201,7 +221,7 @@ func (e *Engine) AdoptSubscriptions(old *Engine) {
 		if sub.nodes != nil {
 			refs := make(map[overlay.NodeRef]bool, len(sub.nodes))
 			for _, v := range sub.nodes {
-				if rref := st.plan.reader(v); rref != overlay.NoNode {
+				if rref := st.plan.readerTagged(sub.tag, v); rref != overlay.NoNode {
 					refs[rref] = true
 				}
 			}
@@ -221,10 +241,19 @@ func (e *Engine) Unsubscribe(sub *Subscription) {
 	e.subMu.Lock()
 	prev := e.notify.Load()
 	if prev != nil {
-		next := &notifyTable{byRef: map[overlay.NodeRef][]*Subscription{}}
-		for _, s := range prev.all {
-			if s != sub {
-				next.all = append(next.all, s)
+		next := &notifyTable{
+			byTag: map[int32][]*Subscription{},
+			byRef: map[overlay.NodeRef][]*Subscription{},
+		}
+		for tag, subs := range prev.byTag {
+			var kept []*Subscription
+			for _, s := range subs {
+				if s != sub {
+					kept = append(kept, s)
+				}
+			}
+			if kept != nil {
+				next.byTag[tag] = kept
 			}
 		}
 		for ref, subs := range prev.byRef {
@@ -238,7 +267,7 @@ func (e *Engine) Unsubscribe(sub *Subscription) {
 				next.byRef[ref] = kept
 			}
 		}
-		if len(next.all) == 0 && len(next.byRef) == 0 {
+		if len(next.byTag) == 0 && len(next.byRef) == 0 {
 			e.notify.Store(nil)
 		} else {
 			e.notify.Store(next)
@@ -255,8 +284,10 @@ func (e *Engine) Subscribers() int {
 		return 0
 	}
 	seen := map[*Subscription]bool{}
-	for _, s := range nt.all {
-		seen[s] = true
+	for _, subs := range nt.byTag {
+		for _, s := range subs {
+			seen[s] = true
+		}
 	}
 	for _, subs := range nt.byRef {
 		for _, s := range subs {
@@ -279,27 +310,52 @@ func (e *Engine) Subscribers() int {
 // quiesce. The lock is per touched reader and only taken when a
 // subscription exists, so the unsubscribed path is unaffected.
 func (e *Engine) notifyFanout(nt *notifyTable, st *engineState, wref overlay.NodeRef, ts int64) {
+	// Hoist the per-tag subscriber lookup: consecutive touches almost
+	// always share a tag (single-query engines only ever have tag 0), so
+	// the hot path pays one map access per write, not one per reader.
+	lastTag := int32(-1)
+	var byTag []*Subscription
 	for _, t := range st.plan.pushReaders[wref] {
-		byRef := nt.byRef[t.ref]
-		if len(nt.all) == 0 && len(byRef) == 0 {
-			continue
+		if t.tag != lastTag {
+			lastTag = t.tag
+			byTag = nt.byTag[t.tag]
 		}
-		ns := st.nodes[t.ref]
-		ns.mu.Lock()
-		var res agg.Result
-		if e.scalar != nil {
-			cell := st.scalars[t.ref]
-			res = e.scalar.FinalizeScalar(cell.sum.Load(), cell.cnt.Load())
-		} else {
-			res = finalizePAO(st.paos[t.ref], nil)
-		}
-		u := Update{Node: t.gid, Result: res, TS: ts}
-		for _, s := range nt.all {
-			s.deliver(u)
-		}
-		for _, s := range byRef {
-			s.deliver(u)
-		}
-		ns.mu.Unlock()
+		e.deliverReader(nt, st, byTag, t.ref, t.gid, ts)
 	}
+}
+
+// deliverReader finalizes reader slot ref's settled value and hands it to
+// every subscription covering it — byTag, the query-wide listeners of the
+// reader's tag (resolved by the caller), plus the node-restricted ones on
+// its slot — under the reader's node mutex (see the notifyFanout comment
+// for the ordering contract). It is a no-op when nothing covers the reader.
+func (e *Engine) deliverReader(nt *notifyTable, st *engineState, byTag []*Subscription, ref overlay.NodeRef, gid graph.NodeID, ts int64) {
+	byRef := nt.byRef[ref]
+	if len(byTag) == 0 && len(byRef) == 0 {
+		return
+	}
+	ns := st.nodes[ref]
+	ns.mu.Lock()
+	var res agg.Result
+	if e.scalar != nil {
+		cell := st.scalars[ref]
+		res = e.scalar.FinalizeScalar(cell.sum.Load(), cell.cnt.Load())
+	} else {
+		pao := st.paos[ref]
+		if pao == nil {
+			// The reader lost its push annotation across a snapshot swap
+			// that happened mid-batch; there is no settled value to push.
+			ns.mu.Unlock()
+			return
+		}
+		res = finalizePAO(pao, nil)
+	}
+	u := Update{Node: gid, Result: res, TS: ts}
+	for _, s := range byTag {
+		s.deliver(u)
+	}
+	for _, s := range byRef {
+		s.deliver(u)
+	}
+	ns.mu.Unlock()
 }

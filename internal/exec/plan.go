@@ -38,11 +38,15 @@ type plan struct {
 	pushReaders [][]readerTouch
 }
 
-// readerTouch is one (overlay slot, data-graph node) pair on a writer's
-// notification list.
+// readerTouch is one (overlay slot, data-graph node, query tag) triple on a
+// writer's notification list. gid is the decoded data-graph node (merged
+// overlays encode tag*stride+node in the reader's raw GID) and tag the
+// owning query's view, so subscription fan-out can route each touch to
+// exactly the subscribers of that query.
 type readerTouch struct {
 	ref overlay.NodeRef
 	gid graph.NodeID
+	tag int32
 }
 
 // compilePlan flattens the overlay and precomputes per-writer push closures.
@@ -86,7 +90,8 @@ func compilePlan(ov *overlay.Overlay) *plan {
 			ref, _ := overlay.UnpackRef(pe)
 			if top.Kind[ref] == overlay.ReaderNode && !seen[ref] {
 				seen[ref] = true
-				touches = append(touches, readerTouch{ref: ref, gid: top.GID[ref]})
+				touches = append(touches, readerTouch{
+					ref: ref, gid: top.ReaderGID(ref), tag: top.ReaderTag(ref)})
 			}
 		}
 		p.pushReaders[w] = touches
@@ -108,4 +113,22 @@ func (p *plan) reader(v int32) overlay.NodeRef {
 		return ref
 	}
 	return overlay.NoNode
+}
+
+// readerTagged returns query tag's reader slot for data-graph node v, or
+// NoNode. On single-query plans (stride 0) only tag 0 resolves. v must be
+// inside the stride's id range: without the bounds check an out-of-range
+// node would alias into a SIBLING tag's encoded GID space and silently
+// resolve to another query's reader instead of reporting unknown.
+func (p *plan) readerTagged(tag int32, v graph.NodeID) overlay.NodeRef {
+	if p.top.Stride > 0 {
+		if v < 0 || v >= graph.NodeID(p.top.Stride) {
+			return overlay.NoNode
+		}
+		return p.reader(graph.NodeID(tag)*graph.NodeID(p.top.Stride) + v)
+	}
+	if tag != 0 {
+		return overlay.NoNode
+	}
+	return p.reader(v)
 }

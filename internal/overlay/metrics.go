@@ -114,6 +114,13 @@ type Stats struct {
 	SharingIndex float64
 	AvgDepth     float64
 	MaxDepth     int
+	// Queries is the number of distinct query tags among the readers (1
+	// for a single-query overlay with readers; see Overlay.TagOf), and
+	// QueryReaders counts the readers each tag owns. In a merged
+	// multi-query overlay these expose the per-query reader views that
+	// share the writers and partial aggregators counted above.
+	Queries      int
+	QueryReaders map[int32]int
 }
 
 // ComputeStats gathers Stats for the overlay.
@@ -123,12 +130,14 @@ func (o *Overlay) ComputeStats() Stats {
 		AGEdges:      o.agEdges,
 		SharingIndex: o.SharingIndex(),
 	}
-	o.ForEachNode(func(_ NodeRef, n *Node) {
+	s.QueryReaders = map[int32]int{}
+	o.ForEachNode(func(ref NodeRef, n *Node) {
 		switch n.Kind {
 		case WriterNode:
 			s.Writers++
 		case ReaderNode:
 			s.Readers++
+			s.QueryReaders[o.TagOf(ref)]++
 		case PartialNode:
 			s.Partials++
 		}
@@ -138,6 +147,7 @@ func (o *Overlay) ComputeStats() Stats {
 			}
 		}
 	})
+	s.Queries = len(s.QueryReaders)
 	avg, hist := o.DepthStats()
 	s.AvgDepth = avg
 	s.MaxDepth = len(hist) - 1

@@ -104,6 +104,13 @@ type Overlay struct {
 	numEdges int
 	agEdges  int // |E(AG)|, the sharing-index denominator
 	numDead  int
+	// readerStride, when positive, marks a merged multi-query overlay: a
+	// reader's GID encodes (query tag, data-graph node) as
+	// tag*readerStride + node, so several queries can each own a reader
+	// for the same data-graph node. Writers always carry real node ids
+	// (< readerStride). Zero means a single-query overlay whose reader
+	// GIDs are plain data-graph nodes (tag 0).
+	readerStride int32
 }
 
 // New returns an empty overlay. agEdges is |E(AG)| of the bipartite graph
@@ -114,6 +121,37 @@ func New(agEdges int) *Overlay {
 		readerOf: make(map[graph.NodeID]NodeRef),
 		agEdges:  agEdges,
 	}
+}
+
+// SetReaderStride declares the overlay a merged multi-query overlay with the
+// given reader-GID stride (see the Overlay field comment). stride must be a
+// positive power of two larger than every writer GID; call it once right
+// after construction, before the overlay is flattened or serialized.
+func (o *Overlay) SetReaderStride(stride int32) { o.readerStride = stride }
+
+// ReaderStride returns the merged-overlay reader stride (0 for single-query
+// overlays).
+func (o *Overlay) ReaderStride() int32 { return o.readerStride }
+
+// TagOf returns the query tag of a reader node: GID/stride for merged
+// overlays, 0 otherwise (writers and partials are shared by all queries and
+// always report 0).
+func (o *Overlay) TagOf(ref NodeRef) int32 {
+	n := &o.nodes[ref]
+	if n.Kind != ReaderNode || o.readerStride <= 0 {
+		return 0
+	}
+	return int32(n.GID) / o.readerStride
+}
+
+// ReaderNodeOf returns the data-graph node a reader slot serves: GID%stride
+// for merged overlays, the plain GID otherwise.
+func (o *Overlay) ReaderNodeOf(ref NodeRef) graph.NodeID {
+	n := &o.nodes[ref]
+	if n.Kind != ReaderNode || o.readerStride <= 0 {
+		return n.GID
+	}
+	return n.GID % graph.NodeID(o.readerStride)
 }
 
 // AddWriter adds (or returns the existing) writer node for data-graph node v.
@@ -184,6 +222,17 @@ func (o *Overlay) NumEdges() int { return o.numEdges }
 
 // AGEdges returns |E(AG)|.
 func (o *Overlay) AGEdges() int { return o.agEdges }
+
+// AddAGEdges adjusts |E(AG)| by delta. Merged overlays extended or shrunk
+// online (member queries attaching and retiring) use it to keep the
+// sharing-index denominator in step with the union bipartite graph the
+// overlay now represents.
+func (o *Overlay) AddAGEdges(delta int) {
+	o.agEdges += delta
+	if o.agEdges < 0 {
+		o.agEdges = 0
+	}
+}
 
 // SharingIndex returns 1 - |E(overlay)|/|E(AG)| (paper §3.1).
 func (o *Overlay) SharingIndex() float64 {
@@ -376,12 +425,13 @@ func (o *Overlay) TopoOrder() ([]NodeRef, error) {
 // Clone returns a deep copy of the overlay.
 func (o *Overlay) Clone() *Overlay {
 	c := &Overlay{
-		nodes:    make([]Node, len(o.nodes)),
-		writerOf: make(map[graph.NodeID]NodeRef, len(o.writerOf)),
-		readerOf: make(map[graph.NodeID]NodeRef, len(o.readerOf)),
-		numEdges: o.numEdges,
-		agEdges:  o.agEdges,
-		numDead:  o.numDead,
+		nodes:        make([]Node, len(o.nodes)),
+		writerOf:     make(map[graph.NodeID]NodeRef, len(o.writerOf)),
+		readerOf:     make(map[graph.NodeID]NodeRef, len(o.readerOf)),
+		numEdges:     o.numEdges,
+		agEdges:      o.agEdges,
+		numDead:      o.numDead,
+		readerStride: o.readerStride,
 	}
 	for i, n := range o.nodes {
 		n.In = append([]HalfEdge(nil), n.In...)

@@ -16,8 +16,11 @@ import (
 // with in-edges only (out-edges are reconstructed).
 
 const (
-	serialMagic   = 0x45414752 // "EAGR"
-	serialVersion = 1
+	serialMagic = 0x45414752 // "EAGR"
+	// serialVersion 2 adds the merged-overlay reader stride after the AG
+	// edge count; version-1 files (single-query overlays, stride 0) still
+	// load.
+	serialVersion = 2
 )
 
 // Save writes the overlay (structure plus dataflow decisions) to w.
@@ -27,6 +30,7 @@ func (o *Overlay) Save(w io.Writer) error {
 	writeU32(serialMagic)
 	writeU32(serialVersion)
 	writeU32(uint32(o.agEdges))
+	writeU32(uint32(o.readerStride))
 	writeU32(uint32(len(o.nodes)))
 	for i := range o.nodes {
 		n := &o.nodes[i]
@@ -70,12 +74,21 @@ func Load(r io.Reader) (*Overlay, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != serialVersion {
+	if version != 1 && version != serialVersion {
 		return nil, fmt.Errorf("overlay: load: unsupported version %d", version)
 	}
 	agEdges, err := readU32()
 	if err != nil {
 		return nil, err
+	}
+	var stride uint32
+	if version >= 2 {
+		if stride, err = readU32(); err != nil {
+			return nil, err
+		}
+		if int32(stride) < 0 {
+			return nil, fmt.Errorf("overlay: load: bad reader stride %d", stride)
+		}
 	}
 	count, err := readU32()
 	if err != nil {
@@ -86,6 +99,7 @@ func Load(r io.Reader) (*Overlay, error) {
 		return nil, fmt.Errorf("overlay: load: implausible node count %d", count)
 	}
 	o := New(int(agEdges))
+	o.readerStride = int32(stride)
 	o.nodes = make([]Node, count)
 	for i := range o.nodes {
 		flags, err := readU32()

@@ -36,9 +36,34 @@ type Topology struct {
 	// Writers lists live writer refs.
 	Writers []NodeRef
 	// WriterOf / ReaderOf map data-graph nodes to their overlay slots.
-	// They are copies: lookups are safe while the overlay mutates.
+	// They are copies: lookups are safe while the overlay mutates. In a
+	// merged multi-query overlay (Stride > 0) ReaderOf is keyed by the
+	// encoded reader GID tag*Stride + node.
 	WriterOf map[graph.NodeID]NodeRef
 	ReaderOf map[graph.NodeID]NodeRef
+	// Stride is the merged-overlay reader-GID stride (0 for single-query
+	// overlays); see Overlay.SetReaderStride.
+	Stride int32
+	// TagReaders counts the live readers each query tag owns (single-query
+	// overlays have everything under tag 0), precomputed so per-view stats
+	// never walk the reader map.
+	TagReaders map[int32]int
+}
+
+// ReaderTag decodes the query tag of a reader slot (0 when Stride is 0).
+func (t *Topology) ReaderTag(ref NodeRef) int32 {
+	if t.Stride <= 0 {
+		return 0
+	}
+	return int32(t.GID[ref]) / t.Stride
+}
+
+// ReaderGID decodes the data-graph node of a reader slot.
+func (t *Topology) ReaderGID(ref NodeRef) graph.NodeID {
+	if t.Stride <= 0 {
+		return t.GID[ref]
+	}
+	return t.GID[ref] % graph.NodeID(t.Stride)
 }
 
 // PackRef packs a node ref and an edge sign into one int32.
@@ -58,15 +83,17 @@ func UnpackRef(p int32) (NodeRef, bool) { return p >> 1, p&1 == 1 }
 func (o *Overlay) Flatten() *Topology {
 	n := len(o.nodes)
 	t := &Topology{
-		N:        n,
-		Kind:     make([]NodeKind, n),
-		Dec:      make([]Decision, n),
-		Dead:     make([]bool, n),
-		GID:      make([]graph.NodeID, n),
-		OutOff:   make([]int32, n+1),
-		InOff:    make([]int32, n+1),
-		WriterOf: make(map[graph.NodeID]NodeRef, len(o.writerOf)),
-		ReaderOf: make(map[graph.NodeID]NodeRef, len(o.readerOf)),
+		N:          n,
+		Kind:       make([]NodeKind, n),
+		Dec:        make([]Decision, n),
+		Dead:       make([]bool, n),
+		GID:        make([]graph.NodeID, n),
+		OutOff:     make([]int32, n+1),
+		InOff:      make([]int32, n+1),
+		WriterOf:   make(map[graph.NodeID]NodeRef, len(o.writerOf)),
+		ReaderOf:   make(map[graph.NodeID]NodeRef, len(o.readerOf)),
+		Stride:     o.readerStride,
+		TagReaders: make(map[int32]int),
 	}
 	outTotal, inTotal := 0, 0
 	for i := range o.nodes {
@@ -92,6 +119,9 @@ func (o *Overlay) Flatten() *Topology {
 		}
 		if !nd.dead && nd.Kind == WriterNode {
 			t.Writers = append(t.Writers, NodeRef(i))
+		}
+		if !nd.dead && nd.Kind == ReaderNode {
+			t.TagReaders[t.ReaderTag(NodeRef(i))]++
 		}
 	}
 	t.OutOff[n] = int32(len(t.Out))

@@ -70,6 +70,17 @@ func (o *Overlay) checkStructure() error {
 		if n.Kind == ReaderNode && len(n.Out) != 0 {
 			return fmt.Errorf("overlay: reader %d has outputs", i)
 		}
+		// Merged-overlay reader tagging: writers carry real data-graph ids
+		// (below the stride); reader GIDs encode tag*stride + node.
+		if o.readerStride > 0 {
+			if n.Kind == WriterNode && n.GID >= graph.NodeID(o.readerStride) {
+				return fmt.Errorf("overlay: writer %d GID %d exceeds reader stride %d",
+					i, n.GID, o.readerStride)
+			}
+			if n.Kind == ReaderNode && n.GID < 0 {
+				return fmt.Errorf("overlay: reader %d has negative GID %d", i, n.GID)
+			}
+		}
 		for _, e := range n.In {
 			if !o.Alive(e.Peer) {
 				return fmt.Errorf("overlay: node %d has in-edge from dead node %d", i, e.Peer)

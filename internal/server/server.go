@@ -8,6 +8,7 @@
 //	GET    /queries/{id}/read?node=1                                evaluate the query at a node
 //	GET    /queries/{id}/watch?node=1&buffer=64                     SSE stream of continuous updates
 //	GET    /queries/{id}/stats                                      per-query overlay statistics
+//	GET    /queries/{id}/covered?node=1                             is the node's result push-maintained?
 //
 // plus the shared graph/stream surface:
 //
@@ -83,6 +84,7 @@ func New(sess *eagr.Session) *Server {
 	s.mux.HandleFunc("GET /queries/{id}/read", s.handleQueryRead)
 	s.mux.HandleFunc("GET /queries/{id}/watch", s.handleWatch)
 	s.mux.HandleFunc("GET /queries/{id}/stats", s.handleQueryStats)
+	s.mux.HandleFunc("GET /queries/{id}/covered", s.handleQueryCovered)
 	s.mux.HandleFunc("/write", s.handleWrite)
 	s.mux.HandleFunc("/write-batch", s.handleWriteBatch)
 	s.mux.HandleFunc("/read", s.handleRead)
@@ -144,6 +146,8 @@ type queryResp struct {
 	Hops         int    `json:"hops,omitempty"`
 	Continuous   bool   `json:"continuous,omitempty"`
 	Shared       int    `json:"shared"`
+	Family       int    `json:"family"`
+	OwnReaders   int    `json:"ownReaders"`
 	Partials     int    `json:"partials"`
 	Mode         string `json:"mode"`
 }
@@ -154,9 +158,12 @@ func queryToResp(q *eagr.Query) queryResp {
 
 // queryToRespWith builds the wire form from precomputed stats, letting the
 // list endpoint compute each shared overlay's stats once instead of once
-// per query (overlay stat computation walks the whole overlay).
+// per query (overlay stat computation walks the whole overlay). The
+// per-query sharing counters come from the cheap Sharing accessor, since
+// queries merged into one family share st but not those counters.
 func queryToRespWith(q *eagr.Query, st eagr.Stats) queryResp {
 	spec := q.Spec()
+	shared, family, ownReaders := q.Sharing()
 	return queryResp{
 		ID:           q.ID(),
 		Aggregate:    spec.Aggregate,
@@ -164,7 +171,9 @@ func queryToRespWith(q *eagr.Query, st eagr.Stats) queryResp {
 		WindowTime:   spec.WindowTime,
 		Hops:         spec.Hops,
 		Continuous:   spec.Continuous,
-		Shared:       st.Shared,
+		Shared:       shared,
+		Family:       family,
+		OwnReaders:   ownReaders,
 		Partials:     st.Partials,
 		Mode:         st.Mode,
 	}
@@ -295,15 +304,33 @@ func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
 		"maintainable":   st.Maintainable,
 		"writers":        st.Writers,
 		"readers":        st.Readers,
+		"ownReaders":     st.OwnReaders,
 		"partials":       st.Partials,
 		"edges":          st.Edges,
 		"negativeEdges":  st.NegativeEdges,
 		"sharingIndex":   st.SharingIndex,
 		"avgDepth":       st.AvgDepth,
 		"shared":         st.Shared,
+		"family":         st.Family,
 		"subscribers":    st.Subscribers,
 		"droppedUpdates": st.DroppedUpdates,
 	})
+}
+
+// handleQueryCovered reports whether the query's result at a node is
+// push-maintained — i.e. whether a /watch on that node will observe
+// updates (see eagr.Query.Covered).
+func (s *Server) handleQueryCovered(w http.ResponseWriter, r *http.Request) {
+	q := s.queryFor(w, r)
+	if q == nil {
+		return
+	}
+	node, err := nodeParam(r, "node")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"node": node, "covered": q.Covered(node)})
 }
 
 // handleWatch streams continuous-query updates as Server-Sent Events until
@@ -519,6 +546,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"queries":        st.Queries,
 		"groups":         st.Groups,
+		"mergedFamilies": st.MergedFamilies,
+		"mergedQueries":  st.MergedQueries,
 		"writers":        st.Writers,
 		"readers":        st.Readers,
 		"partials":       st.Partials,
@@ -540,7 +569,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, eagr.ErrQueryClosed):
 		return http.StatusGone
-	case errors.Is(err, eagr.ErrConflictingWindow), errors.Is(err, eagr.ErrIncompatibleQuery):
+	case errors.Is(err, eagr.ErrConflictingWindow), errors.Is(err, eagr.ErrIncompatibleMerge),
+		errors.Is(err, eagr.ErrIncompatibleQuery):
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError

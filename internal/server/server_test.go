@@ -426,3 +426,44 @@ func mustGet(t *testing.T, url string) *http.Response {
 	}
 	return resp
 }
+
+// TestCoveredEndpointAndFamilyStats exercises the merged-family surface:
+// registering two sum queries with different hop depths merges them into
+// one family, /queries reports family sharing per query, {id}/covered
+// answers push coverage, and /stats carries the merged counters.
+func TestCoveredEndpointAndFamilyStats(t *testing.T) {
+	ts := testServer(t)
+	q1 := decode[map[string]any](t, post(t, ts.URL+"/queries",
+		map[string]any{"aggregate": "sum", "continuous": true}))
+	q2 := decode[map[string]any](t, post(t, ts.URL+"/queries",
+		map[string]any{"aggregate": "sum", "continuous": true, "hops": 2}))
+	if q1["family"].(float64) < 1 || q2["family"].(float64) != 2 {
+		t.Fatalf("family sizes = %v/%v, want second to join a 2-member family",
+			q1["family"], q2["family"])
+	}
+	id2 := int(q2["id"].(float64))
+	resp, err := http.Get(fmt.Sprintf("%s/queries/%d/covered?node=1", ts.URL, id2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := decode[map[string]any](t, resp)
+	if cov["covered"] != true {
+		t.Fatalf("continuous query node must be covered: %v", cov)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/queries/%d/covered", ts.URL, id2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("covered without node: status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[map[string]any](t, resp)
+	if st["mergedFamilies"].(float64) < 1 || st["mergedQueries"].(float64) < 2 {
+		t.Fatalf("stats missing merged counters: %v", st)
+	}
+}

@@ -88,7 +88,10 @@ func TestCompatKeyCanonicalization(t *testing.T) {
 		t.Fatalf("hops-vs-neighborhood spellings: shared = %d/%d, want 2/2",
 			h1.Stats().Shared, h2.Stats().Shared)
 	}
-	// Distinct K beyond Name()'s "in-khop" collapse must NOT share.
+	// Distinct K beyond Name()'s "in-khop" collapse are different member
+	// views: they share ONE merged overlay (same family, same underlying
+	// system) but never each other's exact member — their results must
+	// stay independent.
 	h3, err := sess.Register(QuerySpec{Aggregate: "sum", Hops: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -97,12 +100,18 @@ func TestCompatKeyCanonicalization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h3.Internal() == h4.Internal() {
-		t.Fatal("3-hop and 4-hop queries must not share an overlay")
+	if h3.Internal() != h4.Internal() {
+		t.Fatal("3-hop and 4-hop sum queries should merge into one family overlay")
 	}
-	// Same for filtered neighborhoods over different-depth bases: the
-	// base identity is part of the key, beyond Name()'s "in-khop"
-	// collapse.
+	if h3.Stats().Shared != 1 || h4.Stats().Shared != 1 {
+		t.Fatalf("merged members must not count as exact twins: shared = %d/%d",
+			h3.Stats().Shared, h4.Stats().Shared)
+	}
+	if fam := h3.Stats().Family; fam < 2 {
+		t.Fatalf("family size = %d, want >= 2", fam)
+	}
+	// Same for filtered neighborhoods over different-depth bases: the base
+	// identity distinguishes the member views inside the shared family.
 	keep := func(_ *Graph, _, _ NodeID) bool { return true }
 	f3, err := sess.Register(QuerySpec{Aggregate: "sum"},
 		Options{Neighborhood: Filtered(KHop(3), keep, "near")})
@@ -114,8 +123,29 @@ func TestCompatKeyCanonicalization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f3.Internal() == f5.Internal() {
-		t.Fatal("filtered 3-hop and 5-hop bases must not share an overlay")
+	if f3.Stats().Shared != 1 || f5.Stats().Shared != 1 {
+		t.Fatalf("filtered 3-hop and 5-hop bases must not share exactly: %d/%d",
+			f3.Stats().Shared, f5.Stats().Shared)
+	}
+	// On the 8-ring, every node's 3-hop in-neighborhood has 6 nodes and
+	// the 4-hop one 7: after one write everywhere, the merged members must
+	// read their OWN views, not each other's.
+	for i := NodeID(0); i < 8; i++ {
+		if err := sess.Write(i, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r3, err := h3.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := h4.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Scalar != 6 || r4.Scalar != 7 {
+		t.Fatalf("merged views answer wrong neighborhoods: 3-hop=%d (want 6), 4-hop=%d (want 7)",
+			r3.Scalar, r4.Scalar)
 	}
 }
 
@@ -474,5 +504,101 @@ func TestSessionConcurrentLifecycle(t *testing.T) {
 	ingest.Wait()
 	if _, err := anchor.Read(0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMergedFamilySubscriptionIsolation: two queries merged into one family
+// overlay must each observe only their own view's updates, and Covered must
+// reflect each view's push coverage.
+func TestMergedFamilySubscriptionIsolation(t *testing.T) {
+	sess, err := Open(ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := sess.Register(QuerySpec{Aggregate: "sum", Continuous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := sess.Register(QuerySpec{Aggregate: "sum", Continuous: true, Hops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Internal() != q2.Internal() {
+		t.Fatal("continuous 1-hop and 2-hop sums should merge into one family")
+	}
+	// Continuous queries compile all-push: every node of both views is
+	// covered, and an unknown node is not.
+	for v := NodeID(0); v < 8; v++ {
+		if !q1.Covered(v) || !q2.Covered(v) {
+			t.Fatalf("node %d must be covered on both merged views", v)
+		}
+	}
+	if q1.Covered(99) {
+		t.Fatal("unknown node must not be covered")
+	}
+	ch1, cancel1, err := q1.Subscribe(256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel1()
+	ch2, cancel2, err := q2.Subscribe(256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	// On the ring, N1(3) = {2,4}; N2(3) = {1,2,4,5}. A write on 1 reaches
+	// only the 2-hop view of node 3.
+	if err := sess.Write(1, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-ch1:
+		t.Fatalf("1-hop subscription saw a 2-hop-only update: %+v", u)
+	default:
+	}
+	u := <-ch2
+	if u.Node != 3 || u.Result.Scalar != 10 {
+		t.Fatalf("2-hop update = %+v, want node 3 value 10", u)
+	}
+	// A write on 2 reaches both views.
+	if err := sess.Write(2, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	u1 := <-ch1
+	if u1.Node != 3 || u1.Result.Scalar != 5 {
+		t.Fatalf("1-hop update = %+v, want node 3 value 5", u1)
+	}
+	u2 := <-ch2
+	if u2.Node != 3 || u2.Result.Scalar != 15 {
+		t.Fatalf("2-hop update = %+v, want node 3 value 15", u2)
+	}
+}
+
+// TestMergedFamilySessionStats: session stats must surface merged sharing.
+func TestMergedFamilySessionStats(t *testing.T) {
+	sess, err := Open(ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Register(QuerySpec{Aggregate: "sum"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Register(QuerySpec{Aggregate: "sum", Hops: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Register(QuerySpec{Aggregate: "max"}); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Queries != 3 || st.Groups != 2 {
+		t.Fatalf("queries/groups = %d/%d, want 3/2", st.Queries, st.Groups)
+	}
+	if st.MergedFamilies != 1 || st.MergedQueries != 2 {
+		t.Fatalf("merged families/queries = %d/%d, want 1/2", st.MergedFamilies, st.MergedQueries)
+	}
+	qs := sess.Queries()
+	shared, family, own := qs[0].Sharing()
+	if shared != 1 || family != 2 || own != 8 {
+		t.Fatalf("q1 sharing = %d/%d/%d, want 1/2/8", shared, family, own)
 	}
 }
