@@ -1,0 +1,236 @@
+package eagr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// batchOracle is a pair of identically seeded sessions: one ingests through
+// ApplyBatch in caller-chosen chunks, the other replays the same events one
+// at a time through the sequential mutators (the oracle). Both host the
+// same query set; compare() asserts every query agrees on every node.
+type batchOracle struct {
+	t             *testing.T
+	batch, oracle *Session
+	bQs, oQs      []*Query
+	nodes         int
+}
+
+func newBatchOracle(t *testing.T, nodes int, specs []QuerySpec, opts Options) *batchOracle {
+	t.Helper()
+	mk := func() (*Session, []*Query) {
+		g := NewGraph(nodes)
+		for i := 0; i < nodes; i++ {
+			_ = g.AddEdge(NodeID((i+1)%nodes), NodeID(i))
+			_ = g.AddEdge(NodeID((i+3)%nodes), NodeID(i))
+		}
+		sess, err := Open(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qs []*Query
+		for _, spec := range specs {
+			q, err := sess.Register(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs = append(qs, q)
+		}
+		return sess, qs
+	}
+	bo := &batchOracle{t: t, nodes: nodes}
+	bo.batch, bo.bQs = mk()
+	bo.oracle, bo.oQs = mk()
+	return bo
+}
+
+// applySequential replays one event through the oracle session's
+// one-at-a-time mutators, ignoring the same per-event errors ApplyBatch
+// skips over.
+func (bo *batchOracle) applySequential(ev Event) {
+	switch ev.Kind {
+	case graph.ContentWrite:
+		_ = bo.oracle.Write(ev.Node, ev.Value, ev.TS)
+	case graph.EdgeAdd:
+		_ = bo.oracle.AddEdge(ev.Node, ev.Peer)
+	case graph.EdgeRemove:
+		_ = bo.oracle.RemoveEdge(ev.Node, ev.Peer)
+	case graph.NodeAdd:
+		_, _ = bo.oracle.AddNode()
+	case graph.NodeRemove:
+		_ = bo.oracle.RemoveNode(ev.Node)
+	}
+}
+
+func (bo *batchOracle) run(events []Event, chunk int) {
+	bo.t.Helper()
+	for off := 0; off < len(events); off += chunk {
+		end := min(off+chunk, len(events))
+		_ = bo.batch.ApplyBatch(events[off:end])
+	}
+	for _, ev := range events {
+		bo.applySequential(ev)
+	}
+}
+
+// compare reads every query at every node on both sessions and fails on
+// the first mismatch. Dead nodes must agree on ErrUnknownNode.
+func (bo *batchOracle) compare(label string) {
+	bo.t.Helper()
+	for qi := range bo.bQs {
+		for v := 0; v < bo.nodes; v++ {
+			got, gotErr := bo.bQs[qi].Read(NodeID(v))
+			want, wantErr := bo.oQs[qi].Read(NodeID(v))
+			if (gotErr != nil) != (wantErr != nil) {
+				bo.t.Fatalf("%s: query %d node %d: err %v vs oracle %v", label, qi, v, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if !errors.Is(gotErr, ErrUnknownNode) {
+					bo.t.Fatalf("%s: query %d node %d: unexpected error %v", label, qi, v, gotErr)
+				}
+				continue
+			}
+			if got.Valid != want.Valid || got.Scalar != want.Scalar {
+				bo.t.Fatalf("%s: query %d node %d: got %+v, oracle %+v", label, qi, v, got, want)
+			}
+		}
+	}
+}
+
+// mixedStream generates a random interleaving of content writes and
+// structural churn over ~nodes ids. Structural events toggle edges
+// deterministically (add absent, remove present) and occasionally remove a
+// node, so most events apply cleanly on both sides; invalid events are
+// deliberately left in (both sides must skip them identically).
+func mixedStream(rng *rand.Rand, nodes, n int, structEvery int) []Event {
+	var events []Event
+	for i := 0; i < n; i++ {
+		ts := int64(i)
+		if structEvery > 0 && rng.Intn(structEvery) == 0 {
+			u := NodeID(rng.Intn(nodes))
+			v := NodeID(rng.Intn(nodes))
+			switch rng.Intn(5) {
+			case 0:
+				events = append(events, NewEdgeRemove(u, v, ts))
+			case 1:
+				events = append(events, NewNodeRemove(u, ts))
+			case 2:
+				events = append(events, NewNodeAdd(ts))
+			default:
+				events = append(events, NewEdgeAdd(u, v, ts))
+			}
+			continue
+		}
+		events = append(events, NewWrite(NodeID(rng.Intn(nodes)), int64(rng.Intn(100)), ts))
+	}
+	return events
+}
+
+// TestApplyBatchMatchesSequentialOracle is the tentpole's correctness
+// anchor: a random mixed content/structural stream ingested through
+// ApplyBatch (structural runs coalesced into one repair per query) must
+// leave every query in exactly the state the one-event-at-a-time mutators
+// produce. The maintainable IOB overlay keeps window state across repairs
+// on both sides, so equality is exact.
+func TestApplyBatchMatchesSequentialOracle(t *testing.T) {
+	specs := []QuerySpec{
+		{Aggregate: "sum", WindowTuples: 3},
+		{Aggregate: "count"},
+		{Aggregate: "max", WindowTuples: 2},
+	}
+	for _, chunk := range []int{1, 7, 64, 1 << 30} {
+		rng := rand.New(rand.NewSource(int64(chunk)))
+		bo := newBatchOracle(t, 48, specs, Options{Algorithm: "iob"})
+		events := mixedStream(rng, 48, 1500, 6)
+		bo.run(events, chunk)
+		bo.compare("iob")
+	}
+}
+
+// TestApplyBatchMatchesOracleMultiHop exercises the coalesced repair under
+// 2-hop neighborhoods, where one edge event touches many readers and
+// several events in a run can overlap on the same readers.
+func TestApplyBatchMatchesOracleMultiHop(t *testing.T) {
+	specs := []QuerySpec{
+		{Aggregate: "sum"},
+		{Aggregate: "sum", Hops: 2},
+	}
+	rng := rand.New(rand.NewSource(7))
+	bo := newBatchOracle(t, 32, specs, Options{Algorithm: "iob"})
+	events := mixedStream(rng, 32, 800, 4)
+	bo.run(events, 32)
+	bo.compare("2hop")
+}
+
+// TestApplyBatchStructuralBursts forces long all-structural runs (the case
+// the coalescing targets) with interleaved verification points.
+func TestApplyBatchStructuralBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bo := newBatchOracle(t, 40, []QuerySpec{{Aggregate: "sum", WindowTuples: 4}}, Options{Algorithm: "iob"})
+	for round := 0; round < 10; round++ {
+		var events []Event
+		for i := 0; i < 60; i++ { // content prefix
+			events = append(events, NewWrite(NodeID(rng.Intn(40)), int64(rng.Intn(50)), int64(round*1000+i)))
+		}
+		events = append(events, mixedStream(rng, 40, 40, 1)...) // structural burst
+		bo.run(events, len(events))
+		bo.compare("burst")
+	}
+}
+
+// TestApplyBatchRecompilePath runs the oracle comparison on a
+// non-maintainable overlay (VNM_N with negative edges): every structural
+// run must fall back to exactly one recompile, and since BOTH sides lose
+// window state at recompile points that fall at the same stream positions
+// only when runs are single events, we use chunk=1 so the comparison stays
+// exact.
+func TestApplyBatchRecompilePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bo := newBatchOracle(t, 24, []QuerySpec{{Aggregate: "sum"}}, Options{Algorithm: "vnmn"})
+	events := mixedStream(rng, 24, 300, 8)
+	bo.run(events, 1)
+	bo.compare("recompile")
+}
+
+// TestApplyBatchNodesSurfacesIDs checks the batch API returns allocated
+// node ids in event order, including reused ids a caller could never
+// derive from the graph size.
+func TestApplyBatchNodesSurfacesIDs(t *testing.T) {
+	sess, err := Open(ring(8), Options{Algorithm: "iob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Register(QuerySpec{Aggregate: "sum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove node 3 so its id goes on the free list, then stream one
+	// node-add (reuses 3) and a fresh one (8), wiring the first into the
+	// graph and writing through it.
+	if err := sess.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	added, err := sess.ApplyBatchNodes([]Event{NewNodeAdd(1), NewNodeAdd(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 2 || added[0] != 3 || added[1] != 8 {
+		t.Fatalf("added = %v, want [3 8] (reused id first)", added)
+	}
+	if err := sess.ApplyBatch([]Event{
+		NewEdgeAdd(added[0], 0, 3),
+		NewWrite(added[0], 11, 4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid || res.Scalar != 11 {
+		t.Fatalf("read through streamed-in node = %+v, want 11", res)
+	}
+}

@@ -238,6 +238,63 @@ func BenchmarkOpSubscribeFanoutBatch(b *testing.B) {
 	benchfix.RunWriteBatch(b, eng, writes, 1)
 }
 
+// BenchmarkOpIngestMixedBatch measures unified mixed ingestion: ApplyBatch
+// over a content stream with periodic structural churn bursts, each burst
+// coalesced into one overlay repair per query instead of one per event.
+func BenchmarkOpIngestMixedBatch(b *testing.B) {
+	m, events, err := benchfix.MixedBatchFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchfix.RunApplyBatch(b, m, events)
+}
+
+// ingestorFixture builds the OpIngestorThroughput fixture: a session over
+// the standard 2000-node social graph with one SUM query, and the write
+// stream to push through an Ingestor.
+func ingestorFixture(b *testing.B) (*Session, []Event) {
+	b.Helper()
+	g := workload.SocialGraph(2000, 8, 1)
+	sess, err := Open(g, Options{Algorithm: "baseline", Mode: "all-push"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Register(QuerySpec{Aggregate: "sum"}); err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	return sess, benchfix.Writes(workload.Events(wl, 1<<16, 2))
+}
+
+// BenchmarkOpIngestorThroughput measures the streaming handle end to end:
+// per-event cost of Send through the Ingestor's buffer, bounded queue and
+// background ApplyBatch worker (batch size 1024, watermark-driven expiry
+// on), including the final drain.
+func BenchmarkOpIngestorThroughput(b *testing.B) {
+	sess, writes := ingestorFixture(b)
+	ing, err := sess.Ingest(IngestOptions{
+		BatchSize:     1024,
+		QueueDepth:    8,
+		FlushInterval: -1,
+		Clock:         LogicalClock(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := writes[i%len(writes)]
+		if err := ing.SendEvent(NewWrite(ev.Node, ev.Value, int64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
 func BenchmarkOpSumDataflow(b *testing.B) { benchOps(b, construct.AlgVNMA, "dataflow", agg.Sum{}) }
 func BenchmarkOpSumAllPush(b *testing.B)  { benchOps(b, "baseline", "push", agg.Sum{}) }
 func BenchmarkOpSumAllPull(b *testing.B)  { benchOps(b, "baseline", "pull", agg.Sum{}) }

@@ -7,10 +7,49 @@ import (
 	"runtime"
 	"testing"
 
+	eagr "repro"
 	"repro/internal/agg"
 	"repro/internal/benchfix"
 	"repro/internal/construct"
+	"repro/internal/workload"
 )
+
+// benchIngestorThroughput is the -engine-bench twin of the repo's
+// BenchmarkOpIngestorThroughput (the facade-level fixture cannot live in
+// benchfix, which the eagr package's own benchmarks import).
+func benchIngestorThroughput(b *testing.B) {
+	g := workload.SocialGraph(2000, 8, 1)
+	sess, err := eagr.Open(g, eagr.Options{Algorithm: "baseline", Mode: "all-push"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Register(eagr.QuerySpec{Aggregate: "sum"}); err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	writes := benchfix.Writes(workload.Events(wl, 1<<16, 2))
+	ing, err := sess.Ingest(eagr.IngestOptions{
+		BatchSize:     1024,
+		QueueDepth:    8,
+		FlushInterval: -1,
+		Clock:         eagr.LogicalClock(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := writes[i%len(writes)]
+		if err := ing.SendEvent(eagr.NewWrite(ev.Node, ev.Value, int64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
 
 // engineBenchResult is one micro-benchmark's measurement, serialized into
 // BENCH_engine.json so successive PRs have a perf trajectory to compare
@@ -50,6 +89,14 @@ var seedBaseline = map[string]engineBenchResult{
 	// subscribed engine fanned out once per write, not once per batch.
 	"OpSumPushMergedQueries": {NsPerOp: 1972.0, OpsPerSec: 0.51e6, AllocsPerOp: 0, BytesPerOp: 0},
 	"OpSubscribeFanoutBatch": {NsPerOp: 1007.0, OpsPerSec: 0.99e6, AllocsPerOp: 0, BytesPerOp: 0},
+	// Measured just before the unified streaming-ingestion API landed, on
+	// the same fixtures: the mixed content/structural stream applied one
+	// event at a time through Write/AddEdge/RemoveEdge (every structural
+	// event paying a full serialized repair), and the Ingestor's
+	// per-event cost compared against a bare per-event Session.Write (no
+	// batching, no watermark, caller-threaded time).
+	"OpIngestMixedBatch":   {NsPerOp: 77988.0, OpsPerSec: 12.8e3, AllocsPerOp: 294, BytesPerOp: 62686},
+	"OpIngestorThroughput": {NsPerOp: 203.2, OpsPerSec: 4.92e6, AllocsPerOp: 0, BytesPerOp: 0},
 }
 
 func toResult(r testing.BenchmarkResult) engineBenchResult {
@@ -182,6 +229,30 @@ func runEngineBench(path string) error {
 		cur["OpSubscribeFanoutBatch"] = r
 		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			"OpSubscribeFanoutBatch", r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	{
+		// Unified mixed ingestion: ApplyBatch over a content stream with
+		// periodic structural churn bursts, each burst coalesced into one
+		// overlay repair per query.
+		ms, events, err := benchfix.MixedBatchFixture()
+		if err != nil {
+			return err
+		}
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunApplyBatch(b, ms, events)
+		}))
+		cur["OpIngestMixedBatch"] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			"OpIngestMixedBatch", r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	{
+		// The streaming Ingestor handle end to end: Send through buffer,
+		// bounded queue and background ApplyBatch worker, watermark-driven
+		// expiry on (content-only stream; mirror of BenchmarkOpIngestorThroughput).
+		r := toResult(testing.Benchmark(benchIngestorThroughput))
+		cur["OpIngestorThroughput"] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			"OpIngestorThroughput", r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
 	workers := []int{1}
 	if p := runtime.GOMAXPROCS(0); p > 1 {

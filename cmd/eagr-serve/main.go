@@ -47,6 +47,7 @@ func main() {
 		alg      = flag.String("alg", "", "overlay algorithm (empty = auto)")
 		seed     = flag.Int64("seed", 1, "random seed for synthetic graphs")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
+		tsJump   = flag.Int64("ingest-max-ts-jump", 0, "reject /ingest events whose timestamp runs further than this ahead of the stream (0 = unbounded; guards the watermark against corrupt far-future timestamps)")
 	)
 	flag.Parse()
 
@@ -83,10 +84,12 @@ func main() {
 	log.Printf("registered query %d: aggregate=%s algorithm=%s sharing-index=%.1f%% partials=%d maintainable=%v",
 		q.ID(), *aggSpec, st.Algorithm, st.SharingIndex*100, st.Partials, st.Maintainable)
 
-	api := server.New(sess)
+	api := server.New(sess, server.WithMaxTimestampJump(*tsJump))
 	srv := &http.Server{Addr: *listen, Handler: api}
 	// End open /watch SSE streams when Shutdown begins, so draining does
-	// not wait out the grace period on long-lived watchers.
+	// not wait out the grace period on long-lived watchers. The session
+	// Ingestor closes only AFTER Shutdown returns: in-flight /ingest
+	// requests must drain, not get ErrIngestorClosed mid-stream.
 	srv.RegisterOnShutdown(api.CloseWatchers)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -96,7 +99,9 @@ func main() {
 		log.Printf("signal received; draining for up to %v", *grace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
-		done <- srv.Shutdown(shutdownCtx)
+		err := srv.Shutdown(shutdownCtx)
+		api.Close()
+		done <- err
 	}()
 
 	log.Printf("serving on %s", *listen)

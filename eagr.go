@@ -32,8 +32,25 @@
 //	sess.Write(u, 42, ts)             // content update, fans out to all queries
 //	res, err := sums.Read(v)          // F(N(v)) right now, for this query
 //
+// Data enters as ONE interleaved stream, the paper's model (§2.1): content
+// writes and structural changes in stream order. The streaming front door
+// is an Ingestor — batched, backpressured, and the source of time:
+//
+//	ing, err := sess.Ingest(eagr.IngestOptions{})
+//	ing.Send(u, 42)                            // auto-timestamped write
+//	ing.SendEvent(eagr.NewEdgeAdd(u, v, 0))    // structural, same stream
+//	ing.Flush()                                // synchronize when needed
+//
+// Batches auto-flush by size and interval; consecutive content writes take
+// the sharded parallel path while consecutive structural events coalesce
+// into one overlay repair per query (Session.ApplyBatch is the same
+// unified path for caller-assembled batches). The Ingestor's low watermark
+// — max observed timestamp minus the configured lateness — expires
+// time-based windows automatically, so time-windowed queries advance with
+// the stream instead of with hand-threaded ExpireAll calls.
+//
 // Continuous queries push results to subscribers instead of waiting to be
-// read:
+// read, including the expiry updates the watermark produces:
 //
 //	alerts, _ := sess.Register(eagr.QuerySpec{Aggregate: "count", Continuous: true})
 //	ch, cancel, err := alerts.Subscribe(64)
@@ -400,24 +417,81 @@ func (s *Session) Write(v NodeID, value int64, ts int64) error {
 	return s.multi.Write(v, value, ts)
 }
 
-// Event is a single element of the combined data stream, used with
-// WriteBatch for high-throughput ingestion.
+// Event is a single element of the combined data stream (§2.1): one
+// interleaved sequence of content writes and structural changes, ingested
+// with ApplyBatch, an Ingestor, or the content-only WriteBatch.
 type Event = graph.Event
 
-// NewWrite builds a content-write event for WriteBatch.
+// NewWrite builds a content-write event: node v appends value to its
+// content stream at ts.
 func NewWrite(v NodeID, value int64, ts int64) Event {
 	return graph.Event{Kind: graph.ContentWrite, Node: v, Value: value, TS: ts}
 }
 
-// WriteBatch ingests a batch of content writes through each query engine's
-// sharded parallel write pool. Updates to the same node keep their batch
-// order; distinct nodes ingest in parallel across GOMAXPROCS workers.
+// NewEdgeAdd builds a structural event adding the edge u→v (v's ego
+// network gains u under the default neighborhood).
+func NewEdgeAdd(u, v NodeID, ts int64) Event {
+	return graph.Event{Kind: graph.EdgeAdd, Node: u, Peer: v, TS: ts}
+}
+
+// NewEdgeRemove builds a structural event removing the edge u→v.
+func NewEdgeRemove(u, v NodeID, ts int64) Event {
+	return graph.Event{Kind: graph.EdgeRemove, Node: u, Peer: v, TS: ts}
+}
+
+// NewNodeAdd builds a structural event allocating a fresh node (the id is
+// assigned at apply time; deleted ids are reused).
+func NewNodeAdd(ts int64) Event {
+	return graph.Event{Kind: graph.NodeAdd, TS: ts}
+}
+
+// NewNodeRemove builds a structural event deleting node v and its edges.
+func NewNodeRemove(v NodeID, ts int64) Event {
+	return graph.Event{Kind: graph.NodeRemove, Node: v, TS: ts}
+}
+
+// ApplyBatch ingests a mixed batch of content and structural events in
+// stream order — the paper's single interleaved data stream. Runs of
+// consecutive content writes take each query engine's sharded parallel
+// fast path (per-node order preserved, distinct nodes in parallel); runs
+// of consecutive structural events mutate the graph event by event but
+// coalesce into ONE overlay repair and engine republish per query, so a
+// burst of churn costs one repair rather than one per event.
+//
+// Events that cannot apply (adding an existing edge, removing a dead node)
+// are skipped with their errors joined into the returned error; the rest
+// of the batch still applies — the same end state as looping the
+// sequential mutators and collecting errors. The final results are
+// identical to applying the batch one event at a time.
+func (s *Session) ApplyBatch(events []Event) error {
+	return mapNodeErr(s.multi.ApplyBatch(events))
+}
+
+// ApplyBatchNodes is ApplyBatch additionally returning the node ids its
+// NodeAdd events allocated, in event order. Deleted ids are reused, so a
+// caller that needs to write to (or wire edges onto) a node it just
+// streamed in cannot derive the id from the graph size — use this variant,
+// or the synchronous AddNode. (The asynchronous Ingestor cannot return
+// per-event ids; streams that create nodes and immediately address them
+// should allocate through ApplyBatchNodes or AddNode first.)
+func (s *Session) ApplyBatchNodes(events []Event) ([]NodeID, error) {
+	added, err := s.multi.ApplyBatchNodes(events)
+	return added, mapNodeErr(err)
+}
+
+// WriteBatch is the content-only wrapper of ApplyBatch: it ingests a batch
+// of content writes through each query engine's sharded parallel write
+// pool, skipping any non-write events instead of applying them. Updates to
+// the same node keep their batch order; distinct nodes ingest in parallel
+// across GOMAXPROCS workers.
 func (s *Session) WriteBatch(events []Event) error {
 	return s.multi.WriteBatch(events)
 }
 
 // ExpireAll advances every query's time-based windows to ts, propagating
 // expirations (and subscriber notifications) through the push regions.
+// Sessions ingesting through an Ingestor don't call this: the Ingestor's
+// watermark drives expiry automatically.
 func (s *Session) ExpireAll(ts int64) { s.multi.ExpireAll(ts) }
 
 // AddEdge applies a structural edge addition u→v (v's ego network gains u
@@ -492,10 +566,15 @@ type SessionStats struct {
 	// member queries they host: sharing beyond exact configuration twins.
 	MergedFamilies int
 	MergedQueries  int
-	Writers        int
-	Readers        int
-	Partials       int
-	Edges          int
+	// FamilyOverflows counts registrations that found their merge family at
+	// the 64-member tag-space cap and opened a fresh overlay instead of
+	// joining the shared one — nonzero means cross-query sharing is
+	// degrading under query volume.
+	FamilyOverflows int64
+	Writers         int
+	Readers         int
+	Partials        int
+	Edges           int
 	// DroppedUpdates counts subscription deliveries discarded because
 	// consumers fell behind, summed over all live queries.
 	DroppedUpdates int64
@@ -503,7 +582,7 @@ type SessionStats struct {
 
 // Stats returns current session-wide statistics.
 func (s *Session) Stats() SessionStats {
-	st := SessionStats{Groups: s.multi.NumGroups()}
+	st := SessionStats{Groups: s.multi.NumGroups(), FamilyOverflows: s.multi.FamilyOverflows()}
 	st.MergedFamilies, st.MergedQueries = s.multi.NumMergedFamilies()
 	for _, sys := range s.multi.Systems() {
 		ov := sys.Stats().Overlay

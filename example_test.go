@@ -1,0 +1,58 @@
+package eagr_test
+
+import (
+	"fmt"
+	"log"
+
+	eagr "repro"
+)
+
+// The package example is the streaming quickstart: one session, standing
+// queries, and a single interleaved event stream — content writes AND
+// structural changes — entering through an Ingestor whose watermark drives
+// window time.
+func Example() {
+	// A small "who-follows-whom" graph: an edge u -> v means v's ego
+	// network aggregates u's content.
+	g := eagr.NewGraph(4)
+	_ = g.AddEdge(1, 0) // user 0 follows users 1 and 2
+	_ = g.AddEdge(2, 0)
+
+	sess, err := eagr.Open(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// SUM over the last 10 time units of each followed account's posts.
+	sums, err := sess.Register(eagr.QuerySpec{Aggregate: "sum", WindowTime: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The stream enters through an Ingestor: batched, backpressured, and
+	// the source of time — its low watermark expires windows automatically.
+	ing, err := sess.Ingest(eagr.IngestOptions{BatchSize: 64, FlushInterval: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = ing.SendEvent(eagr.NewWrite(1, 7, 1))   // user 1 posts at t=1
+	_ = ing.SendEvent(eagr.NewWrite(2, 3, 2))   // user 2 posts at t=2
+	_ = ing.SendEvent(eagr.NewEdgeAdd(3, 0, 3)) // user 0 follows user 3...
+	_ = ing.SendEvent(eagr.NewWrite(3, 5, 4))   // ...who posts at t=4
+	_ = ing.Flush()                             // make it all visible
+	res, _ := sums.Read(0)                      // 7 + 3 + 5
+	fmt.Println("sum over user 0's ego network:", res.Scalar)
+
+	// Much later traffic advances the watermark; the early posts expire
+	// from the window on their own — no ExpireAll anywhere.
+	_ = ing.SendEvent(eagr.NewWrite(1, 2, 20))
+	_ = ing.Flush()
+	res, _ = sums.Read(0)
+	fmt.Println("after the window slid:", res.Scalar)
+
+	if err := ing.Close(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// sum over user 0's ego network: 15
+	// after the window slid: 2
+}

@@ -12,19 +12,29 @@
 // ever blocking ingestion.
 //
 // Run with: go run ./examples/anomaly
+// (set EAGR_QUICK=1 for a tiny CI-sized workload)
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	eagr "repro"
 )
 
+// quick shrinks workloads for the CI examples smoke.
+func quick(full, small int) int {
+	if os.Getenv("EAGR_QUICK") != "" {
+		return small
+	}
+	return full
+}
+
 func main() {
 	rng := rand.New(rand.NewSource(7))
-	const nodes = 500
+	nodes := quick(500, 150)
 
 	// A sparse communication graph: who exchanges messages with whom.
 	g := eagr.NewGraph(nodes)
@@ -57,7 +67,7 @@ func main() {
 
 	// Phase 1: learn per-node baselines from normal traffic.
 	ts := int64(0)
-	for ; ts < 20000; ts++ {
+	for ; ts < int64(quick(20000, 4000)); ts++ {
 		src := eagr.NodeID(rng.Intn(nodes))
 		if err := sess.Write(src, 1, ts); err != nil {
 			log.Fatal(err)
@@ -98,7 +108,7 @@ func main() {
 			}
 		}
 	}
-	for i := 0; i < 5000; i++ {
+	for i := 0; i < quick(5000, 1500); i++ {
 		ts++
 		var src eagr.NodeID
 		if i%3 == 0 {

@@ -2,27 +2,44 @@
 // are often interested in events happening in their social networks, but
 // also physically close to them"). Each user's standing query aggregates
 // only the *nearby* members of their social neighborhood — a filtered
-// neighborhood — and maintains the maximum severity event among them.
+// neighborhood — and maintains the maximum severity event among them over
+// a sliding TIME window.
+//
+// Time is driven by the ingestion stream itself: reports flow through an
+// Ingestor whose low watermark advances with the stream's timestamps and
+// expires the window automatically — alerts decay on their own, with no
+// manual ExpireAll anywhere.
 //
 // Run with: go run ./examples/geo-alerts
+// (set EAGR_QUICK=1 for a tiny CI-sized workload)
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	eagr "repro"
 )
 
 const (
-	users     = 800
 	gridSide  = 100 // users live on a gridSide x gridSide map
 	nearByDst = 20  // "physically close" threshold (manhattan distance)
+	windowLen = 600 // an alert is live for this many stream ticks
 )
 
-// positions is the (static, for the demo) location of each user.
-var positions [users][2]int
+var (
+	users     = 800
+	positions [][2]int // the (static, for the demo) location of each user
+)
+
+func quick(full, small int) int {
+	if os.Getenv("EAGR_QUICK") != "" {
+		return small
+	}
+	return full
+}
 
 func manhattan(a, b eagr.NodeID) int {
 	dx := positions[a][0] - positions[b][0]
@@ -38,6 +55,8 @@ func manhattan(a, b eagr.NodeID) int {
 
 func main() {
 	rng := rand.New(rand.NewSource(12))
+	users = quick(800, 200)
+	positions = make([][2]int, users)
 	for u := range positions {
 		positions[u] = [2]int{rng.Intn(gridSide), rng.Intn(gridSide)}
 	}
@@ -63,7 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	q, err := sess.Register(eagr.QuerySpec{Aggregate: "max", WindowTuples: 5},
+	q, err := sess.Register(eagr.QuerySpec{Aggregate: "max", WindowTime: windowLen},
 		eagr.Options{Neighborhood: near})
 	if err != nil {
 		log.Fatal(err)
@@ -71,46 +90,81 @@ func main() {
 	fmt.Printf("compiled: %d readers over filtered neighborhoods, sharing index %.1f%%\n",
 		q.Stats().Readers, q.Stats().SharingIndex*100)
 
+	// Reports stream through the Ingestor; the logical clock is the
+	// stream's time axis, and the watermark expires windows as it advances.
+	ing, err := sess.Ingest(eagr.IngestOptions{BatchSize: 512, Clock: eagr.LogicalClock()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Everyone reports low-severity events; then an incident cluster
 	// around one location reports severity 90+.
-	ts := int64(0)
-	for i := 0; i < 20000; i++ {
-		u := eagr.NodeID(rng.Intn(users))
-		if err := sess.Write(u, int64(rng.Intn(20)), ts); err != nil {
+	for i := 0; i < quick(20000, 2000); i++ {
+		if err := ing.Send(eagr.NodeID(rng.Intn(users)), int64(rng.Intn(20))); err != nil {
 			log.Fatal(err)
 		}
-		ts++
 	}
 	epicenter := eagr.NodeID(7)
 	reporters := 0
 	for u := 0; u < users; u++ {
 		if manhattan(epicenter, eagr.NodeID(u)) <= 10 {
-			if err := sess.Write(eagr.NodeID(u), int64(90+rng.Intn(10)), ts); err != nil {
+			if err := ing.Send(eagr.NodeID(u), int64(90+rng.Intn(10))); err != nil {
 				log.Fatal(err)
 			}
-			ts++
 			reporters++
 		}
 	}
-	fmt.Printf("incident: %d users near the epicenter reported severity >= 90\n", reporters)
+	if err := ing.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	wm, _ := ing.Watermark()
+	fmt.Printf("incident: %d users near the epicenter reported severity >= 90 (watermark %d)\n",
+		reporters, wm)
+
+	countAlerted := func() int {
+		alerted := 0
+		for u := 0; u < users; u++ {
+			res, err := q.Read(eagr.NodeID(u))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Valid && res.Scalar >= 90 {
+				alerted++
+			}
+		}
+		return alerted
+	}
 
 	// Who gets alerted? Exactly users with a *nearby* friend among the
 	// reporters — far-away friends never trip the filtered aggregate.
-	alerted, checked := 0, 0
-	for u := 0; u < users; u++ {
-		res, err := q.Read(eagr.NodeID(u))
-		if err != nil {
-			log.Fatal(err)
-		}
-		checked++
-		if res.Valid && res.Scalar >= 90 {
-			alerted++
-		}
-	}
+	alerted := countAlerted()
 	fmt.Printf("%d of %d users see a severity >= 90 alert in their local ego network\n",
-		alerted, checked)
+		alerted, users)
 	if alerted == 0 || alerted == users {
 		log.Fatal("alert locality broken: expected some but not all users alerted")
 	}
-	fmt.Println("alerts stayed local: only users with nearby reporting friends were notified")
+
+	// Life goes on: ordinary low-severity traffic keeps the clock ticking.
+	// Once the stream's watermark moves a full window past the incident,
+	// the high-severity reports expire ON THEIR OWN — no ExpireAll, the
+	// Ingestor's watermark drives time.
+	for i := 0; i < windowLen+quick(2000, 400); i++ {
+		if err := ing.Send(eagr.NodeID(rng.Intn(users)), int64(rng.Intn(20))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ing.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	wm, _ = ing.Watermark()
+	still := countAlerted()
+	fmt.Printf("after the window slid past the incident (watermark %d): %d users still alerted\n",
+		wm, still)
+	if still != 0 {
+		log.Fatal("watermark-driven expiry failed: stale alerts survived the window")
+	}
+	fmt.Println("alerts stayed local and decayed with stream time — no manual ExpireAll anywhere")
+	if err := ing.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -62,14 +62,22 @@ func main() {
 		sums.Stats().Shared, sums.Stats().Algorithm)
 
 	// Stream content updates (e.g., engagement scores of each user's
-	// latest post); one write feeds every registered query.
+	// latest post) through the session's streaming front door: the
+	// Ingestor batches events, stamps timestamps from its clock, and one
+	// applied write feeds every registered query.
+	ing, err := sess.Ingest(eagr.IngestOptions{Clock: eagr.LogicalClock()})
+	if err != nil {
+		log.Fatal(err)
+	}
 	scores := map[eagr.NodeID]int64{0: 10, 1: 7, 2: 3, 3: 25, 4: 1, 5: 4}
-	ts := int64(0)
 	for user, score := range scores {
-		if err := sess.Write(user, score, ts); err != nil {
+		if err := ing.Send(user, score); err != nil {
 			log.Fatal(err)
 		}
-		ts++
+	}
+	// Flush before reading, so everything buffered is applied.
+	if err := ing.Flush(); err != nil {
+		log.Fatal(err)
 	}
 
 	// Read each user's standing results through the per-query handles.
@@ -90,13 +98,20 @@ func main() {
 	b, _ := sums2.Read(0)
 	fmt.Printf("shared handles agree on user 0: %s == %s\n", a, b)
 
-	// The graph is dynamic: user 5 starts following user 0, and every
-	// query's overlay is repaired incrementally.
-	if err := sess.AddEdge(0, 5); err != nil {
+	// The graph is dynamic: user 5 starts following user 0 — a structural
+	// event on the SAME stream as the content — and every query's overlay
+	// is repaired incrementally.
+	if err := ing.SendEvent(eagr.NewEdgeAdd(0, 5, 0)); err != nil {
+		log.Fatal(err)
+	}
+	if err := ing.Flush(); err != nil {
 		log.Fatal(err)
 	}
 	res, _ := sums.Read(5)
 	fmt.Printf("user 5 after following user 0: %s (was 25)\n", res)
+	if err := ing.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Retiring a query releases its reference; the overlay lives on while
 	// the other sum query still uses it.

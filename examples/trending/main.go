@@ -9,13 +9,20 @@
 // standing query — posting volume per ego network — rides on the same
 // session and the same write stream.
 //
+// Ingestion goes through the streaming API: a session Ingestor batches the
+// post stream (auto-flushed by size and interval) and applies it through
+// the sharded parallel write path, stamping logical timestamps from a
+// pluggable clock.
+//
 // Run with: go run ./examples/trending
+// (set EAGR_QUICK=1 for a tiny CI-sized workload)
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	eagr "repro"
@@ -24,9 +31,17 @@ import (
 // topics users post about; values in the stream are topic ids.
 var topics = []string{"elections", "playoffs", "new-phone", "weather", "memes", "stocks"}
 
+// quick shrinks workloads for the CI examples smoke.
+func quick(full, small int) int {
+	if os.Getenv("EAGR_QUICK") != "" {
+		return small
+	}
+	return full
+}
+
 func main() {
 	rng := rand.New(rand.NewSource(42))
-	const users = 2000
+	users := quick(2000, 200)
 
 	// Scale-free-ish follower graph: each user follows ~8 accounts,
 	// preferring earlier (popular) accounts.
@@ -63,27 +78,43 @@ func main() {
 	fmt.Printf("compiled: algorithm=%s, %d partial aggregators, sharing index %.1f%%; session hosts %d queries\n",
 		st.Algorithm, st.Partials, st.SharingIndex*100, sess.Stats().Queries)
 
+	// The write stream enters through an Ingestor: Send buffers the post,
+	// batches auto-flush into the session (fanning out to both queries),
+	// and the logical clock stamps each post's timestamp.
+	ing, err := sess.Ingest(eagr.IngestOptions{
+		BatchSize: 1024,
+		Clock:     eagr.LogicalClock(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Simulate a day of posting: popular users post more; each community
 	// has a topic bias so ego-centric trends differ from global ones.
 	start := time.Now()
 	posts := 0
-	for ts := int64(0); ts < 50000; ts++ {
+	for i := 0; i < quick(50000, 2000); i++ {
 		author := eagr.NodeID(rng.Intn(rng.Intn(users) + 1))
 		topic := int64(author) % int64(len(topics)) // community bias
 		if rng.Intn(3) == 0 {
 			topic = int64(rng.Intn(len(topics))) // plus global noise
 		}
-		if err := sess.Write(author, topic, ts); err != nil {
+		if err := ing.Send(author, topic); err != nil {
 			log.Fatal(err)
 		}
 		posts++
 	}
-	fmt.Printf("ingested %d posts in %v (%.0f posts/s, fanned out to both queries)\n",
+	// Make everything sent visible before the reads below.
+	if err := ing.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	ist := ing.Stats()
+	fmt.Printf("ingested %d posts in %v (%.0f posts/s over %d batches, fanned out to both queries)\n",
 		posts, time.Since(start).Round(time.Millisecond),
-		float64(posts)/time.Since(start).Seconds())
+		float64(posts)/time.Since(start).Seconds(), ist.Batches)
 
 	// A few users open their feeds.
-	for _, u := range []eagr.NodeID{10, 500, 1500} {
+	for _, u := range []eagr.NodeID{10, eagr.NodeID(users / 4), eagr.NodeID(3 * users / 4)} {
 		res, err := trending.Read(u)
 		if err != nil {
 			log.Fatal(err)
@@ -104,7 +135,7 @@ func main() {
 
 	// Feed-opening is bursty; let the adaptive scheme react to what was
 	// actually observed since compile time, across every query.
-	for i := 0; i < 3000; i++ {
+	for i := 0; i < quick(3000, 300); i++ {
 		_, _ = trending.Read(eagr.NodeID(rng.Intn(100))) // hot readers
 	}
 	flips, err := sess.Rebalance()
@@ -112,4 +143,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("adaptive rebalance flipped %d dataflow decisions toward the hot readers\n", flips)
+	if err := ing.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,507 @@
+package eagr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Typed errors of the streaming ingestion surface.
+var (
+	// ErrBackpressure reports a Send/SendEvent rejected because the
+	// Ingestor's bounded queue is full and the backpressure policy is
+	// BackpressureError. The event was NOT accepted; retry after the
+	// queue drains, or switch to BackpressureBlock.
+	ErrBackpressure = errors.New("eagr: ingestor queue full")
+	// ErrIngestorClosed reports an operation on a closed Ingestor.
+	ErrIngestorClosed = errors.New("eagr: ingestor closed")
+	// ErrTimestampJump reports an event rejected because its explicit
+	// timestamp runs further ahead of the stream than the Ingestor's
+	// MaxTimestampJump allows (see IngestOptions).
+	ErrTimestampJump = errors.New("eagr: event timestamp too far ahead of the stream")
+)
+
+// Clock supplies timestamps for events ingested without one (Event.TS ==
+// 0). Implementations must be safe for concurrent use.
+type Clock interface {
+	Now() int64
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() int64
+
+// Now implements Clock.
+func (f ClockFunc) Now() int64 { return f() }
+
+// WallClock timestamps events with time.Now().UnixNano().
+func WallClock() Clock { return ClockFunc(func() int64 { return time.Now().UnixNano() }) }
+
+// LogicalClock returns a monotonically increasing counter clock starting
+// at 1: each Now() is one tick later. Deterministic runs (tests, examples,
+// replay) use it in place of wall time.
+func LogicalClock() Clock {
+	var c atomic.Int64
+	return ClockFunc(func() int64 { return c.Add(1) })
+}
+
+// BackpressurePolicy selects what Send/SendEvent do when the Ingestor's
+// bounded batch queue is full.
+type BackpressurePolicy int
+
+const (
+	// BackpressureBlock (the default) blocks the sender until the queue
+	// drains — ingestion applies backpressure upstream.
+	BackpressureBlock BackpressurePolicy = iota
+	// BackpressureError fails fast with ErrBackpressure instead of
+	// blocking; the rejected event is not buffered.
+	BackpressureError
+)
+
+// IngestOptions tune an Ingestor; the zero value picks sensible defaults.
+type IngestOptions struct {
+	// BatchSize is the number of buffered events that triggers an
+	// automatic flush into the apply queue (default 256).
+	BatchSize int
+	// FlushInterval bounds how long a buffered event waits before a
+	// background flush hands it to the apply queue even when the batch is
+	// not full (default 50ms; negative disables interval flushing, so
+	// only BatchSize and explicit Flush/Close hand batches over).
+	FlushInterval time.Duration
+	// QueueDepth bounds the number of flushed batches awaiting
+	// application (default 8). A full queue invokes the Backpressure
+	// policy.
+	QueueDepth int
+	// Backpressure selects blocking (default) or fail-fast sends when the
+	// queue is full.
+	Backpressure BackpressurePolicy
+	// Clock stamps events sent without a timestamp; nil means WallClock
+	// (unix nanoseconds).
+	Clock Clock
+	// Lateness is the out-of-order tolerance of the watermark: the
+	// watermark trails the maximum applied timestamp by this much, so an
+	// event up to Lateness behind the newest one is never expired before
+	// it applies. Zero means timestamps are treated as in-order.
+	Lateness int64
+	// MaxTimestampJump, when positive, bounds how far an event's explicit
+	// timestamp may run AHEAD of the largest timestamp accepted so far;
+	// events further in the future are rejected with ErrTimestampJump
+	// (the first event establishes the time domain and is never
+	// rejected). The watermark only ratchets forward, so without a bound
+	// one corrupt far-future timestamp expires every time-based window
+	// permanently — set this on streams fed by untrusted sources. Zero
+	// means unbounded.
+	MaxTimestampJump int64
+	// DisableAutoExpire turns off watermark-driven window expiry; the
+	// caller owns ExpireAll again.
+	DisableAutoExpire bool
+}
+
+// withDefaults fills unset options.
+func (o IngestOptions) withDefaults() IngestOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = 50 * time.Millisecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.Clock == nil {
+		o.Clock = WallClock()
+	}
+	if o.Lateness < 0 {
+		o.Lateness = 0
+	}
+	return o
+}
+
+// Ingestor is a Session's streaming ingestion handle: a buffered,
+// batching, backpressured front-end to ApplyBatch that also makes time
+// first-class. Events accumulate into batches (flushed by size, by
+// interval, or explicitly) and a background worker applies them in send
+// order — content runs through the sharded parallel write path, structural
+// runs through the coalesced repair path.
+//
+// The Ingestor tracks a low watermark over applied timestamps: the maximum
+// timestamp seen minus the configured Lateness. Every time the watermark
+// advances, time-based windows are expired up to it automatically, so
+// time-windowed and Continuous queries deliver expiry updates without any
+// caller ExpireAll.
+//
+// All methods are safe for concurrent use. Events from one goroutine are
+// applied in the order it sent them; ordering between goroutines follows
+// their interleaving at Send.
+type Ingestor struct {
+	sess  *Session
+	opts  IngestOptions
+	clock Clock
+
+	// mu guards buf, maxSent and closed; it is held across a blocking
+	// enqueue so batches enter the queue in send order.
+	mu     sync.Mutex
+	buf    []Event
+	closed bool
+	// maxSent is the largest timestamp accepted so far (MinInt64 until
+	// the first event), the reference point for MaxTimestampJump.
+	maxSent int64
+
+	queue    chan ingestJob
+	done     chan struct{} // closed when the worker exits
+	stopTick chan struct{}
+
+	bufPool sync.Pool
+
+	maxTS     atomic.Int64 // max applied timestamp; MinInt64 until one applies
+	watermark atomic.Int64
+	sent      atomic.Int64
+	applied   atomic.Int64
+	batches   atomic.Int64
+	rejected  atomic.Int64
+	depth     atomic.Int64
+	// buffered mirrors len(buf) so Stats never takes ing.mu — a sender
+	// blocked in a backpressured enqueue holds the mutex, and stats must
+	// stay readable exactly then (that's when operators look).
+	buffered atomic.Int64
+
+	errMu   sync.Mutex
+	pending []error
+}
+
+// ingestJob is one queued batch; done, when non-nil, receives the apply
+// error (a Flush/Close synchronization point).
+type ingestJob struct {
+	events []Event
+	done   chan error
+}
+
+// Ingest returns a streaming ingestion handle on the session. Close it to
+// flush and release the background worker; a Session may host any number
+// of concurrent Ingestors (their batches interleave at the queue).
+func (s *Session) Ingest(opts IngestOptions) (*Ingestor, error) {
+	o := opts.withDefaults()
+	ing := &Ingestor{
+		sess:     s,
+		opts:     o,
+		clock:    o.Clock,
+		queue:    make(chan ingestJob, o.QueueDepth),
+		done:     make(chan struct{}),
+		stopTick: make(chan struct{}),
+	}
+	ing.bufPool.New = func() any {
+		s := make([]Event, 0, o.BatchSize)
+		return &s
+	}
+	ing.buf = ing.getBuf()
+	ing.maxSent = math.MinInt64
+	ing.maxTS.Store(math.MinInt64)
+	ing.watermark.Store(math.MinInt64)
+	go ing.run()
+	if o.FlushInterval > 0 {
+		go ing.tick()
+	}
+	return ing, nil
+}
+
+func (ing *Ingestor) getBuf() []Event { return (*(ing.bufPool.Get().(*[]Event)))[:0] }
+
+func (ing *Ingestor) putBuf(b []Event) {
+	b = b[:0]
+	ing.bufPool.Put(&b)
+}
+
+// Send ingests a content write on v, timestamped by the Ingestor's Clock.
+func (ing *Ingestor) Send(v NodeID, value int64) error {
+	return ing.SendEvent(Event{Kind: graph.ContentWrite, Node: v, Value: value})
+}
+
+// SendEvent ingests one event of the combined stream — content or
+// structural (see NewWrite, NewEdgeAdd, NewNodeRemove, …). A zero
+// timestamp is stamped by the Ingestor's Clock. The event is buffered;
+// it applies when the batch flushes (by size, interval, Flush, or Close).
+//
+// NodeAdd events allocate their node id at apply time, which an
+// asynchronous stream cannot return; a producer that must address the
+// node it just created should allocate it first through
+// Session.ApplyBatchNodes or Session.AddNode and stream events against
+// the returned id.
+func (ing *Ingestor) SendEvent(ev Event) error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.closed {
+		return ErrIngestorClosed
+	}
+	if ev.TS == 0 {
+		// Stamp under the mutex: buffer order and timestamp order agree,
+		// so an Ingestor-clocked stream is in-order at the watermark even
+		// with Lateness 0 and concurrent senders.
+		ev.TS = ing.clock.Now()
+	} else if jump := ing.opts.MaxTimestampJump; jump > 0 &&
+		ing.maxSent != math.MinInt64 && ev.TS > ing.maxSent &&
+		uint64(ev.TS-ing.maxSent) > uint64(jump) {
+		// The unsigned difference is exact even when it exceeds MaxInt64.
+		ing.rejected.Add(1)
+		return fmt.Errorf("%w: ts %d is %d ahead of %d (max jump %d)",
+			ErrTimestampJump, ev.TS, uint64(ev.TS-ing.maxSent), ing.maxSent, jump)
+	}
+	if len(ing.buf) >= ing.opts.BatchSize {
+		// A previous size-triggered flush could not enqueue (fail-fast
+		// policy, full queue): the buffer must drain before more events
+		// are accepted, or batches would grow unboundedly.
+		if err := ing.enqueueLocked(ingestJob{events: ing.buf}); err != nil {
+			ing.rejected.Add(1)
+			return err
+		}
+		ing.buf = ing.getBuf()
+	}
+	ing.buf = append(ing.buf, ev)
+	ing.sent.Add(1)
+	if ev.TS > ing.maxSent {
+		// Advance only for ACCEPTED events: a rejected send must not move
+		// the MaxTimestampJump reference point.
+		ing.maxSent = ev.TS
+	}
+	if len(ing.buf) >= ing.opts.BatchSize {
+		// The send that fills the batch hands it over, so an
+		// exactly-BatchSize tail never sits waiting for a further send
+		// (FlushInterval may be disabled). Blocking policy blocks here;
+		// fail-fast leaves a full buffer for the pre-append path above to
+		// reject against (the event itself was accepted).
+		if err := ing.enqueueLocked(ingestJob{events: ing.buf}); err == nil {
+			ing.buf = ing.getBuf()
+		}
+	}
+	ing.buffered.Store(int64(len(ing.buf)))
+	return nil
+}
+
+// enqueueLocked hands a batch to the worker under ing.mu (so batches keep
+// send order), honoring the backpressure policy. The depth gauge is
+// raised BEFORE the send (and lowered on a fail-fast reject), so a
+// concurrent Stats never observes the worker's decrement first and reads
+// a negative depth.
+func (ing *Ingestor) enqueueLocked(job ingestJob) error {
+	ing.depth.Add(1)
+	if ing.opts.Backpressure == BackpressureError && job.done == nil {
+		select {
+		case ing.queue <- job:
+		default:
+			ing.depth.Add(-1)
+			return ErrBackpressure
+		}
+	} else {
+		// Block policy — and every explicit Flush/Close sync point, which
+		// must hand its batch over regardless of policy.
+		ing.queue <- job
+	}
+	return nil
+}
+
+// Flush hands the current buffer to the worker, waits until everything
+// enqueued so far (this buffer included) has applied, and returns any
+// apply errors accumulated since the last Flush/Close. On an Ingestor
+// shared by several senders the drained errors are the ingestor's, not
+// the caller's: they may belong to batches carrying other senders'
+// events (batches mix whatever was buffered when they flushed).
+func (ing *Ingestor) Flush() error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return ErrIngestorClosed
+	}
+	buf := ing.buf
+	ing.buf = ing.getBuf()
+	ing.buffered.Store(0)
+	done := make(chan error, 1)
+	_ = ing.enqueueLocked(ingestJob{events: buf, done: done})
+	ing.mu.Unlock()
+	err := <-done
+	return errors.Join(append(ing.drainErrors(), err)...)
+}
+
+// Close flushes the remaining buffer, waits for the worker to drain, and
+// releases it. Further sends fail with ErrIngestorClosed, as does a second
+// Close. The session and its queries stay open.
+func (ing *Ingestor) Close() error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return ErrIngestorClosed
+	}
+	ing.closed = true
+	var final chan error
+	if len(ing.buf) > 0 {
+		// The done channel forces enqueueLocked's blocking branch, so the
+		// final batch is handed over even under the fail-fast policy with
+		// a full queue — Close flushes, it never drops.
+		final = make(chan error, 1)
+		_ = ing.enqueueLocked(ingestJob{events: ing.buf, done: final})
+		ing.buf = nil
+	}
+	ing.buffered.Store(0)
+	close(ing.queue)
+	ing.mu.Unlock()
+	close(ing.stopTick)
+	<-ing.done
+	errs := ing.drainErrors()
+	if final != nil {
+		// The worker drained every job before exiting, so the final
+		// batch's apply error (if any) is already buffered here.
+		if err := <-final; err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// run is the apply worker: one goroutine draining the batch queue in
+// order, advancing the watermark after each applied batch.
+func (ing *Ingestor) run() {
+	defer close(ing.done)
+	for job := range ing.queue {
+		ing.depth.Add(-1)
+		var err error
+		if len(job.events) > 0 {
+			err = ing.sess.ApplyBatch(job.events)
+			ing.applied.Add(int64(len(job.events)))
+			ing.batches.Add(1)
+			ing.advanceWatermark(job.events)
+		}
+		if job.events != nil {
+			ing.putBuf(job.events) // empty Flush buffers recycle too
+		}
+		if job.done != nil {
+			job.done <- err
+		} else if err != nil {
+			ing.recordError(err)
+		}
+	}
+}
+
+// tick is the interval flusher: a partial buffer never waits longer than
+// FlushInterval for the next size-triggered flush. A full queue skips the
+// tick (the next send or tick retries) so the flusher never stalls.
+func (ing *Ingestor) tick() {
+	t := time.NewTicker(ing.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ing.stopTick:
+			return
+		case <-t.C:
+			ing.mu.Lock()
+			if !ing.closed && len(ing.buf) > 0 {
+				ing.depth.Add(1) // raised before the send; see enqueueLocked
+				select {
+				case ing.queue <- ingestJob{events: ing.buf}:
+					ing.buf = ing.getBuf()
+					ing.buffered.Store(0)
+				default:
+					ing.depth.Add(-1)
+				}
+			}
+			ing.mu.Unlock()
+		}
+	}
+}
+
+// advanceWatermark folds a batch's timestamps into the max-observed
+// timestamp and, when the bounded-lateness watermark advanced, expires
+// time-based windows up to it. Only the single worker goroutine calls it,
+// so the advance is monotone.
+func (ing *Ingestor) advanceWatermark(events []Event) {
+	maxTS := ing.maxTS.Load()
+	for _, ev := range events {
+		if ev.TS > maxTS {
+			maxTS = ev.TS
+		}
+	}
+	if maxTS == math.MinInt64 {
+		return
+	}
+	ing.maxTS.Store(maxTS)
+	wm := maxTS - ing.opts.Lateness
+	if wm > maxTS {
+		// Saturate: a timestamp near MinInt64 must not wrap the watermark
+		// to a huge positive value and expire every window (MinInt64
+		// itself is the unset sentinel).
+		wm = math.MinInt64 + 1
+	}
+	if wm <= ing.watermark.Load() && ing.watermark.Load() != math.MinInt64 {
+		return
+	}
+	ing.watermark.Store(wm)
+	if !ing.opts.DisableAutoExpire {
+		ing.sess.ExpireAll(wm)
+	}
+}
+
+// Watermark returns the Ingestor's current low watermark — the maximum
+// applied timestamp minus the configured Lateness — and whether any event
+// has been applied yet. Time-based windows have been expired up to it
+// (unless DisableAutoExpire).
+func (ing *Ingestor) Watermark() (int64, bool) {
+	wm := ing.watermark.Load()
+	return wm, wm != math.MinInt64
+}
+
+// recordError keeps apply errors for the next Flush/Close, bounded so an
+// unattended Ingestor on a failing stream cannot grow without limit.
+func (ing *Ingestor) recordError(err error) {
+	ing.errMu.Lock()
+	defer ing.errMu.Unlock()
+	if len(ing.pending) < 16 {
+		ing.pending = append(ing.pending, err)
+	}
+}
+
+func (ing *Ingestor) drainErrors() []error {
+	ing.errMu.Lock()
+	defer ing.errMu.Unlock()
+	errs := ing.pending
+	ing.pending = nil
+	return errs
+}
+
+// IngestorStats is a point-in-time summary of an Ingestor.
+type IngestorStats struct {
+	// Sent counts accepted events; Applied those whose batch has been
+	// handed to the session (Applied == Sent means the stream is fully
+	// drained — events the session skipped individually, like a duplicate
+	// edge-add or a Read, still count, with their errors reported through
+	// Flush/Close); Batches the applied batches.
+	Sent, Applied, Batches int64
+	// Rejected counts sends refused with a typed error — ErrBackpressure
+	// (full queue under the fail-fast policy) or ErrTimestampJump.
+	Rejected int64
+	// QueueDepth is the number of flushed batches awaiting application;
+	// Buffered the events not yet flushed into a batch.
+	QueueDepth int
+	Buffered   int
+	// Watermark is the current low watermark; WatermarkValid is false
+	// until the first event applies.
+	Watermark      int64
+	WatermarkValid bool
+}
+
+// Stats returns current ingestion statistics. It never takes the send
+// mutex, so it stays responsive while senders are blocked on
+// backpressure — exactly when an operator wants to look.
+func (ing *Ingestor) Stats() IngestorStats {
+	wm, ok := ing.Watermark()
+	return IngestorStats{
+		Sent:           ing.sent.Load(),
+		Applied:        ing.applied.Load(),
+		Batches:        ing.batches.Load(),
+		Rejected:       ing.rejected.Load(),
+		QueueDepth:     int(ing.depth.Load()),
+		Buffered:       int(ing.buffered.Load()),
+		Watermark:      wm,
+		WatermarkValid: ok,
+	}
+}

@@ -1,0 +1,455 @@
+package eagr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestIngestorWatermarkMatchesManualExpire checks that watermark-driven
+// expiry produces exactly the state a caller hand-threading ExpireAll
+// would: same writes, same timestamps, one side through an Ingestor with
+// auto-expiry, the other through Write + a manual ExpireAll at the
+// watermark.
+func TestIngestorWatermarkMatchesManualExpire(t *testing.T) {
+	const nodes = 24
+	const lateness = 3
+	mk := func() (*Session, *Query) {
+		sess, err := Open(ring(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := sess.Register(QuerySpec{Aggregate: "sum", WindowTime: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess, q
+	}
+	auto, autoQ := mk()
+	manual, manualQ := mk()
+
+	ing, err := auto.Ingest(IngestOptions{BatchSize: 8, FlushInterval: -1, Lateness: lateness})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	maxTS := int64(0)
+	for i := 0; i < 400; i++ {
+		v := NodeID(rng.Intn(nodes))
+		val := int64(rng.Intn(50))
+		// Slightly out-of-order timestamps, within the lateness bound.
+		ts := int64(i+1) - int64(rng.Intn(lateness+1))
+		if ts < 1 {
+			ts = 1
+		}
+		if err := ing.SendEvent(NewWrite(v, val, ts)); err != nil {
+			t.Fatal(err)
+		}
+		if err := manual.Write(v, val, ts); err != nil {
+			t.Fatal(err)
+		}
+		if ts > maxTS {
+			maxTS = ts
+		}
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wm, ok := ing.Watermark()
+	if !ok {
+		t.Fatal("watermark not advanced after flush")
+	}
+	if want := maxTS - lateness; wm != want {
+		t.Fatalf("watermark = %d, want maxTS-lateness = %d", wm, want)
+	}
+	manual.ExpireAll(wm)
+	for v := 0; v < nodes; v++ {
+		got, err1 := autoQ.Read(NodeID(v))
+		want, err2 := manualQ.Read(NodeID(v))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("node %d: %v / %v", v, err1, err2)
+		}
+		if got.Valid != want.Valid || got.Scalar != want.Scalar {
+			t.Fatalf("node %d: ingestor %+v, manual %+v", v, got, want)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestorExpiryDrivesContinuousSubscription is the acceptance
+// criterion: a time-windowed Continuous query receives expiry-driven
+// subscription updates through an Ingestor with NO caller ExpireAll.
+func TestIngestorExpiryDrivesContinuousSubscription(t *testing.T) {
+	g := NewGraph(3)
+	_ = g.AddEdge(1, 0) // node 0 aggregates over writers 1 and 2
+	_ = g.AddEdge(2, 0)
+	sess, err := Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Register(QuerySpec{Aggregate: "count", WindowTime: 5, Continuous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := q.Subscribe(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	ing, err := sess.Ingest(IngestOptions{BatchSize: 1, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.SendEvent(NewWrite(1, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The write at ts=100 advances the watermark past 1's window, so the
+	// subscriber must observe the count drop back to 1 — writer 1's value
+	// expired with no ExpireAll anywhere in this test.
+	if err := ing.SendEvent(NewWrite(2, 20, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case u, open := <-ch:
+			if !open {
+				t.Fatal("subscription closed before expiry update")
+			}
+			if u.Node == 0 && u.Result.Valid && u.Result.Scalar == 1 && u.TS == 100 {
+				// Expiry-driven update observed (the write at ts=100 made
+				// the count 2; only the expiry brings it back to 1 at the
+				// watermark timestamp).
+				res, err := q.Read(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Scalar != 1 {
+					t.Fatalf("post-expiry read = %+v, want count 1", res)
+				}
+				_ = ing.Close()
+				return
+			}
+		case <-deadline:
+			t.Fatal("no expiry-driven subscription update within deadline")
+		}
+	}
+}
+
+// TestIngestorBackpressureTyped exercises the fail-fast policy: with a
+// depth-1 queue, batch size 1 and slow (structural) batches, a burst of
+// sends must surface ErrBackpressure, and everything accepted must still
+// apply.
+func TestIngestorBackpressureTyped(t *testing.T) {
+	const nodes = 400
+	sess, err := Open(workload.SocialGraph(nodes, 6, 1), Options{Algorithm: "iob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Register(QuerySpec{Aggregate: "sum"}); err != nil {
+		t.Fatal(err)
+	}
+	ing, err := sess.Ingest(IngestOptions{
+		BatchSize:     1,
+		QueueDepth:    1,
+		FlushInterval: -1,
+		Backpressure:  BackpressureError,
+		Clock:         LogicalClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBackpressure := false
+	accepted := 0
+	for i := 0; i < 5000 && !sawBackpressure; i++ {
+		u := NodeID(i % nodes)
+		v := NodeID((i*7 + 1) % nodes)
+		var err error
+		if sess.Graph().HasEdge(u, v) {
+			err = ing.SendEvent(NewEdgeRemove(u, v, 0))
+		} else {
+			err = ing.SendEvent(NewEdgeAdd(u, v, 0))
+		}
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrBackpressure):
+			sawBackpressure = true
+		default:
+			t.Fatalf("unexpected send error: %v", err)
+		}
+	}
+	if !sawBackpressure {
+		t.Fatal("never observed ErrBackpressure with a depth-1 queue")
+	}
+	_ = ing.Flush() // structural toggles may legitimately error; drain them
+	if st := ing.Stats(); st.Applied != int64(accepted) || st.Rejected == 0 {
+		t.Fatalf("stats = %+v, want applied == accepted (%d) and rejected > 0", st, accepted)
+	}
+	if err := ing.Close(); err != nil && !errors.Is(err, ErrIngestorClosed) {
+		t.Fatal(err)
+	}
+	if err := ing.Send(0, 1); !errors.Is(err, ErrIngestorClosed) {
+		t.Fatalf("Send after Close = %v, want ErrIngestorClosed", err)
+	}
+	if err := ing.Flush(); !errors.Is(err, ErrIngestorClosed) {
+		t.Fatalf("Flush after Close = %v, want ErrIngestorClosed", err)
+	}
+	if err := ing.Close(); !errors.Is(err, ErrIngestorClosed) {
+		t.Fatalf("second Close = %v, want ErrIngestorClosed", err)
+	}
+}
+
+// TestIngestorAutoFlushByInterval checks a partial batch applies without
+// reaching BatchSize and without an explicit Flush.
+func TestIngestorAutoFlushByInterval(t *testing.T) {
+	sess, err := Open(ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Register(QuerySpec{Aggregate: "sum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := sess.Ingest(IngestOptions{BatchSize: 1 << 20, FlushInterval: 2 * time.Millisecond, Clock: LogicalClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+	if err := ing.Send(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if res, err := q.Read(0); err == nil && res.Valid && res.Scalar == 42 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("interval flush never applied the buffered write")
+}
+
+// TestIngestorConcurrentLifecycle is the -race stress of the streaming
+// surface: concurrent senders (content + structural churn) on one
+// Ingestor, racing adaptive Rebalance and query attach/retire on the same
+// session.
+func TestIngestorConcurrentLifecycle(t *testing.T) {
+	const nodes = 200
+	sess, err := Open(workload.SocialGraph(nodes, 6, 2), Options{Algorithm: "iob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sess.Register(QuerySpec{Aggregate: "sum", WindowTuples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := sess.Ingest(IngestOptions{
+		BatchSize:     32,
+		FlushInterval: time.Millisecond,
+		Clock:         LogicalClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 600; i++ {
+				if rng.Intn(12) == 0 {
+					u := NodeID(rng.Intn(nodes))
+					v := NodeID(rng.Intn(nodes))
+					ev := NewEdgeAdd(u, v, 0)
+					if rng.Intn(2) == 0 {
+						ev = NewEdgeRemove(u, v, 0)
+					}
+					_ = ing.SendEvent(ev) // duplicate/missing edges are fine
+					continue
+				}
+				if err := ing.Send(NodeID(rng.Intn(nodes)), int64(rng.Intn(100))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(s + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := sess.Rebalance(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			q, err := sess.Register(QuerySpec{Aggregate: "max", WindowTuples: 1 + i%3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+			if err := q.Close(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := ing.Close(); err != nil {
+		t.Logf("close drained errors (expected under churn): %v", err)
+	}
+	if _, err := base.Read(0); err != nil && !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("post-stress read: %v", err)
+	}
+	st := ing.Stats()
+	if st.Applied != st.Sent {
+		t.Fatalf("close left events unapplied: %+v", st)
+	}
+}
+
+// TestIngestorTimestampJumpGuard checks MaxTimestampJump: a far-future
+// explicit timestamp is rejected with the typed error instead of
+// ratcheting the watermark (and expiring every window) forever.
+func TestIngestorTimestampJumpGuard(t *testing.T) {
+	sess, err := Open(ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Register(QuerySpec{Aggregate: "sum", WindowTime: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := sess.Ingest(IngestOptions{BatchSize: 4, FlushInterval: -1, MaxTimestampJump: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.SendEvent(NewWrite(1, 7, 1_000_000)); err != nil {
+		t.Fatalf("first event establishes the domain, got %v", err)
+	}
+	if err := ing.SendEvent(NewWrite(2, 3, 1_000_050)); err != nil {
+		t.Fatalf("in-bound jump rejected: %v", err)
+	}
+	if err := ing.SendEvent(NewWrite(1, 9, 1_000_000+9_000_000_000)); !errors.Is(err, ErrTimestampJump) {
+		t.Fatalf("far-future ts = %v, want ErrTimestampJump", err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The poisoned timestamp never entered the stream: the watermark stays
+	// in the real domain, and writer 2's in-window value (read through its
+	// ring neighbor, node 3) survives.
+	if wm, ok := ing.Watermark(); !ok || wm != 1_000_050 {
+		t.Fatalf("watermark = %d (%v), want 1000050", wm, ok)
+	}
+	if res, err := q.Read(3); err != nil || !res.Valid || res.Scalar != 3 {
+		t.Fatalf("windowed read after rejected jump = %+v (%v), want 3", res, err)
+	}
+	if st := ing.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	_ = ing.Close()
+}
+
+// TestIngestorCloseFlushesTail pins Close's flush guarantee: buffered
+// events apply before Close returns, under the fail-fast policy too.
+func TestIngestorCloseFlushesTail(t *testing.T) {
+	sess, err := Open(ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Register(QuerySpec{Aggregate: "count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := sess.Ingest(IngestOptions{
+		BatchSize:     1 << 10,
+		FlushInterval: -1,
+		QueueDepth:    1,
+		Backpressure:  BackpressureError,
+		Clock:         LogicalClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ing.Send(NodeID(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ing.Stats(); st.Applied != 5 || st.Applied != st.Sent {
+		t.Fatalf("Close left the tail unapplied: %+v", st)
+	}
+	if res, err := q.Read(0); err != nil || res.Scalar != 1 {
+		t.Fatalf("read after Close = %+v (%v), want count 1", res, err)
+	}
+}
+
+// TestIngestorWatermarkUnderflowSaturates pins the saturating watermark: a
+// timestamp near MinInt64 with a positive Lateness must not wrap the
+// watermark to a huge positive value and expire every window.
+func TestIngestorWatermarkUnderflowSaturates(t *testing.T) {
+	sess, err := Open(ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Register(QuerySpec{Aggregate: "sum", WindowTime: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := sess.Ingest(IngestOptions{BatchSize: 1, FlushInterval: -1, Lateness: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.SendEvent(NewWrite(1, 7, math.MinInt64+5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if wm, ok := ing.Watermark(); !ok || wm > math.MinInt64+5 {
+		t.Fatalf("watermark = %d (%v), want saturated near MinInt64", wm, ok)
+	}
+	// The saturated ExpireAll must not wipe the window (TimeWindow.Expire
+	// guards the ts-T underflow): the value just written survives.
+	if res, err := q.Read(0); err != nil || !res.Valid || res.Scalar != 7 {
+		t.Fatalf("read after saturated expiry = %+v (%v), want 7", res, err)
+	}
+	// A later real-domain write still lands and is readable: the ratchet
+	// was not poisoned.
+	if err := ing.SendEvent(NewWrite(1, 9, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := q.Read(0); err != nil || !res.Valid || res.Scalar != 9 {
+		t.Fatalf("read after recovery = %+v (%v), want 9", res, err)
+	}
+	_ = ing.Close()
+}

@@ -97,6 +97,11 @@ func (w *TimeWindow) Add(pao PAO, v int64, ts int64) {
 // Expire implements Window: removes values older than ts - T.
 func (w *TimeWindow) Expire(pao PAO, ts int64) {
 	cut := ts - w.T
+	if cut > ts {
+		// ts - T underflowed (ts near MinInt64): the window extends past
+		// the earliest representable time, so nothing is old enough.
+		return
+	}
 	i := 0
 	for i < len(w.vals) && w.vals[i].ts <= cut {
 		pao.RemoveValue(w.vals[i].v)

@@ -189,6 +189,87 @@ func MergedMicro(n int, merged bool) (*core.MultiSystem, []graph.Event, error) {
 	return m, Writes(workload.Events(wl, 1<<16, 2)), nil
 }
 
+// MixedBatchFixture builds the unified-ingestion fixture behind
+// OpIngestMixedBatch: a MultiSystem over the standard 2000-node social
+// graph hosting two maintainable (IOB) queries, plus a 1<<16-event stream
+// of content writes with periodic structural churn bursts — every 2048
+// events, a burst of 32 edge toggles (each chosen edge alternates add and
+// remove, so a full pass over the stream leaves the graph unchanged and
+// the stream can loop). The bursts are what the coalesced structural-run
+// path batches into one repair per query.
+func MixedBatchFixture() (*core.MultiSystem, []graph.Event, error) {
+	const nodes = 2000
+	g := workload.SocialGraph(nodes, 8, 1)
+	m := core.NewMulti(g)
+	for _, win := range []int{1, 4} {
+		q := core.Query{Aggregate: agg.Sum{}, Window: agg.NewTupleWindow(win)}
+		if _, err := m.Attach(fmt.Sprintf("sum-iob-w%d", win), q, core.Options{
+			Algorithm: construct.AlgIOB, Construct: construct.Config{Iterations: 3},
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	writes := Writes(workload.Events(wl, 1<<16, 2))
+	// Deterministic toggle-edge pool: edges not present in the base graph.
+	var toggles []graph.Event
+	added := map[[2]graph.NodeID]bool{}
+	for i := 0; len(toggles) < 64; i++ {
+		u := graph.NodeID((i*131 + 17) % nodes)
+		v := graph.NodeID((i*197 + 89) % nodes)
+		key := [2]graph.NodeID{u, v}
+		if u == v || g.HasEdge(u, v) || added[key] {
+			continue
+		}
+		added[key] = true
+		toggles = append(toggles,
+			graph.Event{Kind: graph.EdgeAdd, Node: u, Peer: v},
+			graph.Event{Kind: graph.EdgeRemove, Node: u, Peer: v})
+	}
+	var events []graph.Event
+	ti := 0
+	for i, ev := range writes {
+		if i > 0 && i%2048 == 0 {
+			// Structural burst: 16 add/remove pairs back to back.
+			for k := 0; k < 32; k++ {
+				events = append(events, toggles[ti%len(toggles)])
+				ti++
+			}
+		}
+		events = append(events, ev)
+	}
+	return m, events, nil
+}
+
+// RunApplyBatch drives MultiSystem.ApplyBatch over a mixed stream in
+// chunks of up to 1024 events, reporting per-event cost. Per-event skip
+// errors (an edge toggle cut in half by b.N's last partial chunk and
+// re-applied on the next pass) are expected and ignored.
+func RunApplyBatch(b *testing.B, m *core.MultiSystem, events []graph.Event) {
+	if len(events) == 0 {
+		b.Fatal("benchfix: no events in fixture")
+	}
+	chunk := 1024
+	if chunk > len(events) {
+		chunk = len(events)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	off := 0
+	for done := 0; done < b.N; {
+		n := chunk
+		if rem := b.N - done; n > rem {
+			n = rem
+		}
+		if off+n > len(events) {
+			off = 0
+		}
+		_ = m.ApplyBatch(events[off : off+n])
+		off += n
+		done += n
+	}
+}
+
 // RunMultiWrites measures per-write cost of fanning one content update out
 // to every query group of a MultiSystem.
 func RunMultiWrites(b *testing.B, m *core.MultiSystem, writes []graph.Event) {

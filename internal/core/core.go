@@ -569,18 +569,24 @@ func (s *System) AddGraphEdge(u, v graph.NodeID) error {
 	if err := s.g.AddEdge(u, v); err != nil {
 		return err
 	}
-	return s.edgeAdded(u, v)
+	b := s.beginRepairBatch()
+	s.batchEdgeTouched(b, u, v)
+	return s.applyRepairBatch(b)
 }
 
 // RemoveGraphEdge applies a structural edge deletion.
 func (s *System) RemoveGraphEdge(u, v graph.NodeID) error {
 	s.structMu.Lock()
 	defer s.structMu.Unlock()
-	affected := s.edgeAffected(u, v)
+	if !s.g.HasEdge(u, v) {
+		return s.g.RemoveEdge(u, v) // surface the typed graph error
+	}
+	b := s.beginRepairBatch()
+	s.batchEdgeTouched(b, u, v) // the affected walk needs the edge present
 	if err := s.g.RemoveEdge(u, v); err != nil {
 		return err
 	}
-	return s.edgeRemoved(affected)
+	return s.applyRepairBatch(b)
 }
 
 // AddGraphNode adds a node to the data graph and registers it with the
@@ -589,99 +595,144 @@ func (s *System) AddGraphNode() (graph.NodeID, error) {
 	s.structMu.Lock()
 	defer s.structMu.Unlock()
 	v := s.g.AddNode()
-	return v, s.nodeAdded(v)
+	b := s.beginRepairBatch()
+	s.batchNodeAdded(b, v)
+	return v, s.applyRepairBatch(b)
 }
 
 // RemoveGraphNode deletes a node and its incident edges.
 func (s *System) RemoveGraphNode(v graph.NodeID) error {
 	s.structMu.Lock()
 	defer s.structMu.Unlock()
-	affected := s.nodeRemovalAffected(v)
+	if !s.g.Alive(v) {
+		return s.g.RemoveNode(v) // surface the typed graph error
+	}
+	b := s.beginRepairBatch()
+	s.batchNodeRemovalAffected(b, v)
 	if err := s.g.RemoveNode(v); err != nil {
 		return err
 	}
-	return s.nodeRemoved(v, affected)
+	s.batchNodeRemoved(b, v)
+	return s.applyRepairBatch(b)
 }
 
-// The *Added/*Removed/*Affected methods below are the graph-mutation-free
-// halves of the structural operations: they consult or repair the overlay
-// but never touch the data graph, so a MultiSystem hosting several overlays
-// over ONE shared graph can mutate the graph exactly once and then fan the
-// repair out to every attached system (multi.go).
+// viewBase returns the reader-GID offset of a member view.
+func (s *System) viewBase(vw *view) graph.NodeID {
+	return graph.NodeID(vw.tag) * s.stride
+}
 
-// edgeAdded repairs the overlay after edge u→v appeared in the data graph,
-// once per member view (each view's neighborhood decides which of its
-// readers the edge touches).
-func (s *System) edgeAdded(u, v graph.NodeID) error {
+// repairBatch accumulates one coalesced structural run against this system:
+// the union of affected readers per member view, plus whether anything in
+// the run forces a full recompile. The batch methods are graph-mutation-free
+// — they consult or repair the overlay but never touch the data graph — so
+// a MultiSystem hosting several overlays over ONE shared graph mutates the
+// graph exactly once per event and fans the repair out to every system.
+// They are the ONLY structural repair path: a single structural operation
+// (System.AddGraphEdge, MultiSystem.RemoveNode, …) is a batch of one, and a
+// mixed-stream structural run of N events ends in exactly one
+// applyRepairBatch — one decision repair and one engine republish (Grow +
+// online resync) instead of N, with a reader touched by several events
+// diffed once.
+//
+// The batch methods assume the caller serializes structural operations
+// (structMu or the MultiSystem mutex); each takes s.mu for its own overlay
+// access.
+type repairBatch struct {
+	// affected is the per-view union of readers whose neighborhoods the
+	// run's edge/node events touched; repairViewLocked diffs each against
+	// the final graph, so supersets and stale (since-removed) readers are
+	// harmless.
+	affected  []map[graph.NodeID]bool
+	recompile bool
+	touched   bool
+	// err collects maintainer failures that degraded the batch to a
+	// recompile; applyRepairBatch surfaces them even when the recompile
+	// succeeds (the rebuild drops window state — callers deserve to know
+	// why).
+	err error
+}
+
+// beginRepairBatch opens a structural batch sized to the current views.
+func (s *System) beginRepairBatch() *repairBatch {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.maint == nil {
-		return s.recompileLocked()
+	return &repairBatch{affected: make([]map[graph.NodeID]bool, len(s.views))}
+}
+
+// markAffectedLocked folds readers into view i's affected set.
+func (b *repairBatch) markAffectedLocked(i int, readers []graph.NodeID) {
+	if b.affected[i] == nil {
+		b.affected[i] = make(map[graph.NodeID]bool, len(readers))
+	}
+	for _, r := range readers {
+		b.affected[i][r] = true
+	}
+}
+
+// batchEdgeTouched folds the readers an edge change u→v touches into the
+// batch, per member view. For removals call it BEFORE the graph mutation
+// (the affected walk needs the edge present); for additions, after.
+func (s *System) batchEdgeTouched(b *repairBatch, u, v graph.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.touched = true
+	if b.recompile || s.maint == nil {
+		b.recompile = true
+		return
 	}
 	for i := range s.views {
-		if !s.views[i].live {
+		// Views appended after the batch opened (a direct AddMember racing
+		// a MultiSystem run) compiled against the current graph already;
+		// skip them instead of indexing past the batch's slices.
+		if i >= len(b.affected) || !s.views[i].live {
 			continue
 		}
-		affected := construct.AffectedByEdge(s.g, s.views[i].nbr, u, v)
-		if err := s.repairViewLocked(&s.views[i], affected); err != nil {
-			return err
-		}
+		b.markAffectedLocked(i, construct.AffectedByEdge(s.g, s.views[i].nbr, u, v))
 	}
-	s.afterMaintenance()
-	return nil
 }
 
-// edgeAffected returns, per member view, the readers whose neighborhoods an
-// u→v edge change touches; it must be called BEFORE a removal mutates the
-// graph.
-func (s *System) edgeAffected(u, v graph.NodeID) [][]graph.NodeID {
+// batchNodeRemovalAffected folds the pre-removal affected reader sets of
+// removing v into the batch; call it BEFORE the graph mutation.
+func (s *System) batchNodeRemovalAffected(b *repairBatch, v graph.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([][]graph.NodeID, len(s.views))
-	for i := range s.views {
-		if !s.views[i].live {
-			continue
-		}
-		out[i] = construct.AffectedByEdge(s.g, s.views[i].nbr, u, v)
-	}
-	return out
-}
-
-// edgeRemoved repairs the overlay after an edge disappeared; affected is the
-// pre-removal edgeAffected set.
-func (s *System) edgeRemoved(affected [][]graph.NodeID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.maint == nil {
-		return s.recompileLocked()
+	b.touched = true
+	if b.recompile || s.maint == nil {
+		b.recompile = true
+		return
 	}
 	for i := range s.views {
-		if !s.views[i].live || i >= len(affected) {
+		if i >= len(b.affected) || !s.views[i].live {
 			continue
 		}
-		if err := s.repairViewLocked(&s.views[i], affected[i]); err != nil {
-			return err
+		nbr := s.views[i].nbr
+		for _, u := range s.g.Out(v) {
+			b.markAffectedLocked(i, construct.AffectedByEdge(s.g, nbr, v, u))
 		}
+		for _, u := range s.g.In(v) {
+			b.markAffectedLocked(i, construct.AffectedByEdge(s.g, nbr, u, v))
+		}
+		delete(b.affected[i], v)
 	}
-	s.afterMaintenance()
-	return nil
 }
 
-// nodeAdded registers a freshly added (edge-less) graph node: the writer
-// once, plus one reader per member view whose predicate admits it.
-func (s *System) nodeAdded(v graph.NodeID) error {
+// batchNodeAdded registers a freshly added graph node with the overlay —
+// the maintainer half of nodeAdded, with the engine republish deferred to
+// applyRepairBatch. Maintainer failures degrade to the batch's single
+// recompile (which rebuilds the overlay from the final graph wholesale).
+func (s *System) batchNodeAdded(b *repairBatch, v graph.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	b.touched = true
+	if b.recompile || s.maint == nil {
+		b.recompile = true
+		return
+	}
 	if s.stride > 0 && v >= s.stride {
-		// The id space outgrew the reader stride: encoded reader GIDs
-		// would collide with the next tag's. Recompile with a wider one —
-		// BEFORE the non-maintainable fallback, whose recompile would
-		// rebuild the union with the stale stride and silently alias
-		// members' readers.
-		return s.restrideLocked()
-	}
-	if s.maint == nil {
-		return s.recompileLocked()
+		// Id space outgrew the reader stride; the batch-final recompile
+		// picks a wider one (restride before rebuild, as nodeAdded does).
+		b.recompile = true
+		return
 	}
 	s.maint.AddWriter(v)
 	for i := range s.views {
@@ -693,59 +744,31 @@ func (s *System) nodeAdded(v graph.NodeID) error {
 			continue
 		}
 		if err := s.maint.AddReader(s.viewBase(vw)+v, nil); err != nil {
-			return err
+			b.recompile = true
+			b.err = errors.Join(b.err, err)
+			return
 		}
 	}
-	s.afterMaintenance()
-	return nil
 }
 
-// nodeRemovalAffected returns, per member view, the sorted reader set a
-// removal of v would touch; it must be called BEFORE the graph mutation.
-func (s *System) nodeRemovalAffected(v graph.NodeID) [][]graph.NodeID {
+// batchNodeRemoved sweeps a removed node's writer and per-view readers out
+// of the overlay — the maintainer half of nodeRemoved, with the affected
+// repair and engine republish deferred to applyRepairBatch. Call it AFTER
+// the graph mutation and after batchNodeRemovalAffected.
+func (s *System) batchNodeRemoved(b *repairBatch, v graph.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([][]graph.NodeID, len(s.views))
-	for i := range s.views {
-		if !s.views[i].live {
-			continue
-		}
-		nbr := s.views[i].nbr
-		affected := map[graph.NodeID]bool{}
-		for _, u := range s.g.Out(v) {
-			for _, r := range construct.AffectedByEdge(s.g, nbr, v, u) {
-				affected[r] = true
-			}
-		}
-		for _, u := range s.g.In(v) {
-			for _, r := range construct.AffectedByEdge(s.g, nbr, u, v) {
-				affected[r] = true
-			}
-		}
-		delete(affected, v)
-		var list []graph.NodeID
-		for r := range affected {
-			list = append(list, r)
-		}
-		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-		out[i] = list
-	}
-	return out
-}
-
-// nodeRemoved repairs the overlay after node v left the graph; affected is
-// the pre-removal nodeRemovalAffected set. Every member view's reader for v
-// dies with the node.
-func (s *System) nodeRemoved(v graph.NodeID, affected [][]graph.NodeID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.maint == nil {
-		return s.recompileLocked()
+	b.touched = true
+	if b.recompile || s.maint == nil {
+		b.recompile = true
+		return
 	}
 	// RemoveNode drops the writer and the tag-0 reader (whose GID is the
 	// plain node id); higher tags' readers are swept explicitly.
 	if err := s.maint.RemoveNode(v); err != nil {
-		return err
+		b.recompile = true
+		b.err = errors.Join(b.err, err)
+		return
 	}
 	for i := range s.views {
 		vw := &s.views[i]
@@ -753,24 +776,53 @@ func (s *System) nodeRemoved(v graph.NodeID, affected [][]graph.NodeID) error {
 			continue
 		}
 		if err := s.maint.RemoveReader(s.viewBase(vw) + v); err != nil {
-			return err
+			b.recompile = true
+			b.err = errors.Join(b.err, err)
+			return
 		}
 	}
+}
+
+// applyRepairBatch finishes a structural run: every affected reader of
+// every view is diffed against the final graph once, then the engine is
+// resized and resynchronized once — or, when anything in the run demanded
+// it (non-maintainable overlay, stride overflow, maintainer failure), one
+// full recompile replaces the whole repair. A batch that saw no structural
+// event is a no-op.
+func (s *System) applyRepairBatch(b *repairBatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !b.touched {
+		return nil
+	}
+	if b.recompile {
+		// b.err carries any maintainer failure that forced this recompile;
+		// surface it even when the rebuild succeeds, since the rebuild
+		// drops window state.
+		if s.stride > 0 && graph.NodeID(s.g.MaxID()) > s.stride {
+			return errors.Join(b.err, s.restrideLocked())
+		}
+		return errors.Join(b.err, s.recompileLocked())
+	}
 	for i := range s.views {
-		if !s.views[i].live || i >= len(affected) {
+		if i >= len(b.affected) || !s.views[i].live || len(b.affected[i]) == 0 {
 			continue
 		}
-		if err := s.repairViewLocked(&s.views[i], affected[i]); err != nil {
-			return err
+		list := make([]graph.NodeID, 0, len(b.affected[i]))
+		for r := range b.affected[i] {
+			list = append(list, r)
+		}
+		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+		if err := s.repairViewLocked(&s.views[i], list); err != nil {
+			// The incremental repair failed partway; a recompile restores a
+			// consistent overlay from the final graph. Surface the repair
+			// error even when the recompile succeeds — the rebuild drops
+			// window state, and the caller deserves to know why.
+			return errors.Join(err, s.recompileLocked())
 		}
 	}
 	s.afterMaintenance()
 	return nil
-}
-
-// viewBase returns the reader-GID offset of a member view.
-func (s *System) viewBase(vw *view) graph.NodeID {
-	return graph.NodeID(vw.tag) * s.stride
 }
 
 // repairViewLocked diffs each affected reader's neighborhood (under the

@@ -53,6 +53,10 @@ type MultiSystem struct {
 	systems atomic.Pointer[[]*System]
 	// nextAnon disambiguates attachments that must never share.
 	nextAnon int
+	// overflows counts registrations that found their merge family at
+	// member capacity and had to open a fresh overlay instead of joining
+	// the shared one (the 64-member tag-space cap).
+	overflows atomic.Int64
 }
 
 // family is one compiled System together with its member bookkeeping.
@@ -140,7 +144,9 @@ func (m *MultiSystem) AttachMerged(key, familyKey string, q Query, opts Options)
 				return &Attachment{m: m, fm: fm}, nil
 			case errors.Is(err, errMergeFull):
 				// Family at capacity: open a fresh one below. The full
-				// family stays reachable through its members.
+				// family stays reachable through its members; count the
+				// overflow so operators can see sharing degrade.
+				m.overflows.Add(1)
 			default:
 				return nil, err
 			}
@@ -258,6 +264,12 @@ func (m *MultiSystem) NumMergedFamilies() (families, queries int) {
 	return families, queries
 }
 
+// FamilyOverflows reports how many registrations found their merge family
+// at member capacity (maxFamilyViews) and opened a fresh overlay instead
+// of joining the shared one. A nonzero value means sharing is degrading:
+// identical-semantics queries are splitting across overlays.
+func (m *MultiSystem) FamilyOverflows() int64 { return m.overflows.Load() }
+
 // Systems returns a snapshot of the attached compiled systems, one per
 // group.
 func (m *MultiSystem) Systems() []*System { return *m.systems.Load() }
@@ -306,21 +318,13 @@ func (m *MultiSystem) Rebalance() (int, error) {
 }
 
 // AddEdge applies a structural edge addition u→v to the shared graph once
-// and incrementally repairs every group's overlay. Repair is best-effort
-// across groups: one group's failure does not leave the remaining groups
-// unrepaired (the graph has already moved); all failures are joined.
+// and incrementally repairs every group's overlay (a structural run of
+// one, so single-event and batched mutation share one code path). Repair
+// is best-effort across groups: one group's failure does not leave the
+// remaining groups unrepaired (the graph has already moved); all failures
+// are joined.
 func (m *MultiSystem) AddEdge(u, v graph.NodeID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.g.AddEdge(u, v); err != nil {
-		return err
-	}
-	var errs []error
-	for _, sys := range *m.systems.Load() {
-		if err := sys.edgeAdded(u, v); err != nil {
-			errs = append(errs, err)
-		}
-	}
+	_, errs := m.applyStructuralRun([]graph.Event{{Kind: graph.EdgeAdd, Node: u, Peer: v}})
 	return errors.Join(errs...)
 }
 
@@ -328,58 +332,142 @@ func (m *MultiSystem) AddEdge(u, v graph.NodeID) error {
 // reader sets are computed against the pre-removal graph, the graph mutates
 // once, then every overlay is repaired.
 func (m *MultiSystem) RemoveEdge(u, v graph.NodeID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	systems := *m.systems.Load()
-	affected := make(map[*System][][]graph.NodeID, len(systems))
-	for _, sys := range systems {
-		affected[sys] = sys.edgeAffected(u, v)
-	}
-	if err := m.g.RemoveEdge(u, v); err != nil {
-		return err
-	}
-	var errs []error
-	for _, sys := range systems {
-		if err := sys.edgeRemoved(affected[sys]); err != nil {
-			errs = append(errs, err)
-		}
-	}
+	_, errs := m.applyStructuralRun([]graph.Event{{Kind: graph.EdgeRemove, Node: u, Peer: v}})
 	return errors.Join(errs...)
 }
 
 // AddNode adds a fresh node to the shared graph and registers it with
 // every group's overlay.
 func (m *MultiSystem) AddNode() (graph.NodeID, error) {
+	added, errs := m.applyStructuralRun([]graph.Event{{Kind: graph.NodeAdd}})
+	if len(added) == 0 {
+		return 0, errors.Join(errs...)
+	}
+	return added[0], errors.Join(errs...)
+}
+
+// ApplyBatch ingests a mixed batch of content and structural events in
+// stream order — the paper's single interleaved data stream (§2.1: S_G
+// plus the S_v). Consecutive content writes form a run that goes through
+// each engine's sharded parallel WriteBatch path; consecutive structural
+// events coalesce into ONE graph-mutation pass plus ONE overlay repair and
+// engine republish per attached system, instead of a serialized repair per
+// event. Read events are skipped.
+//
+// Events that cannot apply (adding an existing edge, removing a dead node)
+// are skipped and their errors joined into the returned error; the rest of
+// the batch still applies, exactly as a caller looping the sequential
+// mutators and collecting errors would end up.
+func (m *MultiSystem) ApplyBatch(events []graph.Event) error {
+	_, err := m.ApplyBatchNodes(events)
+	return err
+}
+
+// ApplyBatchNodes is ApplyBatch additionally returning the node ids its
+// NodeAdd events allocated, in event order — deleted ids are reused, so a
+// caller that needs to address a streamed-in node cannot derive its id
+// from the graph size.
+func (m *MultiSystem) ApplyBatchNodes(events []graph.Event) ([]graph.NodeID, error) {
+	var added []graph.NodeID
+	var errs []error
+	for i := 0; i < len(events); {
+		j := i
+		if events[i].IsStructural() {
+			for j < len(events) && events[j].IsStructural() {
+				j++
+			}
+			ids, runErrs := m.applyStructuralRun(events[i:j])
+			added = append(added, ids...)
+			errs = append(errs, runErrs...)
+		} else {
+			for j < len(events) && !events[j].IsStructural() {
+				j++
+			}
+			if err := m.WriteBatch(events[i:j]); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		i = j
+	}
+	return added, errors.Join(errs...)
+}
+
+// applyStructuralRun applies one maximal run of structural events: the
+// graph mutates event by event (collecting, at each event's correct
+// moment, the readers it affects — pre-mutation for removals, post for
+// additions), and every system's overlay is repaired exactly once at the
+// end. It returns the node ids NodeAdd events allocated, in event order.
+// Correctness rests on the repair being a diff against the FINAL graph:
+// the affected union only needs to cover every reader whose neighborhood
+// the run changed, and the event that last toggles a neighborhood path
+// sees that path's state when it collects.
+func (m *MultiSystem) applyStructuralRun(run []graph.Event) ([]graph.NodeID, []error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	v := m.g.AddNode()
+	systems := *m.systems.Load()
+	batches := make([]*repairBatch, len(systems))
+	for i, sys := range systems {
+		batches[i] = sys.beginRepairBatch()
+	}
+	var added []graph.NodeID
 	var errs []error
-	for _, sys := range *m.systems.Load() {
-		if err := sys.nodeAdded(v); err != nil {
+	for _, ev := range run {
+		switch ev.Kind {
+		case graph.EdgeAdd:
+			if err := m.g.AddEdge(ev.Node, ev.Peer); err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			for i, sys := range systems {
+				sys.batchEdgeTouched(batches[i], ev.Node, ev.Peer)
+			}
+		case graph.EdgeRemove:
+			if !m.g.HasEdge(ev.Node, ev.Peer) {
+				// Let the graph produce the precise typed error (dead node
+				// vs missing edge); it mutates nothing on failure.
+				errs = append(errs, m.g.RemoveEdge(ev.Node, ev.Peer))
+				continue
+			}
+			for i, sys := range systems {
+				sys.batchEdgeTouched(batches[i], ev.Node, ev.Peer)
+			}
+			if err := m.g.RemoveEdge(ev.Node, ev.Peer); err != nil {
+				errs = append(errs, err)
+			}
+		case graph.NodeAdd:
+			v := m.g.AddNode()
+			added = append(added, v)
+			for i, sys := range systems {
+				sys.batchNodeAdded(batches[i], v)
+			}
+		case graph.NodeRemove:
+			if !m.g.Alive(ev.Node) {
+				errs = append(errs, m.g.RemoveNode(ev.Node)) // precise typed error
+				continue
+			}
+			for i, sys := range systems {
+				sys.batchNodeRemovalAffected(batches[i], ev.Node)
+			}
+			if err := m.g.RemoveNode(ev.Node); err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			for i, sys := range systems {
+				sys.batchNodeRemoved(batches[i], ev.Node)
+			}
+		}
+	}
+	for i, sys := range systems {
+		if err := sys.applyRepairBatch(batches[i]); err != nil {
 			errs = append(errs, err)
 		}
 	}
-	return v, errors.Join(errs...)
+	return added, errs
 }
 
 // RemoveNode deletes a node and its incident edges from the shared graph
 // and repairs every group's overlay.
 func (m *MultiSystem) RemoveNode(v graph.NodeID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	systems := *m.systems.Load()
-	affected := make(map[*System][][]graph.NodeID, len(systems))
-	for _, sys := range systems {
-		affected[sys] = sys.nodeRemovalAffected(v)
-	}
-	if err := m.g.RemoveNode(v); err != nil {
-		return err
-	}
-	var errs []error
-	for _, sys := range systems {
-		if err := sys.nodeRemoved(v, affected[sys]); err != nil {
-			errs = append(errs, err)
-		}
-	}
+	_, errs := m.applyStructuralRun([]graph.Event{{Kind: graph.NodeRemove, Node: v}})
 	return errors.Join(errs...)
 }

@@ -41,6 +41,8 @@ package exec
 // only the bounded staleness the queueing model already admits.
 
 import (
+	"sync"
+
 	"repro/internal/overlay"
 )
 
@@ -66,28 +68,129 @@ func paoDelta(epoch uint64, add int64, hasAdd bool, removed []int64) deltaRec {
 	return rec
 }
 
-// deltaLog is the per-writer delta log of one online resync. writers is
-// indexed by writer NodeRef; each entry is appended to and measured only
-// under that writer's nodeState mutex, so no additional synchronization is
-// needed and concurrent writers never contend with each other on the log.
-type deltaLog struct {
-	writers []writerLog
+// logSegSize is the record capacity of one delta-log segment. Small enough
+// that a recycled segment is cheap to keep around, large enough that a
+// write-storm resync appends with amortized-zero segment churn.
+const logSegSize = 256
+
+// logSeg is one fixed-capacity run of log records.
+type logSeg struct {
+	recs []deltaRec
 }
 
+// deltaLog is the per-writer delta log of one online resync. writers is
+// indexed by writer NodeRef; each entry is appended to and drained only
+// under that writer's nodeState mutex, so concurrent writers never contend
+// with each other on the log.
+//
+// The log is SEGMENTED: records live in fixed-size segments, the replay
+// drains head-forward, and fully drained segments return to a shared free
+// list for reuse by any writer. Log memory is therefore proportional to
+// the records not yet replayed, not to everything a long resync on a huge
+// overlay ever appended.
+type deltaLog struct {
+	writers []writerLog
+
+	// freeMu guards the shared segment free list (writers recycle and
+	// reuse across each other); allocSegs counts segments ever allocated,
+	// exposed so tests can assert recycling bounds memory.
+	freeMu    sync.Mutex
+	free      []*logSeg
+	allocSegs int
+}
+
+// writerLog is one writer's pending records: segs[0] is the drain head
+// (off records of it already replayed); only the last segment may be
+// partially filled.
 type writerLog struct {
-	recs []deltaRec
+	segs []*logSeg
+	off  int
 }
 
 func newDeltaLog(n int) *deltaLog { return &deltaLog{writers: make([]writerLog, n)} }
 
-// record appends a delta for writer w. Caller holds w's nodeState mutex.
-func (lg *deltaLog) record(w overlay.NodeRef, rec deltaRec) {
-	lg.writers[w].recs = append(lg.writers[w].recs, rec)
+func (lg *deltaLog) getSeg() *logSeg {
+	lg.freeMu.Lock()
+	defer lg.freeMu.Unlock()
+	if n := len(lg.free); n > 0 {
+		s := lg.free[n-1]
+		lg.free[n-1] = nil
+		lg.free = lg.free[:n-1]
+		return s
+	}
+	lg.allocSegs++
+	return &logSeg{recs: make([]deltaRec, 0, logSegSize)}
 }
 
-// lenOf returns the current log length for writer w. Caller holds w's
+func (lg *deltaLog) putSeg(s *logSeg) {
+	clear(s.recs) // drop rec.rem references before reuse
+	s.recs = s.recs[:0]
+	lg.freeMu.Lock()
+	lg.free = append(lg.free, s)
+	lg.freeMu.Unlock()
+}
+
+// record appends a delta for writer w. Caller holds w's nodeState mutex.
+func (lg *deltaLog) record(w overlay.NodeRef, rec deltaRec) {
+	wl := &lg.writers[w]
+	n := len(wl.segs)
+	if n == 0 || len(wl.segs[n-1].recs) == logSegSize {
+		wl.segs = append(wl.segs, lg.getSeg())
+		n++
+	}
+	seg := wl.segs[n-1]
+	seg.recs = append(seg.recs, rec)
+}
+
+// pop removes and returns writer w's oldest pending record, recycling the
+// head segment once it is fully drained. ok is false when nothing is
+// pending. Caller holds w's nodeState mutex.
+func (lg *deltaLog) pop(w overlay.NodeRef) (rec deltaRec, ok bool) {
+	wl := &lg.writers[w]
+	if len(wl.segs) == 0 {
+		return deltaRec{}, false
+	}
+	head := wl.segs[0]
+	if wl.off >= len(head.recs) {
+		// Fully consumed head: it is also the append target (only the
+		// last segment can be partial), so nothing is pending.
+		return deltaRec{}, false
+	}
+	rec = head.recs[wl.off]
+	wl.off++
+	if wl.off == logSegSize {
+		wl.segs[0] = nil
+		wl.segs = wl.segs[1:]
+		wl.off = 0
+		lg.putSeg(head)
+	}
+	return rec, true
+}
+
+// dropAll discards writer w's pending records, recycling their segments —
+// used at the freeze point: deltas serialized before the window snapshot
+// are already inside it and must never be replayed. Caller holds w's
 // nodeState mutex.
-func (lg *deltaLog) lenOf(w overlay.NodeRef) int { return len(lg.writers[w].recs) }
+func (lg *deltaLog) dropAll(w overlay.NodeRef) {
+	wl := &lg.writers[w]
+	for i, s := range wl.segs {
+		lg.putSeg(s)
+		wl.segs[i] = nil
+	}
+	wl.segs = wl.segs[:0]
+	wl.off = 0
+}
+
+// pending returns writer w's unreplayed record count. Caller holds w's
+// nodeState mutex.
+func (lg *deltaLog) pending(w overlay.NodeRef) int {
+	wl := &lg.writers[w]
+	n := 0
+	for _, s := range wl.segs {
+		n += len(s.recs)
+	}
+	return n - wl.off
+}
 
 // ResyncPushState recompiles the plan and rebuilds the partial state of
 // push aggregation nodes bottom-up from the writer windows. Call it after
@@ -137,16 +240,17 @@ func (e *Engine) ResyncPushState() error {
 	}
 	lg := newDeltaLog(nSlots)
 	e.log.Store(lg)
-	// Frozen-epoch rebuild: per writer, snapshot the window and the log
-	// cut under the writer's mutex, then rebuild its base contribution
-	// outside the lock. Writes serialized before the cut are inside the
-	// window snapshot; writes after it land in the log at/after the cut.
-	cuts := make([]int, nSlots)
+	// Frozen-epoch rebuild: per writer, snapshot the window under the
+	// writer's mutex and DROP the deltas logged so far — they are already
+	// inside the snapshot (the mutex serialized them before the read) and
+	// must never replay; dropping also recycles their segments
+	// immediately, so the log holds only post-freeze records. Then rebuild
+	// the writer's base contribution outside the lock.
 	for _, wref := range top.Writers {
 		ns := st.nodes[wref]
 		ns.mu.Lock()
 		vals := st.windows[wref].Values()
-		cuts[wref] = lg.lenOf(wref)
+		lg.dropAll(wref)
 		ns.mu.Unlock()
 		if e.scalar != nil {
 			var sum int64
@@ -164,7 +268,7 @@ func (e *Engine) ResyncPushState() error {
 		}
 	}
 	// Catch-up replay, then the atomic cutover.
-	e.replayLog(st, lg, cuts)
+	e.replayLog(st, lg)
 	e.state.Store(st)
 	// Final drain. replayLog locks every writer's mutex at least once
 	// after the cutover store above, which fences the write path: any
@@ -172,19 +276,21 @@ func (e *Engine) ResyncPushState() error {
 	// observe the new snapshot (writeOn re-resolves under the mutex) and
 	// applies its delta there directly. Old-epoch tail deltas are all in
 	// the log by then and get replayed here exactly once.
-	e.replayLog(st, lg, cuts)
+	e.replayLog(st, lg)
 	e.log.Store(nil)
 	return nil
 }
 
-// replayLog applies, into the new snapshot st, every logged delta at or
-// after each writer's cut that targeted a pre-cutover snapshot, advancing
-// the cuts in place so successive passes resume where the last stopped.
-// Deltas tagged with st's own epoch were applied directly by their writers
-// after the cutover and are skipped. Records are fetched under the writer's
-// mutex (appends happen there) and applied outside it; application is
-// commutative, so interleaving with concurrent post-cutover writes is safe.
-func (e *Engine) replayLog(st *engineState, lg *deltaLog, cuts []int) {
+// replayLog drains every pending logged delta into the new snapshot st,
+// consuming the segmented log head-forward (drained segments recycle to
+// the free list, so successive passes resume where the last stopped and
+// log memory stays bounded by the unreplayed tail). Deltas tagged with
+// st's own epoch were applied directly by their writers after the cutover
+// and are consumed without reapplying. Records are popped under the
+// writer's mutex (appends happen there) and applied outside it;
+// application is commutative, so interleaving with concurrent
+// post-cutover writes is safe.
+func (e *Engine) replayLog(st *engineState, lg *deltaLog) {
 	var addBuf [1]int64
 	for w := range lg.writers {
 		wref := overlay.NodeRef(w)
@@ -194,14 +300,11 @@ func (e *Engine) replayLog(st *engineState, lg *deltaLog, cuts []int) {
 		ns := st.nodes[wref]
 		for {
 			ns.mu.Lock()
-			recs := lg.writers[w].recs
-			if cuts[w] >= len(recs) {
-				ns.mu.Unlock()
+			rec, ok := lg.pop(wref)
+			ns.mu.Unlock()
+			if !ok {
 				break
 			}
-			rec := recs[cuts[w]]
-			cuts[w]++
-			ns.mu.Unlock()
 			if rec.epoch == st.epoch {
 				continue
 			}

@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/overlay"
+)
+
+// TestDeltaLogSegmentsRecycle asserts the online-resync delta log's memory
+// is bounded by the unreplayed tail: repeated append/drain cycles reuse the
+// same few segments instead of growing the log with everything ever logged.
+func TestDeltaLogSegmentsRecycle(t *testing.T) {
+	lg := newDeltaLog(2)
+	w := overlay.NodeRef(1)
+	next := int64(0)
+	for cycle := 0; cycle < 200; cycle++ {
+		for i := 0; i < 3*logSegSize+7; i++ {
+			lg.record(w, deltaRec{dSum: next})
+			next++
+		}
+		want := next - int64(3*logSegSize+7)
+		for {
+			rec, ok := lg.pop(w)
+			if !ok {
+				break
+			}
+			if rec.dSum != want {
+				t.Fatalf("cycle %d: popped %d, want %d (FIFO order broken)", cycle, rec.dSum, want)
+			}
+			want++
+		}
+		if want != next {
+			t.Fatalf("cycle %d: drained %d records short", cycle, next-want)
+		}
+	}
+	// 200 cycles × ~3.03 segments each would be ~600 segments without
+	// recycling; with it, one cycle's peak (4 segments, 5 when the
+	// carried-over partial tail straddles a boundary) is the ceiling.
+	if lg.allocSegs > 5 {
+		t.Fatalf("allocated %d segments across 200 drain cycles, want ≤ 5 (recycling broken)", lg.allocSegs)
+	}
+}
+
+// TestDeltaLogDropAllRecycles asserts the freeze-point drop recycles
+// segments and that recycled segments don't leak rem slices into later
+// records.
+func TestDeltaLogDropAllRecycles(t *testing.T) {
+	lg := newDeltaLog(1)
+	w := overlay.NodeRef(0)
+	for i := 0; i < 2*logSegSize; i++ {
+		lg.record(w, paoDelta(1, 5, true, []int64{9, 9}))
+	}
+	if n := lg.pending(w); n != 2*logSegSize {
+		t.Fatalf("pending = %d, want %d", n, 2*logSegSize)
+	}
+	lg.dropAll(w)
+	if n := lg.pending(w); n != 0 {
+		t.Fatalf("pending after dropAll = %d, want 0", n)
+	}
+	if _, ok := lg.pop(w); ok {
+		t.Fatal("pop after dropAll returned a record")
+	}
+	alloc := lg.allocSegs
+	lg.record(w, deltaRec{dSum: 1})
+	if lg.allocSegs != alloc {
+		t.Fatalf("append after dropAll allocated a segment (%d -> %d), want reuse", alloc, lg.allocSegs)
+	}
+	rec, ok := lg.pop(w)
+	if !ok || rec.rem != nil || rec.dSum != 1 {
+		t.Fatalf("recycled segment leaked state: %+v ok=%v", rec, ok)
+	}
+}

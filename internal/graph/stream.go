@@ -40,6 +40,29 @@ func (k EventKind) String() string {
 	}
 }
 
+// ParseEventKind maps the wire spelling of an event kind (the String form:
+// "write", "edge-add", "edge-remove", "node-add", "node-remove", "read")
+// back to the EventKind. The empty string means ContentWrite, the dominant
+// kind on ingestion streams.
+func ParseEventKind(s string) (EventKind, error) {
+	switch s {
+	case "", "write":
+		return ContentWrite, nil
+	case "edge-add":
+		return EdgeAdd, nil
+	case "edge-remove":
+		return EdgeRemove, nil
+	case "node-add":
+		return NodeAdd, nil
+	case "node-remove":
+		return NodeRemove, nil
+	case "read":
+		return Read, nil
+	default:
+		return 0, fmt.Errorf("graph: unknown event kind %q", s)
+	}
+}
+
 // Event is a single timestamped element of the combined data stream. For
 // ContentWrite, Node is the writer and Value is the written value. For edge
 // events, Node is the source and Peer the target. For Read, Node is the node
@@ -50,6 +73,17 @@ type Event struct {
 	Peer  NodeID
 	Value int64
 	TS    int64 // logical or wall-clock timestamp, caller-defined
+}
+
+// IsStructural reports whether the event belongs to the structure stream
+// S_G (edge/node changes) rather than a content stream S_v or a read.
+func (e Event) IsStructural() bool {
+	switch e.Kind {
+	case EdgeAdd, EdgeRemove, NodeAdd, NodeRemove:
+		return true
+	default:
+		return false
+	}
 }
 
 // Stream is an in-memory event sequence, used by the workload drivers to

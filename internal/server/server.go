@@ -12,6 +12,7 @@
 //
 // plus the shared graph/stream surface:
 //
+//	POST   /ingest       NDJSON event stream (see below)  streaming mixed ingest
 //	POST   /write        {"node":1,"value":42,"ts":7}     ingest a write (fans out to all queries)
 //	POST   /write-batch  [{"node":1,"value":42,"ts":7},…] parallel batched ingest
 //	POST   /edge         {"from":1,"to":2}                structural add
@@ -20,6 +21,40 @@
 //	DELETE /node?node=1                                   remove a node and its edges
 //	POST   /rebalance                                     adaptive re-decision (all queries)
 //	GET    /stats                                         session statistics
+//
+// POST /ingest is the streaming front door: the body is newline-delimited
+// JSON, one event per line, content and structural events interleaved in
+// stream order —
+//
+//	{"kind":"write","node":1,"value":42,"ts":7}
+//	{"kind":"edge-add","from":2,"to":1}
+//	{"kind":"node-remove","node":9}
+//
+// (kind defaults to "write"; a zero/absent ts is stamped with the
+// stream's current maximum timestamp, so stamps stay in the client's own
+// time domain — streams that never send ts simply don't advance time;
+// node-add events allocate ids the streaming response cannot return, so
+// clients that must address a new node immediately should POST /node for
+// the id first). The
+// stream feeds the server's session Ingestor: events batch up, content
+// runs take the sharded parallel write path, structural runs coalesce into
+// one overlay repair per query, and the Ingestor's low watermark expires
+// time-based windows automatically. The response reports the accepted
+// event count and the current watermark; GET /stats surfaces the
+// watermark and queue depth continuously.
+//
+// The watermark only ratchets forward, so one far-future ts would
+// permanently expire every time-based window on the session. The server
+// cannot guess the client's time scale; deployments exposing /ingest
+// beyond trusted producers should construct the server with
+// WithMaxTimestampJump (events too far ahead of the stream are rejected
+// with 422) or validate timestamps upstream.
+//
+// A response's "applyErrors" field reports per-event apply failures
+// (duplicate edges, dead nodes) drained from the SHARED session Ingestor
+// since the last report: under concurrent /ingest requests they may
+// belong to events another request streamed — treat them as session
+// diagnostics, not a per-request ledger.
 //
 // /queries/{id}/watch streams Server-Sent Events: one `data: {"node":…,
 // "valid":…,"scalar":…,"ts":…}` frame per pushed update, produced whenever
@@ -32,6 +67,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +76,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	eagr "repro"
 	"repro/internal/core"
@@ -59,14 +97,38 @@ const (
 	maxQueries      = 1024
 )
 
-// Server wraps a multi-query session with HTTP handlers.
+// maxIngestLine bounds one NDJSON event line on /ingest (the scanner
+// buffers a line before decoding it).
+const maxIngestLine = 1 << 20
+
+// Server wraps a multi-query session with HTTP handlers. A Server that
+// ever serves POST /ingest owns a background Ingestor; call Close (e.g.
+// after http.Server.Shutdown returns) to flush and release it. Servers
+// that never see an /ingest request hold no background resources.
 type Server struct {
 	sess *eagr.Session
 	mux  *http.ServeMux
+	// ing is the session's streaming front door, shared by every /ingest
+	// request: batches interleave at its queue in arrival order, and its
+	// watermark drives window expiry for the whole session. It is created
+	// lazily on the first /ingest (ingMu/ingClosed guard init vs Close),
+	// so embedders that never stream don't leak its worker goroutines.
+	ing       atomic.Pointer[eagr.Ingestor]
+	ingMu     sync.Mutex
+	ingClosed bool
+	// maxTSJump, when positive, is passed through to the Ingestor as
+	// IngestOptions.MaxTimestampJump (see WithMaxTimestampJump).
+	maxTSJump int64
 
 	writes  atomic.Int64
 	reads   atomic.Int64
 	watches atomic.Int64
+	// ingTS is the maximum client-supplied /ingest timestamp: ts-less
+	// events are stamped with it, so stamps live in the CLIENT's time
+	// domain (logical ticks or wall time, whatever it sends) instead of a
+	// server-chosen clock that would yank the watermark — and with it
+	// every time-based window — into the wrong epoch.
+	ingTS atomic.Int64
 
 	// watchDone, when closed by CloseWatchers, terminates every open
 	// /watch stream so http.Server.Shutdown can drain them.
@@ -74,10 +136,26 @@ type Server struct {
 	closeOnce sync.Once
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithMaxTimestampJump bounds how far ahead of the stream an /ingest
+// event's explicit timestamp may run; events further in the future are
+// rejected with 422 instead of ratcheting the watermark (see
+// eagr.IngestOptions.MaxTimestampJump). Pick the bound in the CLIENTS'
+// time unit (ticks, seconds, nanoseconds — whatever they send).
+func WithMaxTimestampJump(jump int64) Option {
+	return func(s *Server) { s.maxTSJump = jump }
+}
+
 // New returns a server for the session. Queries registered directly on the
 // session (e.g. by the hosting process at startup) are served too.
-func New(sess *eagr.Session) *Server {
+func New(sess *eagr.Session, opts ...Option) *Server {
 	s := &Server{sess: sess, mux: http.NewServeMux(), watchDone: make(chan struct{})}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /queries", s.handleRegister)
 	s.mux.HandleFunc("GET /queries", s.handleListQueries)
 	s.mux.HandleFunc("DELETE /queries/{id}", s.handleRetire)
@@ -105,6 +183,53 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // long-lived SSE connections instead of waiting out its context.
 func (s *Server) CloseWatchers() {
 	s.closeOnce.Do(func() { close(s.watchDone) })
+}
+
+// Close releases the server's resources: open watch streams end and the
+// session Ingestor (if /ingest ever ran) flushes its remaining events and
+// stops (idempotent). The session itself stays open — it belongs to the
+// caller.
+func (s *Server) Close() {
+	s.CloseWatchers()
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	s.ingClosed = true
+	if ing := s.ing.Load(); ing != nil {
+		_ = ing.Close()
+	}
+}
+
+// ingestor returns the server's shared Ingestor, creating it on first use.
+// Block policy: a full apply queue holds the /ingest request body instead
+// of erroring, which is HTTP's natural backpressure. The clock follows the
+// stream (see ingTS): a ts-less event is stamped "now in stream time",
+// never with a server wall clock the client's timestamps may know nothing
+// about.
+func (s *Server) ingestor() (*eagr.Ingestor, error) {
+	if ing := s.ing.Load(); ing != nil {
+		return ing, nil
+	}
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	if s.ingClosed {
+		return nil, eagr.ErrIngestorClosed
+	}
+	if ing := s.ing.Load(); ing != nil {
+		return ing, nil
+	}
+	ing, err := s.sess.Ingest(eagr.IngestOptions{
+		BatchSize:        512,
+		FlushInterval:    25 * time.Millisecond,
+		QueueDepth:       16,
+		Backpressure:     eagr.BackpressureBlock,
+		Clock:            eagr.ClockFunc(s.ingTS.Load),
+		MaxTimestampJump: s.maxTSJump,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.ing.Store(ing)
+	return ing, nil
 }
 
 type writeReq struct {
@@ -443,6 +568,133 @@ func (s *Server) handleWriteBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int{"accepted": len(events)})
 }
 
+// ingestEvent is the NDJSON wire form of one stream event. Edge events
+// accept from/to (matching /edge); node-centric events use node. An
+// absent/empty kind means a content write; an absent/zero ts is stamped
+// by the Ingestor's clock.
+type ingestEvent struct {
+	Kind  string        `json:"kind"`
+	Node  graph.NodeID  `json:"node"`
+	Peer  graph.NodeID  `json:"peer"`
+	From  *graph.NodeID `json:"from"`
+	To    *graph.NodeID `json:"to"`
+	Value int64         `json:"value"`
+	TS    int64         `json:"ts"`
+}
+
+// handleIngest streams NDJSON events into the server's session Ingestor.
+// Lines are accepted in order; the response is sent after a synchronous
+// flush, so every accepted event is applied (and the watermark current)
+// by the time the client sees it.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ing, err := s.ingestor()
+	if err != nil {
+		httpError(w, statusForIngest(err), "%v", err)
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxIngestLine)
+	accepted := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		// sc.Bytes + Unmarshal: no per-line copies on the streaming hot
+		// path (Unmarshal does not retain its input).
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var req ingestEvent
+		if err := json.Unmarshal(raw, &req); err != nil {
+			s.finishIngest(ing, w, accepted, fmt.Sprintf("line %d: bad JSON: %v", line, err), http.StatusBadRequest)
+			return
+		}
+		kind, err := graph.ParseEventKind(req.Kind)
+		if err != nil {
+			s.finishIngest(ing, w, accepted, fmt.Sprintf("line %d: %v", line, err), http.StatusBadRequest)
+			return
+		}
+		ev := graph.Event{Kind: kind, Node: req.Node, Peer: req.Peer, Value: req.Value, TS: req.TS}
+		if kind == graph.EdgeAdd || kind == graph.EdgeRemove {
+			if req.From != nil {
+				ev.Node = *req.From
+			}
+			if req.To != nil {
+				ev.Peer = *req.To
+			}
+		}
+		if err := ing.SendEvent(ev); err != nil {
+			s.finishIngest(ing, w, accepted, fmt.Sprintf("line %d: %v", line, err), statusForIngest(err))
+			return
+		}
+		if req.TS != 0 {
+			// Advance stream time (monotone max, ACCEPTED events only) so
+			// ts-less events that follow are stamped in the client's own
+			// time domain.
+			for {
+				cur := s.ingTS.Load()
+				if req.TS <= cur || s.ingTS.CompareAndSwap(cur, req.TS) {
+					break
+				}
+			}
+		}
+		accepted++
+		if kind == graph.ContentWrite {
+			// Count at accept time, so writes a failing request already
+			// streamed in (and which DO apply) are not lost from the
+			// counter — and structural/read events are not inflated into it.
+			s.writes.Add(1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		s.finishIngest(ing, w, accepted, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.finishIngest(ing, w, accepted, "", http.StatusOK)
+}
+
+// finishIngest flushes the Ingestor (so accepted events are applied and
+// the watermark is current) and writes the summary response. Per-event
+// apply errors (duplicate edges, dead nodes — the same ones the sequential
+// mutators would return) are reported in "applyErrors" without failing the
+// request; wire/send errors fail it with code.
+func (s *Server) finishIngest(ing *eagr.Ingestor, w http.ResponseWriter, accepted int, failure string, code int) {
+	var applyErrs string
+	if err := ing.Flush(); err != nil && !errors.Is(err, eagr.ErrIngestorClosed) {
+		applyErrs = err.Error()
+	}
+	resp := map[string]any{"accepted": accepted}
+	if wm, ok := ing.Watermark(); ok {
+		resp["watermark"] = wm
+	}
+	if applyErrs != "" {
+		// Session-scoped diagnostics, not a per-request ledger: on a
+		// shared Ingestor these may include failures from events a
+		// concurrent request streamed (see the package doc).
+		resp["applyErrors"] = applyErrs
+	}
+	if failure != "" {
+		resp["error"] = failure
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// statusForIngest maps Ingestor send errors onto HTTP statuses.
+func statusForIngest(err error) int {
+	switch {
+	case errors.Is(err, eagr.ErrBackpressure):
+		return http.StatusTooManyRequests
+	case errors.Is(err, eagr.ErrIngestorClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, eagr.ErrTimestampJump):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 // handleRead is the deprecated single-query read: it answers through the
 // oldest registered query. Prefer GET /queries/{id}/read.
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
@@ -543,19 +795,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.sess.Stats()
+	var ist eagr.IngestorStats
+	if ing := s.ing.Load(); ing != nil {
+		ist = ing.Stats()
+	}
+	ingest := map[string]any{
+		"sent":       ist.Sent,
+		"applied":    ist.Applied,
+		"batches":    ist.Batches,
+		"rejected":   ist.Rejected,
+		"queueDepth": ist.QueueDepth,
+		"buffered":   ist.Buffered,
+	}
+	if ist.WatermarkValid {
+		ingest["watermark"] = ist.Watermark
+	}
 	writeJSON(w, map[string]any{
-		"queries":        st.Queries,
-		"groups":         st.Groups,
-		"mergedFamilies": st.MergedFamilies,
-		"mergedQueries":  st.MergedQueries,
-		"writers":        st.Writers,
-		"readers":        st.Readers,
-		"partials":       st.Partials,
-		"edges":          st.Edges,
-		"droppedUpdates": st.DroppedUpdates,
-		"servedWrites":   s.writes.Load(),
-		"servedReads":    s.reads.Load(),
-		"servedWatches":  s.watches.Load(),
+		"queries":         st.Queries,
+		"groups":          st.Groups,
+		"mergedFamilies":  st.MergedFamilies,
+		"mergedQueries":   st.MergedQueries,
+		"familyOverflows": st.FamilyOverflows,
+		"writers":         st.Writers,
+		"readers":         st.Readers,
+		"partials":        st.Partials,
+		"edges":           st.Edges,
+		"droppedUpdates":  st.DroppedUpdates,
+		"servedWrites":    s.writes.Load(),
+		"servedReads":     s.reads.Load(),
+		"servedWatches":   s.watches.Load(),
+		"ingest":          ingest,
 	})
 }
 

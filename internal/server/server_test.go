@@ -41,8 +41,12 @@ func testSession(t *testing.T) (*eagr.Session, *eagr.Query) {
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	sess, _ := testSession(t)
-	ts := httptest.NewServer(New(sess))
-	t.Cleanup(ts.Close)
+	srv := New(sess)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close() // releases the /ingest Ingestor, if one was created
+	})
 	return ts
 }
 
@@ -465,5 +469,139 @@ func TestCoveredEndpointAndFamilyStats(t *testing.T) {
 	st := decode[map[string]any](t, resp)
 	if st["mergedFamilies"].(float64) < 1 || st["mergedQueries"].(float64) < 2 {
 		t.Fatalf("stats missing merged counters: %v", st)
+	}
+}
+
+// TestIngestEndpoint streams a mixed NDJSON batch — content writes plus a
+// structural edge add — through POST /ingest and checks it all applied by
+// response time (the handler flushes synchronously) and that /stats
+// surfaces the watermark and queue counters.
+func TestIngestEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body := strings.Join([]string{
+		`{"node":1,"value":10,"ts":5}`, // kind defaults to write
+		`{"kind":"write","node":2,"value":30,"ts":6}`,
+		`{"kind":"edge-add","from":3,"to":0}`, // 0's ego network gains 3
+		`{"kind":"write","node":3,"value":2,"ts":7}`,
+		``,
+	}, "\n")
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	got := decode[map[string]any](t, resp)
+	if got["accepted"].(float64) != 4 {
+		t.Fatalf("accepted = %v, want 4", got["accepted"])
+	}
+	// The ts-less edge-add must be stamped in the CLIENT's time domain
+	// (the stream max, 6 at that point), never with a server wall clock
+	// that would yank the watermark into nanosecond epoch.
+	if wm, ok := got["watermark"].(float64); !ok || wm != 7 {
+		t.Fatalf("watermark = %v, want exactly 7 (stream time, not wall clock)", got["watermark"])
+	}
+	// The edge add applied mid-stream, so node 3's write reached node 0.
+	read, err := http.Get(ts.URL + "/read?node=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decode[map[string]any](t, read)
+	if res["scalar"].(float64) != 42 {
+		t.Fatalf("post-ingest read = %v, want 42 (10+30+2)", res)
+	}
+	stats, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[map[string]any](t, stats)
+	ing, ok := st["ingest"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing ingest block: %v", st)
+	}
+	if ing["applied"].(float64) != 4 || ing["sent"].(float64) != 4 {
+		t.Fatalf("ingest stats = %v, want sent=applied=4", ing)
+	}
+	if _, ok := ing["watermark"]; !ok {
+		t.Fatalf("ingest stats missing watermark: %v", ing)
+	}
+	if _, ok := st["familyOverflows"]; !ok {
+		t.Fatalf("stats missing familyOverflows: %v", st)
+	}
+}
+
+// TestIngestEndpointErrors checks malformed lines fail with 400 (events
+// before the bad line still apply) and unknown kinds are rejected.
+func TestIngestEndpointErrors(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader("{\"node\":1,\"value\":7,\"ts\":1}\nnot json\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON line: status = %d, want 400", resp.StatusCode)
+	}
+	got := decode[map[string]any](t, resp)
+	if got["accepted"].(float64) != 1 {
+		t.Fatalf("accepted = %v, want the line before the failure", got["accepted"])
+	}
+	read, err := http.Get(ts.URL + "/read?node=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decode[map[string]any](t, read)
+	if res["scalar"].(float64) != 7 {
+		t.Fatalf("accepted prefix not applied: %v", res)
+	}
+	resp, err = http.Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader(`{"kind":"frobnicate","node":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind: status = %d, want 400", resp.StatusCode)
+	}
+	// Structural apply errors (duplicate edge) are reported, not fatal.
+	resp, err = http.Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader(`{"kind":"edge-add","from":1,"to":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate edge add: status = %d, want 200", resp.StatusCode)
+	}
+	got = decode[map[string]any](t, resp)
+	if _, ok := got["applyErrors"]; !ok {
+		t.Fatalf("duplicate edge add should report an apply error: %v", got)
+	}
+}
+
+// TestIngestMaxTimestampJump checks the WithMaxTimestampJump server option:
+// a far-future timestamp is rejected with 422 and the watermark survives.
+func TestIngestMaxTimestampJump(t *testing.T) {
+	sess, _ := testSession(t)
+	srv := New(sess, WithMaxTimestampJump(1000))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader("{\"node\":1,\"value\":1,\"ts\":10}\n{\"node\":2,\"value\":2,\"ts\":9000000000000000000}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("far-future ts: status = %d, want 422", resp.StatusCode)
+	}
+	got := decode[map[string]any](t, resp)
+	if got["accepted"].(float64) != 1 {
+		t.Fatalf("accepted = %v, want 1", got["accepted"])
+	}
+	if wm, ok := got["watermark"].(float64); !ok || wm != 10 {
+		t.Fatalf("watermark = %v, want 10 (ratchet not poisoned)", got["watermark"])
 	}
 }
