@@ -51,6 +51,79 @@ func benchIngestorThroughput(b *testing.B) {
 	b.StopTimer()
 }
 
+// benchDurableSession opens a durable session over the micro fixture
+// graph with one standing sum query and n pre-applied writes.
+func benchDurableSession(b *testing.B, dir string, fsync eagr.FsyncPolicy, n int) *eagr.Session {
+	g := workload.SocialGraph(2000, 8, 1)
+	sess, _, err := eagr.OpenDurable(g, eagr.DurabilityOptions{Dir: dir, Fsync: fsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Register(eagr.QuerySpec{Aggregate: "sum", WindowTuples: 4}); err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	writes := benchfix.Writes(workload.Events(wl, n, 2))
+	batch := make([]eagr.Event, 0, 256)
+	for i, ev := range writes {
+		batch = append(batch, eagr.NewWrite(ev.Node, ev.Value, int64(i+1)))
+		if len(batch) == cap(batch) || i == len(writes)-1 {
+			if err := sess.ApplyBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	return sess
+}
+
+// benchCheckpointWrite measures one full checkpoint (graph + queries +
+// window suffixes, temp+rename) of a loaded durable session.
+func benchCheckpointWrite(b *testing.B) {
+	sess := benchDurableSession(b, b.TempDir(), eagr.FsyncOff, 1<<14)
+	defer sess.CloseDurability()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// benchRecoverReplayTail measures cold recovery: open the directory, load
+// the latest checkpoint, and replay a WAL tail of recoverTailEvents
+// events through the normal apply path. SimulateCrash (not
+// CloseDurability) between iterations keeps the tail in place.
+const recoverTailEvents = 1 << 13
+
+func benchRecoverReplayTail(b *testing.B) {
+	dir := b.TempDir()
+	sess := benchDurableSession(b, dir, eagr.FsyncOff, recoverTailEvents)
+	if err := sess.SimulateCrash(); err != nil {
+		b.Fatal(err)
+	}
+	var replayed int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, rec, err := eagr.OpenDurable(nil, eagr.DurabilityOptions{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replayed = rec.ReplayedEvents
+		if err := s2.SimulateCrash(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if replayed == 0 {
+		b.Fatal("recovery replayed no events; the fixture WAL tail is missing")
+	}
+	b.ReportMetric(float64(replayed), "events/op")
+}
+
 // engineBenchResult is one micro-benchmark's measurement, serialized into
 // BENCH_engine.json so successive PRs have a perf trajectory to compare
 // against.
@@ -97,6 +170,11 @@ var seedBaseline = map[string]engineBenchResult{
 	// batching, no watermark, caller-threaded time).
 	"OpIngestMixedBatch":   {NsPerOp: 77988.0, OpsPerSec: 12.8e3, AllocsPerOp: 294, BytesPerOp: 62686},
 	"OpIngestorThroughput": {NsPerOp: 203.2, OpsPerSec: 4.92e6, AllocsPerOp: 0, BytesPerOp: 0},
+	// Measured when durability landed (fsync=off): one full checkpoint of
+	// a loaded 2k-node session, and cold recovery replaying a ~6.5k-event
+	// WAL tail through the normal apply path.
+	"OpCheckpointWrite":   {NsPerOp: 4.78e6, OpsPerSec: 209, AllocsPerOp: 30155, BytesPerOp: 982803},
+	"OpRecoverReplayTail": {NsPerOp: 1.245e8, OpsPerSec: 8, AllocsPerOp: 452642, BytesPerOp: 44219904},
 }
 
 func toResult(r testing.BenchmarkResult) engineBenchResult {
@@ -253,6 +331,21 @@ func runEngineBench(path string) error {
 		cur["OpIngestorThroughput"] = r
 		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			"OpIngestorThroughput", r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	// Durability: checkpoint write cost on a loaded session, and cold
+	// recovery replaying an 8k-event WAL tail through the apply path.
+	durables := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"OpCheckpointWrite", benchCheckpointWrite},
+		{"OpRecoverReplayTail", benchRecoverReplayTail},
+	}
+	for _, m := range durables {
+		r := toResult(testing.Benchmark(m.fn))
+		cur[m.name] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
 	workers := []int{1}
 	if p := runtime.GOMAXPROCS(0); p > 1 {

@@ -9,9 +9,20 @@
 //
 //	eagr-serve -listen :8080 -graph social -nodes 10000 -aggregate "topk(3)"
 //	eagr-serve -edgelist graph.el -aggregate sum -window 10
+//	eagr-serve -data-dir /var/lib/eagr -fsync per-batch
+//
+// With -data-dir the session is durable: ingested events are logged to a
+// write-ahead log under the directory, state is checkpointed periodically
+// (-checkpoint-interval) and on shutdown, and a restart with the same
+// -data-dir recovers the graph, the registered queries, and every window
+// before serving. On a recovered directory the flag-derived initial query
+// is skipped — the recovered query set wins. -fsync picks the durability/
+// throughput trade-off (per-batch | interval | off; see -fsync-interval).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests (including open /watch streams) before exiting.
+// requests (including open /watch streams) before exiting; with -data-dir
+// it then checkpoints and writes a clean-shutdown marker so the next
+// start skips WAL replay.
 package main
 
 import (
@@ -48,6 +59,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for synthetic graphs")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		tsJump   = flag.Int64("ingest-max-ts-jump", 0, "reject /ingest events whose timestamp runs further than this ahead of the stream (0 = unbounded; guards the watermark against corrupt far-future timestamps)")
+
+		dataDir    = flag.String("data-dir", "", "durability directory: WAL + checkpoints (empty = in-memory only)")
+		fsyncMode  = flag.String("fsync", "per-batch", "WAL fsync policy with -data-dir: per-batch | interval | off")
+		fsyncEvery = flag.Duration("fsync-interval", time.Second, "fsync cadence under -fsync interval")
+		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint cadence with -data-dir (0 = only at shutdown)")
 	)
 	flag.Parse()
 
@@ -66,23 +82,62 @@ func main() {
 	default:
 		log.Fatalf("unknown graph family %q", *kind)
 	}
+
+	opts := eagr.Options{Algorithm: *alg, Iterations: 6}
+	var sess *eagr.Session
+	recoveredQueries := 0
+	if *dataDir != "" {
+		policy, err := eagr.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rec *eagr.Recovery
+		// The synthetic/edge-list graph only seeds a FRESH directory; a
+		// recovered one restores its own checkpointed graph.
+		sess, rec, err = eagr.OpenDurable(g, eagr.DurabilityOptions{
+			Dir:                *dataDir,
+			Fsync:              policy,
+			FsyncInterval:      *fsyncEvery,
+			CheckpointInterval: *ckptEvery,
+		}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recoveredQueries = rec.RecoveredQueries
+		if rec.CleanShutdown {
+			log.Printf("recovered %s: clean shutdown, %d queries, checkpoint lsn %d (no replay)",
+				*dataDir, rec.RecoveredQueries, rec.CheckpointLSN)
+		} else {
+			log.Printf("recovered %s: %d queries, %d batches / %d events replayed (truncated tail: %v) in %v",
+				*dataDir, rec.RecoveredQueries, rec.ReplayedBatches, rec.ReplayedEvents, rec.TruncatedTail, rec.Duration)
+		}
+	} else {
+		var err error
+		sess, err = eagr.Open(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	g = sess.Graph()
 	log.Printf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
 
-	sess, err := eagr.Open(g, eagr.Options{Algorithm: *alg, Iterations: 6})
-	if err != nil {
-		log.Fatal(err)
+	if recoveredQueries > 0 {
+		// The recovered query set wins; the flag-derived initial query is
+		// only a fresh-start convenience.
+		log.Printf("serving %d recovered queries; skipping initial registration", recoveredQueries)
+	} else {
+		q, err := sess.Register(eagr.QuerySpec{
+			Aggregate:    *aggSpec,
+			WindowTuples: *window,
+			Continuous:   *cont,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := q.Stats()
+		log.Printf("registered query %d: aggregate=%s algorithm=%s sharing-index=%.1f%% partials=%d maintainable=%v",
+			q.ID(), *aggSpec, st.Algorithm, st.SharingIndex*100, st.Partials, st.Maintainable)
 	}
-	q, err := sess.Register(eagr.QuerySpec{
-		Aggregate:    *aggSpec,
-		WindowTuples: *window,
-		Continuous:   *cont,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	st := q.Stats()
-	log.Printf("registered query %d: aggregate=%s algorithm=%s sharing-index=%.1f%% partials=%d maintainable=%v",
-		q.ID(), *aggSpec, st.Algorithm, st.SharingIndex*100, st.Partials, st.Maintainable)
 
 	api := server.New(sess, server.WithMaxTimestampJump(*tsJump))
 	srv := &http.Server{Addr: *listen, Handler: api}
@@ -101,6 +156,15 @@ func main() {
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
 		api.Close()
+		if *dataDir != "" {
+			// Final checkpoint + clean-shutdown marker: the next start
+			// skips WAL replay entirely.
+			if cerr := sess.CloseDurability(); cerr != nil {
+				log.Printf("close durability: %v", cerr)
+			} else {
+				log.Printf("checkpointed and marked clean shutdown")
+			}
+		}
 		done <- err
 	}()
 

@@ -1,0 +1,520 @@
+package eagr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// durTestSpecs are the standing queries every durability test registers:
+// a tuple-window sum, a time-window count, and a 2-hop member that joins
+// the sum's merge family (same aggregate/window semantics, different hop
+// depth → ONE merged overlay).
+var durTestSpecs = []QuerySpec{
+	{Aggregate: "sum", WindowTuples: 4},
+	{Aggregate: "count", WindowTime: 40},
+	{Aggregate: "sum", WindowTuples: 4, Hops: 2},
+}
+
+func registerAll(t *testing.T, s *Session, specs []QuerySpec) []*Query {
+	t.Helper()
+	qs := make([]*Query, len(specs))
+	for i, spec := range specs {
+		q, err := s.Register(spec)
+		if err != nil {
+			t.Fatalf("Register %d: %v", i, err)
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// assertSameResults compares every query's answer at every node between
+// the recovered session and a never-crashed oracle.
+func assertSameResults(t *testing.T, label string, got, want *Session) {
+	t.Helper()
+	gq, wq := got.Queries(), want.Queries()
+	if len(gq) != len(wq) {
+		t.Fatalf("%s: %d recovered queries, oracle has %d", label, len(gq), len(wq))
+	}
+	for i := range gq {
+		if gq[i].ID() != wq[i].ID() {
+			t.Fatalf("%s: query id mismatch %d vs %d", label, gq[i].ID(), wq[i].ID())
+		}
+		maxID := want.Graph().MaxID()
+		for v := NodeID(0); v < NodeID(maxID); v++ {
+			gr, gerr := gq[i].Read(v)
+			wr, werr := wq[i].Read(v)
+			if (gerr != nil) != (werr != nil) {
+				t.Fatalf("%s: query %d node %d: err %v vs oracle %v", label, gq[i].ID(), v, gerr, werr)
+			}
+			if gerr == nil && !gr.Eq(wr) {
+				t.Fatalf("%s: query %d node %d: %+v, oracle %+v", label, gq[i].ID(), v, gr, wr)
+			}
+		}
+	}
+}
+
+func buildDurTestGraph(n int, rng *rand.Rand) ([]Event, *Graph, *Graph) {
+	// Two structurally identical graphs (recovered session needs one at
+	// first boot, the oracle its own).
+	edges := make([]Event, 0, n*3)
+	for i := 0; i < n*3; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u != v {
+			edges = append(edges, NewEdgeAdd(u, v, 0))
+		}
+	}
+	return edges, NewGraph(n), NewGraph(n)
+}
+
+// TestCrashRecoveryProperty is the crash-recovery property test: a random
+// mixed stream is fed into a durable session whose filesystem dies at a
+// random write; the session is recovered from disk and every standing
+// query's results must match a never-crashed oracle that applied exactly
+// the acknowledged batches. fsync=per-batch, so acknowledged ⇒ durable.
+func TestCrashRecoveryProperty(t *testing.T) {
+	const nodes = 24
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			osfs, err := wal.NewOsFS(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Crash somewhere in the first few hundred writes; ShortWrite on
+			// even seeds leaves a torn record for recovery to truncate.
+			ffs := wal.NewFaultFS(osfs, wal.FaultConfig{
+				CrashAtWrite: int64(20 + rng.Intn(300)),
+				ShortWrite:   seed%2 == 0,
+			})
+			edges, g, og := buildDurTestGraph(nodes, rng)
+
+			s, rec, err := OpenDurable(g, DurabilityOptions{fs: ffs})
+			if err != nil {
+				t.Fatalf("OpenDurable: %v", err)
+			}
+			if rec.CleanShutdown || rec.ReplayedEvents != 0 {
+				t.Fatalf("fresh dir recovery = %+v", rec)
+			}
+			registerAll(t, s, durTestSpecs)
+
+			// Random mixed stream: content writes with increasing timestamps,
+			// occasional structural churn, occasional mid-stream checkpoints.
+			// The seed edge set is just the first batch.
+			// Duplicate-edge errors are per-event skips: the batch is still
+			// logged and the oracle reproduces the same skips.
+			var acked [][]Event
+			if err := s.ApplyBatch(edges); errors.Is(err, wal.ErrInjected) {
+				t.Fatalf("fault fired on the seed batch: %v", err)
+			}
+			acked = append(acked, edges)
+			ts := int64(0)
+			crashed := false
+			for b := 0; b < 400 && !crashed; b++ {
+				k := 1 + rng.Intn(6)
+				batch := make([]Event, 0, k)
+				for i := 0; i < k; i++ {
+					switch rng.Intn(10) {
+					case 0:
+						u, v := NodeID(rng.Intn(nodes)), NodeID(rng.Intn(nodes))
+						if u == v {
+							v = (v + 1) % nodes
+						}
+						batch = append(batch, NewEdgeAdd(u, v, 0))
+					case 1:
+						u, v := NodeID(rng.Intn(nodes)), NodeID(rng.Intn(nodes))
+						if u == v {
+							v = (v + 1) % nodes
+						}
+						batch = append(batch, NewEdgeRemove(u, v, 0))
+					default:
+						ts++
+						batch = append(batch, NewWrite(NodeID(rng.Intn(nodes)), int64(rng.Intn(100)), ts))
+					}
+				}
+				err := s.ApplyBatch(batch)
+				switch {
+				case errors.Is(err, wal.ErrInjected) || errors.Is(err, ErrDurabilityClosed):
+					crashed = true
+				default:
+					// Applied (possibly with per-event structural skips the
+					// oracle will reproduce): the batch is in the WAL.
+					acked = append(acked, batch)
+				}
+				if !crashed && rng.Intn(25) == 0 {
+					_ = s.Checkpoint() // may die on the fault; recovery falls back
+				}
+			}
+			if !crashed {
+				t.Fatal("fault never fired; raise the stream length")
+			}
+			_ = s.SimulateCrash()
+
+			// Recover from the real directory with the real filesystem.
+			s2, rec2, err := OpenDurable(nil, DurabilityOptions{Dir: dir})
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer s2.CloseDurability()
+			if rec2.CleanShutdown {
+				t.Fatal("crash recovered as clean shutdown")
+			}
+			if rec2.RecoveredQueries != len(durTestSpecs) {
+				t.Fatalf("recovered %d queries, want %d", rec2.RecoveredQueries, len(durTestSpecs))
+			}
+			var sent uint64
+			for _, b := range acked {
+				sent += uint64(len(b))
+			}
+			// fsync=per-batch: every acknowledged event must be recovered.
+			if rec2.NextOrdinal < sent {
+				t.Fatalf("acknowledged %d events but recovered only %d", sent, rec2.NextOrdinal)
+			}
+
+			// Oracle: a never-crashed session applying exactly the acked
+			// batches (stream order == WAL order: single-threaded sender).
+			assertSameResults(t, fmt.Sprintf("seed %d", seed), s2, buildOracle(t, og, acked))
+		})
+	}
+}
+
+// buildOracle replays the acknowledged stream into a fresh non-durable
+// session with the standard query set.
+func buildOracle(t *testing.T, g *Graph, acked [][]Event) *Session {
+	t.Helper()
+	oracle, err := Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerAll(t, oracle, durTestSpecs)
+	for _, b := range acked {
+		_ = oracle.ApplyBatch(b) // structural skips mirror the durable run
+	}
+	return oracle
+}
+
+// TestDurableCleanShutdownFastPath pins the graceful-restart fast path: a
+// CloseDurability'd directory reopens from the checkpoint + clean marker
+// with zero replay.
+func TestDurableCleanShutdownFastPath(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurable(NewGraph(8), DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerAll(t, s, durTestSpecs)
+	for u := 0; u < 7; u++ {
+		if err := s.AddEdge(NodeID(u), NodeID(u+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Write(NodeID(i%8), int64(i), int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.ExpireAll(30)
+	if err := s.CloseDurability(); err != nil {
+		t.Fatalf("CloseDurability: %v", err)
+	}
+	if !errors.Is(s.CloseDurability(), ErrDurabilityClosed) {
+		t.Fatal("second CloseDurability should report closed")
+	}
+	if err := s.Write(0, 1, 99); !errors.Is(err, ErrDurabilityClosed) {
+		t.Fatalf("write after CloseDurability = %v, want ErrDurabilityClosed", err)
+	}
+
+	s2, rec, err := OpenDurable(nil, DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseDurability()
+	if !rec.CleanShutdown {
+		t.Fatalf("want clean-shutdown fast path, got %+v", rec)
+	}
+	if rec.ReplayedBatches != 0 || rec.ReplayedEvents != 0 {
+		t.Fatalf("clean restart replayed %d batches / %d events", rec.ReplayedBatches, rec.ReplayedEvents)
+	}
+	if rec.RecoveredQueries != len(durTestSpecs) {
+		t.Fatalf("recovered %d queries, want %d", rec.RecoveredQueries, len(durTestSpecs))
+	}
+	if !rec.WatermarkValid || rec.Watermark != 30 {
+		t.Fatalf("watermark = %d/%v, want 30/true", rec.Watermark, rec.WatermarkValid)
+	}
+
+	// State must still match the oracle even with zero replay (it came
+	// entirely from the checkpoint image).
+	og := NewGraph(8)
+	oracle, _ := Open(og)
+	registerAll(t, oracle, durTestSpecs)
+	for u := 0; u < 7; u++ {
+		_ = oracle.AddEdge(NodeID(u), NodeID(u+1))
+	}
+	for i := 0; i < 50; i++ {
+		_ = oracle.Write(NodeID(i%8), int64(i), int64(i+1))
+	}
+	oracle.ExpireAll(30)
+	assertSameResults(t, "clean restart", s2, oracle)
+}
+
+// TestDurableExpireReplay pins that watermark-driven expiry is logged and
+// replayed exactly: windows emptied before the crash stay empty after
+// recovery even though the replayed content writes are old.
+func TestDurableExpireReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurable(NewGraph(4), DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Register(QuerySpec{Aggregate: "count", WindowTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(0, 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Expire far past the write: the window at node 1 empties. A recovery
+	// that recomputed expiry (instead of replaying it) would need to know
+	// this watermark; a recovery that ignored it would resurrect the write.
+	s.ExpireAll(500)
+	if r, _ := q.Read(1); r.Scalar != 0 {
+		t.Fatalf("pre-crash count = %d, want 0", r.Scalar)
+	}
+	_ = s.SimulateCrash() // no checkpoint since the expiry: replay must redo it
+
+	s2, rec, err := OpenDurable(nil, DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseDurability()
+	if rec.CleanShutdown {
+		t.Fatal("expected replay path")
+	}
+	q2 := s2.Query(q.ID())
+	if q2 == nil {
+		t.Fatal("query not recovered")
+	}
+	if r, _ := q2.Read(1); r.Scalar != 0 {
+		t.Fatalf("recovered count = %d, want 0 (expiry must replay)", r.Scalar)
+	}
+}
+
+// TestDurableQueryLifecycle pins durable register/retire: a query closed
+// before the crash stays closed after recovery, and ids never collide.
+func TestDurableQueryLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurable(NewGraph(4), DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, _ := s.Register(QuerySpec{Aggregate: "sum"})
+	q2, _ := s.Register(QuerySpec{Aggregate: "count"})
+	if err := q1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_ = s.SimulateCrash()
+
+	s2, rec, err := OpenDurable(nil, DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseDurability()
+	if rec.RecoveredQueries != 1 {
+		t.Fatalf("recovered %d queries, want 1", rec.RecoveredQueries)
+	}
+	if s2.Query(q1.ID()) != nil {
+		t.Fatal("retired query resurrected")
+	}
+	if s2.Query(q2.ID()) == nil {
+		t.Fatal("live query not recovered")
+	}
+	// New registrations must not reuse recovered ids.
+	q3, err := s2.Register(QuerySpec{Aggregate: "max"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.ID() <= q2.ID() {
+		t.Fatalf("new id %d collides with recovered id space (max %d)", q3.ID(), q2.ID())
+	}
+}
+
+// TestDurableNodeIDReuse pins that NodeAdd id recycling replays
+// identically: the checkpointed graph carries its free list.
+func TestDurableNodeIDReuse(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurable(NewGraph(4), DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerAll(t, s, durTestSpecs[:1])
+	if err := s.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil { // free list crosses via the checkpoint
+		t.Fatal(err)
+	}
+	id, err := s.AddNode() // reuses id 1, logged as a NodeAdd event
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("AddNode reused id %d, want 1", id)
+	}
+	if err := s.AddEdge(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(id, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.SimulateCrash()
+
+	s2, _, err := OpenDurable(nil, DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseDurability()
+	q := s2.Queries()[0]
+	r, err := q.Read(0)
+	if err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+	if r.Scalar != 7 {
+		t.Fatalf("sum at node 0 = %d, want 7 (write on the reused id)", r.Scalar)
+	}
+}
+
+// TestDurableIngestorResume pins the Ingestor integration: ingest with a
+// logical clock and watermark expiry, crash, recover, and the new
+// Ingestor's time domain continues where the old one stopped.
+func TestDurableIngestorResume(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurable(NewGraph(6), DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerAll(t, s, durTestSpecs)
+	for u := 0; u < 5; u++ {
+		if err := s.AddEdge(NodeID(u), NodeID(u+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ing, err := s.Ingest(IngestOptions{Clock: LogicalClock(), BatchSize: 8, MaxTimestampJump: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := ing.Send(NodeID(i%6), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	preTS := s.dur.maxTS.Load()
+	if preTS < 100 {
+		t.Fatalf("durable maxTS = %d, want >= 100", preTS)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.SimulateCrash()
+
+	s2, rec, err := OpenDurable(nil, DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseDurability()
+	if rec.NextOrdinal < 100 {
+		t.Fatalf("recovered %d events, want >= 100 (all were flushed)", rec.NextOrdinal)
+	}
+	ing2, err := s2.Ingest(IngestOptions{Clock: LogicalClock(), MaxTimestampJump: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing2.Close()
+	// The recovered time domain seeds the new Ingestor: its
+	// MaxTimestampJump reference starts at the recovered max timestamp,
+	// so a continuation stream is accepted and a far-future corrupt
+	// timestamp still rejected.
+	if err := ing2.SendEvent(NewWrite(0, 1, preTS+5)); err != nil {
+		t.Fatalf("continuation event rejected: %v", err)
+	}
+	if err := ing2.SendEvent(NewWrite(0, 1, preTS+(1<<30))); !errors.Is(err, ErrTimestampJump) {
+		t.Fatalf("far-future event = %v, want ErrTimestampJump", err)
+	}
+}
+
+// TestNonSerializableQueryNotDurable pins the documented carve-out:
+// queries with un-serializable options run but do not survive recovery.
+func TestNonSerializableQueryNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurable(NewGraph(4), DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := s.Register(QuerySpec{Aggregate: "sum"})
+	custom, err := s.Register(QuerySpec{Aggregate: "sum"}, Options{
+		Neighborhood: Filtered(KHop(1), func(g *Graph, c, n NodeID) bool { return n%2 == 0 }, "even"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Durable() || custom.Durable() {
+		t.Fatalf("durable flags: plain=%v custom=%v, want true/false", plain.Durable(), custom.Durable())
+	}
+	if err := s.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec, err := OpenDurable(nil, DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseDurability()
+	if rec.RecoveredQueries != 1 {
+		t.Fatalf("recovered %d queries, want only the serializable one", rec.RecoveredQueries)
+	}
+}
+
+// TestDurableBackgroundCheckpoint smoke-tests the checkpoint loop and the
+// stats surface.
+func TestDurableBackgroundCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurable(NewGraph(4), DurabilityOptions{
+		Dir:                dir,
+		CheckpointInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerAll(t, s, durTestSpecs[:1])
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for i := 0; i < 50; i++ {
+			_ = s.Write(NodeID(i%4), 1, int64(i+1))
+		}
+		if st := s.DurabilityStats(); st.Checkpoints >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background checkpoints never ran: %+v", s.DurabilityStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := s.DurabilityStats()
+	if !st.Enabled || st.WALLastLSN == 0 || st.LastCheckpointError != "" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := s.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+}

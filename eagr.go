@@ -213,6 +213,10 @@ type Session struct {
 	g        *Graph
 	defaults Options
 	multi    *core.MultiSystem
+	// dur is the durability layer, nil unless the session came from
+	// OpenDurable; the mutators check it with one nil test, so the
+	// durability-off hot paths stay allocation-free.
+	dur *durableState
 
 	mu      sync.Mutex
 	queries map[int]*Query
@@ -261,6 +265,38 @@ func (s *Session) Register(spec QuerySpec, opts ...Options) (*Query, error) {
 	if len(opts) == 1 {
 		o = opts[0]
 	}
+	d := s.dur
+	if d == nil || d.replaying {
+		return s.register(spec, o, 0)
+	}
+	// Durable path: registration must order exactly against logged batches,
+	// so it holds the full durability lock across compile + WAL append.
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrDurabilityClosed
+	}
+	q, err := s.register(spec, o, 0)
+	if err != nil {
+		return nil, err
+	}
+	blob, serializable := encodeQueryRecord(q.id, spec, o)
+	if !serializable {
+		// Non-serializable options (custom Neighborhood, explicit
+		// frequencies): the query runs but does not survive recovery.
+		return q, nil
+	}
+	if _, err := d.log.AppendRegister(uint64(q.id), blob); err != nil {
+		_ = q.closeInner()
+		return nil, fmt.Errorf("eagr: durable register: %w", err)
+	}
+	q.durable = true
+	return q, nil
+}
+
+// register compiles and attaches a query. forcedID > 0 restores a
+// recovered query under its original id; 0 allocates the next one.
+func (s *Session) register(spec QuerySpec, o Options, forcedID int) (*Query, error) {
 	if spec.WindowTuples > 0 && spec.WindowTime > 0 {
 		return nil, ErrConflictingWindow
 	}
@@ -301,14 +337,22 @@ func (s *Session) Register(spec QuerySpec, opts ...Options) (*Query, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextID++
+	id := forcedID
+	if id <= 0 {
+		s.nextID++
+		id = s.nextID
+	} else if id > s.nextID {
+		s.nextID = id
+	}
 	h := &Query{
-		sess: s,
-		id:   s.nextID,
-		spec: spec,
-		att:  att,
-		tag:  att.ViewTag(),
-		subs: map[*exec.Subscription]struct{}{},
+		sess:    s,
+		id:      id,
+		spec:    spec,
+		opts:    o,
+		fullKey: full,
+		att:     att,
+		tag:     att.ViewTag(),
+		subs:    map[*exec.Subscription]struct{}{},
 	}
 	h.sysRef = att.System()
 	h.sys.Store(h.sysRef)
@@ -414,6 +458,10 @@ func specOrDefault(s, d string) string {
 // timestamp (used by time-based windows), fanning it out to every
 // registered query.
 func (s *Session) Write(v NodeID, value int64, ts int64) error {
+	if d := s.dur; d != nil && !d.replaying {
+		ev := [1]Event{NewWrite(v, value, ts)}
+		return d.logged(ev[:], func() error { return s.multi.Write(v, value, ts) })
+	}
 	return s.multi.Write(v, value, ts)
 }
 
@@ -464,6 +512,9 @@ func NewNodeRemove(v NodeID, ts int64) Event {
 // sequential mutators and collecting errors. The final results are
 // identical to applying the batch one event at a time.
 func (s *Session) ApplyBatch(events []Event) error {
+	if d := s.dur; d != nil && !d.replaying {
+		return d.logged(events, func() error { return mapNodeErr(s.multi.ApplyBatch(events)) })
+	}
 	return mapNodeErr(s.multi.ApplyBatch(events))
 }
 
@@ -475,6 +526,15 @@ func (s *Session) ApplyBatch(events []Event) error {
 // per-event ids; streams that create nodes and immediately address them
 // should allocate through ApplyBatchNodes or AddNode first.)
 func (s *Session) ApplyBatchNodes(events []Event) ([]NodeID, error) {
+	if d := s.dur; d != nil && !d.replaying {
+		var added []NodeID
+		err := d.logged(events, func() error {
+			var aerr error
+			added, aerr = s.multi.ApplyBatchNodes(events)
+			return mapNodeErr(aerr)
+		})
+		return added, err
+	}
 	added, err := s.multi.ApplyBatchNodes(events)
 	return added, mapNodeErr(err)
 }
@@ -485,6 +545,12 @@ func (s *Session) ApplyBatchNodes(events []Event) ([]NodeID, error) {
 // the same node keep their batch order; distinct nodes ingest in parallel
 // across GOMAXPROCS workers.
 func (s *Session) WriteBatch(events []Event) error {
+	if d := s.dur; d != nil && !d.replaying {
+		// Log only the writes WriteBatch applies, so the record replays
+		// identically through ApplyBatch (which would APPLY structural
+		// events rather than skip them).
+		return d.logged(contentOnly(events), func() error { return s.multi.WriteBatch(events) })
+	}
 	return s.multi.WriteBatch(events)
 }
 
@@ -492,21 +558,69 @@ func (s *Session) WriteBatch(events []Event) error {
 // expirations (and subscriber notifications) through the push regions.
 // Sessions ingesting through an Ingestor don't call this: the Ingestor's
 // watermark drives expiry automatically.
-func (s *Session) ExpireAll(ts int64) { s.multi.ExpireAll(ts) }
+func (s *Session) ExpireAll(ts int64) {
+	if d := s.dur; d != nil && !d.replaying {
+		// Expiry is LOGGED, not recomputed at recovery: replay reproduces
+		// exactly the expiries that ran, independent of the lateness
+		// configured by whatever Ingestor exists after restart.
+		d.mu.RLock()
+		if !d.closed {
+			if _, err := d.log.AppendExpire(ts); err == nil {
+				casMax(&d.lastExpire, ts)
+			}
+		}
+		s.multi.ExpireAll(ts)
+		d.mu.RUnlock()
+		return
+	}
+	s.multi.ExpireAll(ts)
+}
 
 // AddEdge applies a structural edge addition u→v (v's ego network gains u
 // under the default neighborhood) and incrementally repairs every query's
 // overlay.
-func (s *Session) AddEdge(u, v NodeID) error { return mapNodeErr(s.multi.AddEdge(u, v)) }
+func (s *Session) AddEdge(u, v NodeID) error {
+	if d := s.dur; d != nil && !d.replaying {
+		ev := [1]Event{NewEdgeAdd(u, v, 0)}
+		return d.logged(ev[:], func() error { return mapNodeErr(s.multi.AddEdge(u, v)) })
+	}
+	return mapNodeErr(s.multi.AddEdge(u, v))
+}
 
 // RemoveEdge applies a structural edge deletion.
-func (s *Session) RemoveEdge(u, v NodeID) error { return mapNodeErr(s.multi.RemoveEdge(u, v)) }
+func (s *Session) RemoveEdge(u, v NodeID) error {
+	if d := s.dur; d != nil && !d.replaying {
+		ev := [1]Event{NewEdgeRemove(u, v, 0)}
+		return d.logged(ev[:], func() error { return mapNodeErr(s.multi.RemoveEdge(u, v)) })
+	}
+	return mapNodeErr(s.multi.RemoveEdge(u, v))
+}
 
 // AddNode adds a fresh node to the data graph and every query's overlay.
-func (s *Session) AddNode() (NodeID, error) { return s.multi.AddNode() }
+func (s *Session) AddNode() (NodeID, error) {
+	if d := s.dur; d != nil && !d.replaying {
+		// Replay allocates the same id: the checkpointed graph carries its
+		// free list, and NodeAdd events apply in log order.
+		var id NodeID
+		ev := [1]Event{NewNodeAdd(0)}
+		err := d.logged(ev[:], func() error {
+			var aerr error
+			id, aerr = s.multi.AddNode()
+			return aerr
+		})
+		return id, err
+	}
+	return s.multi.AddNode()
+}
 
 // RemoveNode deletes a node and its edges everywhere.
-func (s *Session) RemoveNode(v NodeID) error { return mapNodeErr(s.multi.RemoveNode(v)) }
+func (s *Session) RemoveNode(v NodeID) error {
+	if d := s.dur; d != nil && !d.replaying {
+		ev := [1]Event{NewNodeRemove(v, 0)}
+		return d.logged(ev[:], func() error { return mapNodeErr(s.multi.RemoveNode(v)) })
+	}
+	return mapNodeErr(s.multi.RemoveNode(v))
+}
 
 // mapNodeErr converts the graph package's not-found errors into the
 // API-boundary typed error, preserving the original context.
@@ -608,6 +722,13 @@ type Query struct {
 	sess *Session
 	id   int
 	spec QuerySpec
+	// opts is the resolved compile configuration and fullKey its sharing
+	// identity, retained so durable sessions can checkpoint the
+	// registration; durable marks queries whose registration is in the
+	// WAL (see Query.Durable).
+	opts    Options
+	fullKey string
+	durable bool
 	// tag is the query's member view within its (possibly merged) compiled
 	// system: reads, subscriptions and coverage checks address exactly
 	// this query's readers even when several queries share one overlay.
@@ -754,9 +875,35 @@ func (q *Query) dropped() int64 {
 // Close retires the query: its subscriptions are canceled, its handle
 // stops serving reads (ErrQueryClosed), and its reference on the shared
 // compiled overlay is released — the overlay itself is torn down only when
-// the last query sharing it closes. Closing an already-closed query
-// returns ErrQueryClosed.
+// the last query sharing it closes. On a durable session the retirement is
+// logged, so the query stays gone after recovery. Closing an
+// already-closed query returns ErrQueryClosed.
 func (q *Query) Close() error {
+	d := q.sess.dur
+	if d == nil || d.replaying || !q.durable {
+		return q.closeInner()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	q.mu.Lock()
+	alreadyClosed := q.closed
+	q.mu.Unlock()
+	var werr error
+	if !alreadyClosed && !d.closed {
+		if _, err := d.log.AppendRetire(uint64(q.id)); err != nil {
+			// The WAL is poisoned; still retire the in-memory query. The
+			// next recovery resurrects it — annoying, never incorrect.
+			werr = fmt.Errorf("eagr: durable retire: %w", err)
+		}
+	}
+	if err := q.closeInner(); err != nil {
+		return err
+	}
+	return werr
+}
+
+// closeInner retires the query without touching the durability layer.
+func (q *Query) closeInner() error {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()

@@ -201,6 +201,18 @@ func (s *Session) Ingest(opts IngestOptions) (*Ingestor, error) {
 	ing.maxSent = math.MinInt64
 	ing.maxTS.Store(math.MinInt64)
 	ing.watermark.Store(math.MinInt64)
+	if d := s.dur; d != nil {
+		// A durable session seeds the recovered time domain, so the
+		// MaxTimestampJump reference survives restarts and the watermark
+		// never regresses below what was already expired.
+		if ts := d.maxTS.Load(); ts != math.MinInt64 {
+			ing.maxSent = ts
+			ing.maxTS.Store(ts)
+		}
+		if wm := d.lastExpire.Load(); wm != math.MinInt64 {
+			ing.watermark.Store(wm)
+		}
+	}
 	go ing.run()
 	if o.FlushInterval > 0 {
 		go ing.tick()
@@ -348,6 +360,12 @@ func (ing *Ingestor) Close() error {
 	ing.mu.Unlock()
 	close(ing.stopTick)
 	<-ing.done
+	// Everything this Ingestor appended is applied now; force the tail to
+	// stable storage so a close-then-kill loses nothing even under the
+	// interval/off fsync policies.
+	if err := ing.sess.SyncWAL(); err != nil {
+		ing.recordError(err)
+	}
 	errs := ing.drainErrors()
 	if final != nil {
 		// The worker drained every job before exiting, so the final
@@ -466,6 +484,14 @@ func (ing *Ingestor) drainErrors() []error {
 	errs := ing.pending
 	ing.pending = nil
 	return errs
+}
+
+// ApplyErrors drains and returns the apply errors buffered since the last
+// Flush/Close/ApplyErrors call. Fire-and-forget producers that never
+// Flush use it to observe asynchronous per-event failures (a later Flush
+// will not re-report drained errors).
+func (ing *Ingestor) ApplyErrors() []error {
+	return ing.drainErrors()
 }
 
 // IngestorStats is a point-in-time summary of an Ingestor.

@@ -16,8 +16,21 @@ type Window interface {
 	// Values returns the in-window values, oldest first. The slice is
 	// freshly allocated.
 	Values() []int64
+	// Snapshot appends the in-window (value, timestamp) pairs to dst,
+	// oldest first, and returns the extended slice. Every built-in window
+	// retains a contiguous suffix of its writer's insertion sequence, which
+	// is what makes checkpoint/recovery aggregate-agnostic: replaying the
+	// snapshot through the normal write path rebuilds the window AND every
+	// partial aggregate derived from it.
+	Snapshot(dst []WindowEntry) []WindowEntry
 	// Clone returns an empty window with the same parameters.
 	Clone() Window
+}
+
+// WindowEntry is one in-window value with the timestamp it was added at.
+type WindowEntry struct {
+	V  int64
+	TS int64
 }
 
 // TupleWindow keeps the most recent C values (the paper's "last c updates").
@@ -25,7 +38,8 @@ type Window interface {
 type TupleWindow struct {
 	C    int
 	ring []int64
-	head int // index of oldest
+	tss  []int64 // timestamps parallel to ring, for Snapshot
+	head int     // index of oldest
 	n    int
 }
 
@@ -34,18 +48,20 @@ func NewTupleWindow(c int) *TupleWindow {
 	if c <= 0 {
 		c = 1
 	}
-	return &TupleWindow{C: c, ring: make([]int64, c)}
+	return &TupleWindow{C: c, ring: make([]int64, c), tss: make([]int64, c)}
 }
 
 // Add implements Window.
-func (w *TupleWindow) Add(pao PAO, v int64, _ int64) {
+func (w *TupleWindow) Add(pao PAO, v int64, ts int64) {
 	if w.n == w.C {
 		old := w.ring[w.head]
 		pao.RemoveValue(old)
 		w.head = (w.head + 1) % w.C
 		w.n--
 	}
-	w.ring[(w.head+w.n)%w.C] = v
+	slot := (w.head + w.n) % w.C
+	w.ring[slot] = v
+	w.tss[slot] = ts
 	w.n++
 	pao.AddValue(v)
 }
@@ -63,6 +79,15 @@ func (w *TupleWindow) Values() []int64 {
 		out[i] = w.ring[(w.head+i)%w.C]
 	}
 	return out
+}
+
+// Snapshot implements Window.
+func (w *TupleWindow) Snapshot(dst []WindowEntry) []WindowEntry {
+	for i := 0; i < w.n; i++ {
+		slot := (w.head + i) % w.C
+		dst = append(dst, WindowEntry{V: w.ring[slot], TS: w.tss[slot]})
+	}
+	return dst
 }
 
 // Clone implements Window.
@@ -122,6 +147,14 @@ func (w *TimeWindow) Values() []int64 {
 		out[i] = tv.v
 	}
 	return out
+}
+
+// Snapshot implements Window.
+func (w *TimeWindow) Snapshot(dst []WindowEntry) []WindowEntry {
+	for _, tv := range w.vals {
+		dst = append(dst, WindowEntry{V: tv.v, TS: tv.ts})
+	}
+	return dst
 }
 
 // Clone implements Window.

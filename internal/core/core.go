@@ -488,6 +488,16 @@ func (s *System) ExpireAll(ts int64) {
 	s.engine().ExpireAll(ts)
 }
 
+// ExportWindows snapshots every writer's in-window (value, timestamp)
+// entries (see exec.Engine.ExportWindows), serialized with engine rebuilds
+// under the system mutex so a checkpoint never walks an engine a concurrent
+// recompile discarded.
+func (s *System) ExportWindows(visit func(node graph.NodeID, entries []agg.WindowEntry)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine().ExportWindows(visit)
+}
+
 // Overlay exposes the compiled overlay (for inspection).
 func (s *System) Overlay() *overlay.Overlay { return s.ov }
 

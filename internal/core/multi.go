@@ -3,9 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/agg"
 	"repro/internal/graph"
 )
 
@@ -301,6 +304,66 @@ func (m *MultiSystem) ExpireAll(ts int64) {
 	for _, sys := range *m.systems.Load() {
 		sys.ExpireAll(ts)
 	}
+}
+
+// GroupWindows is one compiled system's per-writer window snapshot, keyed
+// by the group's canonical identity: the lexicographically smallest member
+// full key. Recovery re-registers the same queries in the same order, so
+// the same member (and hence the same key) exists on the rebuilt side.
+type GroupWindows struct {
+	Key     string
+	Windows map[graph.NodeID][]agg.WindowEntry
+}
+
+// ExportGroupWindows snapshots the per-writer window state of every
+// attached system SEPARATELY — windows are not merged across systems,
+// because different retention policies (a tuple window vs an
+// already-expired time window) mean one system's suffix may contain
+// entries another system has legitimately dropped, and replaying the
+// longer list would resurrect them. Each window's entry list is the
+// contiguous suffix of its writer's insertion sequence that the window
+// retains; replaying it through that system's normal write path rebuilds
+// its windows, PAOs and scalars exactly. keep selects which member keys
+// may serve as a group's identity (nil accepts all): groups with no
+// eligible member are skipped entirely, since the recovering side could
+// not re-attach them — anonymous (never-shared) members are always
+// ineligible. Results are ordered by key.
+func (m *MultiSystem) ExportGroupWindows(keep func(fullKey string) bool) []GroupWindows {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keyOf := map[*System]string{}
+	for fullKey, fm := range m.members {
+		if strings.HasPrefix(fullKey, "\x00") || (keep != nil && !keep(fullKey)) {
+			continue
+		}
+		if cur, ok := keyOf[fm.fam.sys]; !ok || fullKey < cur {
+			keyOf[fm.fam.sys] = fullKey
+		}
+	}
+	out := make([]GroupWindows, 0, len(keyOf))
+	for sys, key := range keyOf {
+		gw := GroupWindows{Key: key, Windows: map[graph.NodeID][]agg.WindowEntry{}}
+		sys.ExportWindows(func(node graph.NodeID, entries []agg.WindowEntry) {
+			gw.Windows[node] = append([]agg.WindowEntry(nil), entries...)
+		})
+		if len(gw.Windows) > 0 {
+			out = append(out, gw)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// InjectGroupWindows replays a checkpointed window suffix into the system
+// identified by its canonical group key, through the normal write path.
+func (m *MultiSystem) InjectGroupWindows(key string, events []graph.Event) error {
+	m.mu.Lock()
+	fm, ok := m.members[key]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: no attached group %q to inject windows into", key)
+	}
+	return fm.fam.sys.WriteBatch(events)
 }
 
 // Rebalance runs the adaptive dataflow scheme (§4.8) on every group and

@@ -666,6 +666,36 @@ func (e *Engine) Grow(window agg.Window) {
 	e.state.Store(e.buildState(e.state.Load(), window))
 }
 
+// ExportWindows snapshots every live writer's in-window (value, timestamp)
+// entries, oldest first, calling visit once per writer with a non-empty
+// window. The entries slice is reused between calls — visit must copy what
+// it keeps. Each writer is snapshotted under its write mutex, so a
+// concurrent write lands either entirely before or entirely after that
+// writer's snapshot; callers wanting a globally consistent cut must fence
+// writes themselves (the durability layer checkpoints under its session
+// write lock). Because every Window retains a contiguous suffix of its
+// writer's insertion sequence, replaying the exported entries through the
+// normal write path rebuilds windows, PAOs and scalar cells exactly.
+func (e *Engine) ExportWindows(visit func(node graph.NodeID, entries []agg.WindowEntry)) {
+	st := e.state.Load()
+	var buf []agg.WindowEntry
+	for _, wref := range st.plan.top.Writers {
+		ns := st.nodes[wref]
+		ns.mu.Lock()
+		// Re-resolve under the writer's mutex, like writeOn: slots only
+		// grow, so wref stays valid in any newer snapshot observed here.
+		cur := e.state.Load()
+		buf = buf[:0]
+		if int(wref) < len(cur.windows) && cur.windows[wref] != nil {
+			buf = cur.windows[wref].Snapshot(buf)
+		}
+		ns.mu.Unlock()
+		if len(buf) > 0 {
+			visit(st.plan.top.GID[wref], buf)
+		}
+	}
+}
+
 // Counts returns the number of writes and reads processed.
 func (e *Engine) Counts() (writes, reads int64) {
 	return e.writes.Load(), e.reads.Load()

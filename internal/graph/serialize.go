@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Save and Load persist the full dynamic-graph state for checkpointing.
+// Everything that influences future mutations is serialized — including the
+// free list of deleted ids, in LIFO order, so that a NodeAdd replayed after
+// Load allocates exactly the id it allocated before the crash. The format is
+// a versioned little-endian binary encoding of the out-adjacency (in-edges
+// are reconstructed).
+
+const (
+	graphMagic   = 0x45414747 // "EAGG"
+	graphVersion = 1
+)
+
+// Save writes the graph to w.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeU32 := func(v uint32) { _ = binary.Write(bw, binary.LittleEndian, v) }
+	writeU32(graphMagic)
+	writeU32(graphVersion)
+	writeU32(uint32(len(g.out)))
+	for v := range g.out {
+		flags := uint32(0)
+		if g.alive[v] {
+			flags = 1
+		}
+		writeU32(flags)
+		writeU32(uint32(len(g.out[v])))
+		for _, wv := range g.out[v] {
+			writeU32(uint32(int32(wv)))
+		}
+	}
+	writeU32(uint32(len(g.deleted)))
+	for _, id := range g.deleted {
+		writeU32(uint32(int32(id)))
+	}
+	return bw.Flush()
+}
+
+// Load reads a graph previously written by Save.
+func Load(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("graph: load: %w", err)
+	}
+	if magic != graphMagic {
+		return nil, fmt.Errorf("graph: load: bad magic %#x", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != graphVersion {
+		return nil, fmt.Errorf("graph: load: unsupported version %d", version)
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxNodes = 1 << 30
+	if n > maxNodes {
+		return nil, fmt.Errorf("graph: load: implausible node count %d", n)
+	}
+	g := &Graph{
+		out:   make([][]NodeID, n),
+		in:    make([][]NodeID, n),
+		alive: make([]bool, n),
+	}
+	for v := 0; v < int(n); v++ {
+		flags, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("graph: load node %d: %w", v, err)
+		}
+		g.alive[v] = flags&1 != 0
+		if g.alive[v] {
+			g.nAlive++
+		}
+		deg, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if deg > n {
+			return nil, fmt.Errorf("graph: load node %d: out-degree %d exceeds node count", v, deg)
+		}
+		if deg == 0 {
+			continue
+		}
+		g.out[v] = make([]NodeID, deg)
+		for i := range g.out[v] {
+			raw, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			w := NodeID(int32(raw))
+			if w < 0 || w >= NodeID(n) {
+				return nil, fmt.Errorf("graph: load node %d: edge to out-of-range node %d", v, w)
+			}
+			g.out[v][i] = w
+			g.nEdges++
+		}
+	}
+	nDel, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nDel > n {
+		return nil, fmt.Errorf("graph: load: free list longer than node table (%d > %d)", nDel, n)
+	}
+	if nDel > 0 {
+		g.deleted = make([]NodeID, nDel)
+		for i := range g.deleted {
+			raw, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			id := NodeID(int32(raw))
+			if id < 0 || id >= NodeID(n) || g.alive[id] {
+				return nil, fmt.Errorf("graph: load: bad free-list id %d", id)
+			}
+			g.deleted[i] = id
+		}
+	}
+	// Rebuild in-edges and validate endpoints are alive.
+	for v := range g.out {
+		for _, w := range g.out[v] {
+			if !g.alive[v] || !g.alive[w] {
+				return nil, fmt.Errorf("graph: load: edge %d->%d touches dead node", v, w)
+			}
+			g.in[w] = append(g.in[w], NodeID(v))
+		}
+	}
+	return g, nil
+}

@@ -43,6 +43,16 @@
 // event count and the current watermark; GET /stats surfaces the
 // watermark and queue depth continuously.
 //
+// By default /ingest responds after a synchronous flush: on a durable
+// session every acknowledged event has reached the WAL (and, under
+// fsync=per-batch, stable storage) before the client sees 200. POST
+// /ingest?sync=false is the fire-and-forget variant: it answers 202 as
+// soon as every line is enqueued, and per-event apply errors surface
+// later through GET /stats (ingest.applyErrorCount / lastApplyError)
+// instead of the response. When the session is durable, GET /stats also
+// carries a "durability" section (WAL shape, checkpoint counters, last
+// recovery summary).
+//
 // The watermark only ratchets forward, so one far-future ts would
 // permanently expire every time-based window on the session. The server
 // cannot guess the client's time scale; deployments exposing /ingest
@@ -123,6 +133,13 @@ type Server struct {
 	writes  atomic.Int64
 	reads   atomic.Int64
 	watches atomic.Int64
+	// Async-ingest diagnostics: fire-and-forget requests (/ingest?sync=
+	// false) return before their events apply, so per-event apply errors
+	// surface here (drained from the Ingestor at /stats time) instead of
+	// in a response.
+	ingErrCount atomic.Int64
+	ingErrMu    sync.Mutex
+	ingErrLast  string
 	// ingTS is the maximum client-supplied /ingest timestamp: ts-less
 	// events are stamped with it, so stamps live in the CLIENT's time
 	// domain (logical ticks or wall time, whatever it sends) instead of a
@@ -197,6 +214,10 @@ func (s *Server) Close() {
 	if ing := s.ing.Load(); ing != nil {
 		_ = ing.Close()
 	}
+	// Push the WAL tail to stable storage (no-op on non-durable
+	// sessions): events served through the sequential mutators don't pass
+	// the Ingestor's own close-time sync.
+	_ = s.sess.SyncWAL()
 }
 
 // ingestor returns the server's shared Ingestor, creating it on first use.
@@ -583,14 +604,24 @@ type ingestEvent struct {
 }
 
 // handleIngest streams NDJSON events into the server's session Ingestor.
-// Lines are accepted in order; the response is sent after a synchronous
-// flush, so every accepted event is applied (and the watermark current)
-// by the time the client sees it.
+// Lines are accepted in order; by default the response is sent after a
+// synchronous flush, so every accepted event is applied (and, on a
+// durable session, WAL-appended — under fsync=per-batch, fsynced) by the
+// time the client sees it. With ?sync=false the request is
+// fire-and-forget: it returns 202 once every line is enqueued, skipping
+// the flush, and per-event apply errors surface through GET /stats
+// (ingest.applyErrorCount / ingest.lastApplyError) instead of the
+// response.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ing, err := s.ingestor()
 	if err != nil {
 		httpError(w, statusForIngest(err), "%v", err)
 		return
+	}
+	sync := true
+	switch r.URL.Query().Get("sync") {
+	case "false", "0":
+		sync = false
 	}
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 64<<10), maxIngestLine)
@@ -606,12 +637,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		var req ingestEvent
 		if err := json.Unmarshal(raw, &req); err != nil {
-			s.finishIngest(ing, w, accepted, fmt.Sprintf("line %d: bad JSON: %v", line, err), http.StatusBadRequest)
+			s.finishIngest(ing, w, sync, accepted, fmt.Sprintf("line %d: bad JSON: %v", line, err), http.StatusBadRequest)
 			return
 		}
 		kind, err := graph.ParseEventKind(req.Kind)
 		if err != nil {
-			s.finishIngest(ing, w, accepted, fmt.Sprintf("line %d: %v", line, err), http.StatusBadRequest)
+			s.finishIngest(ing, w, sync, accepted, fmt.Sprintf("line %d: %v", line, err), http.StatusBadRequest)
 			return
 		}
 		ev := graph.Event{Kind: kind, Node: req.Node, Peer: req.Peer, Value: req.Value, TS: req.TS}
@@ -624,7 +655,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if err := ing.SendEvent(ev); err != nil {
-			s.finishIngest(ing, w, accepted, fmt.Sprintf("line %d: %v", line, err), statusForIngest(err))
+			s.finishIngest(ing, w, sync, accepted, fmt.Sprintf("line %d: %v", line, err), statusForIngest(err))
 			return
 		}
 		if req.TS != 0 {
@@ -647,23 +678,33 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		s.finishIngest(ing, w, accepted, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		s.finishIngest(ing, w, sync, accepted, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
 		return
 	}
-	s.finishIngest(ing, w, accepted, "", http.StatusOK)
+	s.finishIngest(ing, w, sync, accepted, "", http.StatusOK)
 }
 
-// finishIngest flushes the Ingestor (so accepted events are applied and
-// the watermark is current) and writes the summary response. Per-event
-// apply errors (duplicate edges, dead nodes — the same ones the sequential
-// mutators would return) are reported in "applyErrors" without failing the
-// request; wire/send errors fail it with code.
-func (s *Server) finishIngest(ing *eagr.Ingestor, w http.ResponseWriter, accepted int, failure string, code int) {
+// finishIngest writes the summary response. In sync mode it first flushes
+// the Ingestor (so accepted events are applied and the watermark is
+// current) and reports per-event apply errors (duplicate edges, dead
+// nodes — the same ones the sequential mutators would return) in
+// "applyErrors" without failing the request; wire/send errors fail it with
+// code. In async mode (?sync=false) it skips the flush and answers 202:
+// accepted events apply in the background and their errors surface
+// through /stats.
+func (s *Server) finishIngest(ing *eagr.Ingestor, w http.ResponseWriter, sync bool, accepted int, failure string, code int) {
 	var applyErrs string
-	if err := ing.Flush(); err != nil && !errors.Is(err, eagr.ErrIngestorClosed) {
-		applyErrs = err.Error()
+	if sync {
+		if err := ing.Flush(); err != nil && !errors.Is(err, eagr.ErrIngestorClosed) {
+			applyErrs = err.Error()
+		}
+	} else if code == http.StatusOK {
+		code = http.StatusAccepted
 	}
 	resp := map[string]any{"accepted": accepted}
+	if !sync {
+		resp["async"] = true
+	}
 	if wm, ok := ing.Watermark(); ok {
 		resp["watermark"] = wm
 	}
@@ -798,6 +839,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var ist eagr.IngestorStats
 	if ing := s.ing.Load(); ing != nil {
 		ist = ing.Stats()
+		// Fold apply errors from fire-and-forget requests into the
+		// server's accumulators (sync requests report theirs inline and
+		// drain the same buffer at flush time, so nothing double-counts).
+		if errs := ing.ApplyErrors(); len(errs) > 0 {
+			s.ingErrCount.Add(int64(len(errs)))
+			s.ingErrMu.Lock()
+			s.ingErrLast = errs[len(errs)-1].Error()
+			s.ingErrMu.Unlock()
+		}
 	}
 	ingest := map[string]any{
 		"sent":       ist.Sent,
@@ -810,7 +860,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ist.WatermarkValid {
 		ingest["watermark"] = ist.Watermark
 	}
-	writeJSON(w, map[string]any{
+	if n := s.ingErrCount.Load(); n > 0 {
+		s.ingErrMu.Lock()
+		last := s.ingErrLast
+		s.ingErrMu.Unlock()
+		ingest["applyErrorCount"] = n
+		ingest["lastApplyError"] = last
+	}
+	resp := map[string]any{
 		"queries":         st.Queries,
 		"groups":          st.Groups,
 		"mergedFamilies":  st.MergedFamilies,
@@ -825,7 +882,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"servedReads":     s.reads.Load(),
 		"servedWatches":   s.watches.Load(),
 		"ingest":          ingest,
-	})
+	}
+	if dst := s.sess.DurabilityStats(); dst.Enabled {
+		durability := map[string]any{
+			"dir":               dst.Dir,
+			"walSegments":       dst.WALSegments,
+			"walBytes":          dst.WALBytes,
+			"walLastLSN":        dst.WALLastLSN,
+			"walAppends":        dst.WALAppends,
+			"walSyncs":          dst.WALSyncs,
+			"walFreePool":       dst.WALFreePool,
+			"checkpoints":       dst.Checkpoints,
+			"lastCheckpointLSN": dst.LastCheckpointLSN,
+			"replayedBatches":   dst.Recovery.ReplayedBatches,
+			"replayedEvents":    dst.Recovery.ReplayedEvents,
+			"cleanShutdown":     dst.Recovery.CleanShutdown,
+		}
+		if dst.LastCheckpointError != "" {
+			durability["lastCheckpointError"] = dst.LastCheckpointError
+		}
+		if dst.Recovery.WatermarkValid {
+			durability["recoveredWatermark"] = dst.Recovery.Watermark
+		}
+		resp["durability"] = durability
+	}
+	writeJSON(w, resp)
 }
 
 // statusFor maps the façade's typed errors onto HTTP statuses.

@@ -605,3 +605,139 @@ func TestIngestMaxTimestampJump(t *testing.T) {
 		t.Fatalf("watermark = %v, want 10 (ratchet not poisoned)", got["watermark"])
 	}
 }
+
+// durableServer builds a server over a durable session rooted at a temp
+// directory; it returns the directory so tests can reopen it.
+func durableServer(t *testing.T) (*httptest.Server, *eagr.Session, string) {
+	t.Helper()
+	dir := t.TempDir()
+	g := eagr.NewGraph(5)
+	for _, e := range [][2]graph.NodeID{{1, 0}, {2, 0}, {3, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess, _, err := eagr.OpenDurable(g, eagr.DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Register(eagr.QuerySpec{Aggregate: "sum"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sess)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		_ = sess.CloseDurability()
+	})
+	return ts, sess, dir
+}
+
+func TestIngestAsync(t *testing.T) {
+	ts := testServer(t)
+	body := strings.NewReader(
+		`{"node":1,"value":5,"ts":1}` + "\n" + `{"node":2,"value":7,"ts":2}` + "\n")
+	resp, err := http.Post(ts.URL+"/ingest?sync=false", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async ingest status = %d, want 202", resp.StatusCode)
+	}
+	got := decode[map[string]any](t, resp)
+	if got["accepted"] != float64(2) || got["async"] != true {
+		t.Fatalf("async ingest response = %v", got)
+	}
+	// Fire-and-forget still applies: a synchronous flush via sync ingest
+	// barriers the queue, after which the read must see both writes.
+	resp = post(t, ts.URL+"/ingest", nil)
+	resp.Body.Close()
+	read := decode[map[string]any](t, mustGet(t, ts.URL+"/queries/1/read?node=0"))
+	if read["scalar"] != float64(12) {
+		t.Fatalf("read after async ingest = %v, want scalar 12", read)
+	}
+}
+
+func TestIngestAsyncErrorsViaStats(t *testing.T) {
+	ts := testServer(t)
+	// A duplicate edge is a per-event apply failure; async mode must not
+	// report it in the response.
+	body := strings.NewReader(`{"kind":"edge-add","from":1,"to":0}` + "\n")
+	resp, err := http.Post(ts.URL+"/ingest?sync=false", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusAccepted || got["applyErrors"] != nil {
+		t.Fatalf("async ingest = %d %v, want 202 with no inline applyErrors", resp.StatusCode, got)
+	}
+	// The error surfaces through /stats once the batch has applied; poll
+	// (the flush interval bounds the wait).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats := decode[map[string]any](t, mustGet(t, ts.URL+"/stats"))
+		ingest := stats["ingest"].(map[string]any)
+		if n, _ := ingest["applyErrorCount"].(float64); n >= 1 {
+			if s, _ := ingest["lastApplyError"].(string); !strings.Contains(s, "edge") {
+				t.Fatalf("lastApplyError = %q, want an edge error", s)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("apply error never surfaced in /stats: %v", ingest)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStatsDurabilitySection(t *testing.T) {
+	ts, _, _ := durableServer(t)
+	stats := decode[map[string]any](t, mustGet(t, ts.URL+"/stats"))
+	dur, ok := stats["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("no durability section in /stats: %v", stats)
+	}
+	if dur["cleanShutdown"] != false || dur["checkpoints"].(float64) < 1 {
+		t.Fatalf("durability section = %v", dur)
+	}
+	// The non-durable server must NOT grow the section.
+	ts2 := testServer(t)
+	stats2 := decode[map[string]any](t, mustGet(t, ts2.URL+"/stats"))
+	if _, ok := stats2["durability"]; ok {
+		t.Fatal("non-durable session reported a durability section")
+	}
+}
+
+func TestDurableIngestSurvivesCrash(t *testing.T) {
+	ts, sess, dir := durableServer(t)
+	// Sync ingest: the 200 means the events reached the WAL.
+	body := strings.NewReader(
+		`{"node":1,"value":5,"ts":1}` + "\n" + `{"node":2,"value":7,"ts":2}` + "\n")
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync ingest status = %d", resp.StatusCode)
+	}
+	ts.Close()
+	_ = sess.SimulateCrash()
+
+	s2, rec, err := eagr.OpenDurable(nil, eagr.DurabilityOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer s2.CloseDurability()
+	if rec.NextOrdinal < 2 {
+		t.Fatalf("recovered %d events, want the 2 acknowledged ones", rec.NextOrdinal)
+	}
+	r, err := s2.Queries()[0].Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scalar != 12 {
+		t.Fatalf("recovered sum at node 0 = %d, want 12", r.Scalar)
+	}
+}

@@ -1,0 +1,327 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+)
+
+// A checkpoint serializes everything a session needs to restart without
+// replaying the whole log: the data graph (free list included, so NodeAdd
+// id reuse replays identically), the registered query specs (opaque
+// session-layer blobs), and the per-writer window suffixes that rebuild
+// every engine's windows, PAOs and scalar state when replayed through the
+// normal write path. It is tagged with the WAL position it covers (records
+// with LSN > Checkpoint.LSN form the replay tail) and the low watermark.
+//
+// Atomicity: the file is written as ckpt-<seq>.tmp, fsynced, then renamed
+// to ckpt-<seq>.ckpt — a crash mid-write leaves a .tmp that recovery
+// ignores. A whole-file CRC rejects partially-persisted or bit-rotted
+// checkpoints; recovery falls back to the previous one (the last two are
+// retained).
+
+const (
+	ckptMagic   = 0x45414743 // "EAGC"
+	ckptVersion = 1
+	cleanName   = "CLEAN"
+	keepCkpts   = 2
+)
+
+// WriterWindow is one writer's in-window suffix in a checkpoint.
+type WriterWindow struct {
+	Node    graph.NodeID
+	Entries []agg.WindowEntry
+}
+
+// GroupWindows is one compiled system's window suffixes, keyed by the
+// session layer's canonical group identity. Windows are kept per group —
+// never merged across groups — because different retention policies mean
+// one group's suffix may contain entries another has already expired.
+type GroupWindows struct {
+	Key     string
+	Windows []WriterWindow
+}
+
+// Checkpoint is the serialized session image.
+type Checkpoint struct {
+	// LSN is the WAL position the image covers: replay records > LSN.
+	LSN uint64
+	// NextOrd is the global event-stream ordinal at the cut.
+	NextOrd uint64
+	// Watermark/MaxTS restore the time domain (math.MinInt64 = unset).
+	Watermark int64
+	MaxTS     int64
+	// NextQueryID restores the session's id allocator.
+	NextQueryID uint64
+	// Graph is the graph.Save encoding of the data graph.
+	Graph []byte
+	// Queries holds one opaque session-layer blob per live durable query,
+	// in registration order.
+	Queries [][]byte
+	// Windows holds each compiled group's per-writer window suffixes.
+	Windows []GroupWindows
+}
+
+func ckptName(seq uint64) string { return fmt.Sprintf("ckpt-%08d.ckpt", seq) }
+
+// WriteCheckpoint atomically persists c under sequence number seq.
+func WriteCheckpoint(fs FS, seq uint64, c *Checkpoint) error {
+	var buf bytes.Buffer
+	w32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w64 := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w32(ckptMagic)
+	w32(ckptVersion)
+	w64(c.LSN)
+	w64(c.NextOrd)
+	w64(uint64(c.Watermark))
+	w64(uint64(c.MaxTS))
+	w64(c.NextQueryID)
+	w32(uint32(len(c.Graph)))
+	buf.Write(c.Graph)
+	w32(uint32(len(c.Queries)))
+	for _, q := range c.Queries {
+		w32(uint32(len(q)))
+		buf.Write(q)
+	}
+	w32(uint32(len(c.Windows)))
+	for _, gw := range c.Windows {
+		w32(uint32(len(gw.Key)))
+		buf.WriteString(gw.Key)
+		w32(uint32(len(gw.Windows)))
+		for _, ww := range gw.Windows {
+			w32(uint32(ww.Node))
+			w32(uint32(len(ww.Entries)))
+			for _, e := range ww.Entries {
+				w64(uint64(e.V))
+				w64(uint64(e.TS))
+			}
+		}
+	}
+	crc := crc32.Checksum(buf.Bytes(), crcTable)
+	w32(crc)
+
+	tmp := ckptName(seq) + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := fs.Rename(tmp, ckptName(seq)); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	pruneCheckpoints(fs, seq)
+	return nil
+}
+
+// pruneCheckpoints removes checkpoints older than the keepCkpts newest,
+// plus any leftover .tmp files. Best-effort.
+func pruneCheckpoints(fs FS, latest uint64) {
+	names, err := fs.List()
+	if err != nil {
+		return
+	}
+	var seqs []uint64
+	for _, name := range names {
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "ckpt-%d.ckpt", &seq); err == nil && ckptName(seq) == name {
+			seqs = append(seqs, seq)
+		} else if _, err := fmt.Sscanf(name, "ckpt-%d.ckpt.tmp", &seq); err == nil && seq != latest {
+			_ = fs.Remove(name)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for i, seq := range seqs {
+		if i >= keepCkpts {
+			_ = fs.Remove(ckptName(seq))
+		}
+	}
+}
+
+// LoadLatestCheckpoint returns the newest checkpoint that passes
+// validation, trying older ones when the newest is damaged (e.g. a crash
+// during rename, or corruption after it). Returns (nil, 0, nil) when no
+// valid checkpoint exists.
+func LoadLatestCheckpoint(fs FS) (*Checkpoint, uint64, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: load checkpoint: %w", err)
+	}
+	var seqs []uint64
+	for _, name := range names {
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "ckpt-%d.ckpt", &seq); err == nil && ckptName(seq) == name {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs {
+		c, err := readCheckpoint(fs, ckptName(seq))
+		if err == nil {
+			return c, seq, nil
+		}
+	}
+	return nil, 0, nil
+}
+
+func readCheckpoint(fs FS, name string) (*Checkpoint, error) {
+	r, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 48+4 {
+		return nil, fmt.Errorf("wal: checkpoint %s too short", name)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("wal: checkpoint %s failed CRC", name)
+	}
+	br := bytes.NewReader(body)
+	var u32 func() uint32
+	var u64 func() uint64
+	var rerr error
+	u32 = func() uint32 {
+		var v uint32
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil && rerr == nil {
+			rerr = err
+		}
+		return v
+	}
+	u64 = func() uint64 {
+		var v uint64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil && rerr == nil {
+			rerr = err
+		}
+		return v
+	}
+	if u32() != ckptMagic {
+		return nil, fmt.Errorf("wal: checkpoint %s bad magic", name)
+	}
+	if v := u32(); v != ckptVersion {
+		return nil, fmt.Errorf("wal: checkpoint %s unsupported version %d", name, v)
+	}
+	c := &Checkpoint{}
+	c.LSN = u64()
+	c.NextOrd = u64()
+	c.Watermark = int64(u64())
+	c.MaxTS = int64(u64())
+	c.NextQueryID = u64()
+	readBlob := func() []byte {
+		n := u32()
+		if rerr != nil || int64(n) > int64(br.Len()) {
+			if rerr == nil {
+				rerr = fmt.Errorf("wal: checkpoint %s blob overruns", name)
+			}
+			return nil
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil && rerr == nil {
+			rerr = err
+		}
+		return b
+	}
+	c.Graph = readBlob()
+	nq := u32()
+	if rerr == nil && int64(nq) <= int64(br.Len()) {
+		for i := uint32(0); i < nq && rerr == nil; i++ {
+			c.Queries = append(c.Queries, readBlob())
+		}
+	}
+	ng := u32()
+	if rerr == nil && int64(ng) <= int64(br.Len()) {
+		for gi := uint32(0); gi < ng && rerr == nil; gi++ {
+			gw := GroupWindows{Key: string(readBlob())}
+			nw := u32()
+			if rerr != nil || int64(nw) > int64(br.Len()) {
+				break
+			}
+			for i := uint32(0); i < nw && rerr == nil; i++ {
+				ww := WriterWindow{Node: graph.NodeID(int32(u32()))}
+				ne := u32()
+				if rerr != nil || int64(ne)*16 > int64(br.Len()) {
+					break
+				}
+				ww.Entries = make([]agg.WindowEntry, ne)
+				for j := range ww.Entries {
+					ww.Entries[j] = agg.WindowEntry{V: int64(u64()), TS: int64(u64())}
+				}
+				gw.Windows = append(gw.Windows, ww)
+			}
+			c.Windows = append(c.Windows, gw)
+		}
+	}
+	if rerr != nil {
+		return nil, fmt.Errorf("wal: checkpoint %s: %w", name, rerr)
+	}
+	return c, nil
+}
+
+// WriteClean persists the clean-shutdown marker: the final checkpoint's
+// LSN, CRC-protected. A restart that finds it (and a log ending at that
+// LSN) skips replay entirely.
+func WriteClean(fs FS, lsn uint64) error {
+	var buf [16]byte
+	binary.LittleEndian.PutUint32(buf[0:4], ckptMagic)
+	binary.LittleEndian.PutUint64(buf[4:12], lsn)
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.Checksum(buf[:12], crcTable))
+	f, err := fs.Create(cleanName)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadClean returns the clean-shutdown LSN and whether a valid marker
+// exists.
+func ReadClean(fs FS) (uint64, bool) {
+	r, err := fs.Open(cleanName)
+	if err != nil {
+		return 0, false
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil || len(data) != 16 {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != ckptMagic {
+		return 0, false
+	}
+	if crc32.Checksum(data[:12], crcTable) != binary.LittleEndian.Uint32(data[12:16]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(data[4:12]), true
+}
+
+// RemoveClean deletes the marker (done first thing at open: any crash
+// before the NEXT clean shutdown must replay). Best-effort.
+func RemoveClean(fs FS) {
+	_ = fs.Remove(cleanName)
+}

@@ -21,9 +21,13 @@ func SocialGraph(n, avgDeg int, seed int64) *graph.Graph {
 	// Endpoint pool for preferential attachment: every edge endpoint is
 	// appended, so sampling the pool is degree-proportional.
 	pool := make([]graph.NodeID, 0, 2*n*avgDeg)
+	// targets is an insertion-ordered slice (seen dedupes): iterating a
+	// map here would make the generated graph vary run to run for the
+	// same seed, defeating the point of seeding.
 	for v := 1; v < n; v++ {
 		src := graph.NodeID(v)
-		targets := map[graph.NodeID]bool{}
+		var targets []graph.NodeID
+		seen := map[graph.NodeID]bool{}
 		for len(targets) < avgDeg && len(targets) < v {
 			var dst graph.NodeID
 			switch {
@@ -32,11 +36,7 @@ func SocialGraph(n, avgDeg int, seed int64) *graph.Graph {
 			case rng.Float64() < 0.4 && len(targets) > 0:
 				// Triadic closure: pick a neighbor of an existing
 				// target.
-				var base graph.NodeID
-				for t := range targets {
-					base = t
-					break
-				}
+				base := targets[rng.Intn(len(targets))]
 				outs := g.Out(base)
 				if len(outs) == 0 {
 					dst = pool[rng.Intn(len(pool))]
@@ -46,12 +46,13 @@ func SocialGraph(n, avgDeg int, seed int64) *graph.Graph {
 			default:
 				dst = pool[rng.Intn(len(pool))]
 			}
-			if dst == src || targets[dst] {
+			if dst == src || seen[dst] {
 				continue
 			}
-			targets[dst] = true
+			seen[dst] = true
+			targets = append(targets, dst)
 		}
-		for dst := range targets {
+		for _, dst := range targets {
 			if err := g.AddEdge(src, dst); err == nil {
 				pool = append(pool, src, dst)
 			}
@@ -80,7 +81,11 @@ func WebGraph(n, siteSize, templateSize int, seed int64) *graph.Graph {
 			end = n
 		}
 		// Site template: a few in-site hub pages plus cross-site links.
-		tmpl := map[graph.NodeID]bool{}
+		// Insertion-ordered for the same reason as SocialGraph's targets:
+		// the copy loop below consumes the rng per template entry, so map
+		// order would desync identical seeds.
+		var tmpl []graph.NodeID
+		seen := map[graph.NodeID]bool{}
 		for len(tmpl) < templateSize {
 			var dst graph.NodeID
 			if rng.Float64() < 0.7 {
@@ -88,11 +93,14 @@ func WebGraph(n, siteSize, templateSize int, seed int64) *graph.Graph {
 			} else {
 				dst = graph.NodeID(rng.Intn(n))
 			}
-			tmpl[dst] = true
+			if !seen[dst] {
+				seen[dst] = true
+				tmpl = append(tmpl, dst)
+			}
 		}
 		for v := start; v < end; v++ {
 			src := graph.NodeID(v)
-			for dst := range tmpl {
+			for _, dst := range tmpl {
 				if dst == src {
 					continue
 				}
