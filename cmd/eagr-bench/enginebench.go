@@ -11,6 +11,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/benchfix"
 	"repro/internal/construct"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,76 @@ func benchIngestorThroughput(b *testing.B) {
 	}
 	if err := ing.Close(); err != nil {
 		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+// benchShardCluster opens a 2-shard cluster over the micro fixture graph
+// with one standing sum query — the same fixture as OpIngestorThroughput,
+// so the coordinator's routing + replication overhead is directly
+// comparable to the single-process ingest path.
+func benchShardCluster(b *testing.B) (*shard.Cluster, *shard.Query, []eagr.Event) {
+	g := workload.SocialGraph(2000, 8, 1)
+	cluster, err := shard.Open(g, shard.Options{
+		Shards:  2,
+		Session: eagr.Options{Algorithm: "baseline", Mode: "all-push"},
+		Ingest: eagr.IngestOptions{
+			BatchSize:     1024,
+			QueueDepth:    8,
+			FlushInterval: -1,
+			Clock:         eagr.LogicalClock(),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cluster.Close() })
+	q, err := cluster.Register(eagr.QuerySpec{Aggregate: "sum"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	return cluster, q, benchfix.Writes(workload.Events(wl, 1<<16, 2))
+}
+
+// benchShardedIngest is the -engine-bench twin of internal/shard's
+// BenchmarkOpShardedIngest: per-event routing cost on a content stream.
+func benchShardedIngest(b *testing.B) {
+	cluster, _, writes := benchShardCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := writes[i%len(writes)]
+		if err := cluster.Send(eagr.NewWrite(ev.Node, ev.Value, int64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := cluster.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+// benchShardedRead is the twin of BenchmarkOpShardedRead: a merged read
+// (one wire PAO snapshot per shard, merged and finalized) on a loaded
+// 2-shard cluster.
+func benchShardedRead(b *testing.B) {
+	cluster, q, writes := benchShardCluster(b)
+	for i, ev := range writes[:1<<14] {
+		if err := cluster.Send(eagr.NewWrite(ev.Node, ev.Value, int64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := cluster.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	maxID := cluster.Shard(0).Graph().MaxID()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Read(eagr.NodeID(i % maxID)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.StopTimer()
 }
@@ -175,6 +246,12 @@ var seedBaseline = map[string]engineBenchResult{
 	// WAL tail through the normal apply path.
 	"OpCheckpointWrite":   {NsPerOp: 4.78e6, OpsPerSec: 209, AllocsPerOp: 30155, BytesPerOp: 982803},
 	"OpRecoverReplayTail": {NsPerOp: 1.245e8, OpsPerSec: 8, AllocsPerOp: 452642, BytesPerOp: 44219904},
+	// Measured when the sharded coordinator landed: per-event routing on a
+	// 2-shard cluster (vs ~203 ns/op for the single-process Ingestor on
+	// the same fixture — the delta is the routing lock and owner hash),
+	// and a merged 2-shard scatter-gather read.
+	"OpShardedIngest": {NsPerOp: 366.7, OpsPerSec: 2.73e6, AllocsPerOp: 0, BytesPerOp: 0},
+	"OpShardedRead":   {NsPerOp: 449.5, OpsPerSec: 2.22e6, AllocsPerOp: 4, BytesPerOp: 240},
 }
 
 func toResult(r testing.BenchmarkResult) engineBenchResult {
@@ -331,6 +408,22 @@ func runEngineBench(path string) error {
 		cur["OpIngestorThroughput"] = r
 		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			"OpIngestorThroughput", r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	// Scale-out: the sharded coordinator's per-event routing cost (hash
+	// the owner, stamp time, enqueue on that shard's Ingestor) and merged
+	// scatter-gather reads on a 2-shard in-process cluster.
+	shardeds := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"OpShardedIngest", benchShardedIngest},
+		{"OpShardedRead", benchShardedRead},
+	}
+	for _, m := range shardeds {
+		r := toResult(testing.Benchmark(m.fn))
+		cur[m.name] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
 	// Durability: checkpoint write cost on a loaded session, and cold
 	// recovery replaying an 8k-event WAL tail through the apply path.

@@ -59,6 +59,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for synthetic graphs")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		tsJump   = flag.Int64("ingest-max-ts-jump", 0, "reject /ingest events whose timestamp runs further than this ahead of the stream (0 = unbounded; guards the watermark against corrupt far-future timestamps)")
+		manualEx = flag.Bool("ingest-manual-expire", false, "do not expire time-based windows on the local ingest watermark; only POST /expire advances them (for shard servers behind eagr-router, which owns the fleet-wide minimum watermark)")
 
 		dataDir    = flag.String("data-dir", "", "durability directory: WAL + checkpoints (empty = in-memory only)")
 		fsyncMode  = flag.String("fsync", "per-batch", "WAL fsync policy with -data-dir: per-batch | interval | off")
@@ -139,7 +140,11 @@ func main() {
 			q.ID(), *aggSpec, st.Algorithm, st.SharingIndex*100, st.Partials, st.Maintainable)
 	}
 
-	api := server.New(sess, server.WithMaxTimestampJump(*tsJump))
+	serverOpts := []server.Option{server.WithMaxTimestampJump(*tsJump)}
+	if *manualEx {
+		serverOpts = append(serverOpts, server.WithManualExpiry())
+	}
+	api := server.New(sess, serverOpts...)
 	srv := &http.Server{Addr: *listen, Handler: api}
 	// End open /watch SSE streams when Shutdown begins, so draining does
 	// not wait out the grace period on long-lived watchers. The session

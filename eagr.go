@@ -98,6 +98,11 @@ type PAO = agg.PAO
 // optimizations are legal for it).
 type Properties = agg.Properties
 
+// WirePAO is a flat, JSON-serializable snapshot of one partial aggregate —
+// the unit a sharded deployment ships from shards to a coordinator (see
+// Query.ReadWire and internal/shard).
+type WirePAO = agg.WirePAO
+
 // RegisterAggregate installs a user-defined aggregate under the given name
 // so QuerySpec.Aggregate can refer to it.
 func RegisterAggregate(name string, factory func(param int) Aggregate) {
@@ -772,6 +777,18 @@ func (q *Query) Read(v NodeID) (Result, error) {
 		return Result{}, err
 	}
 	return sys.ReadView(q.tag, v)
+}
+
+// ReadWire evaluates the standing query at v but stops before Finalize,
+// returning the partial aggregate as a wire snapshot. A coordinator merges
+// one snapshot per shard with agg.MergeWires to answer a cross-shard read;
+// single-process callers should use Read.
+func (q *Query) ReadWire(v NodeID) (WirePAO, error) {
+	sys, err := q.system()
+	if err != nil {
+		return WirePAO{}, err
+	}
+	return sys.ReadViewWire(q.tag, v)
 }
 
 // Covered reports whether the standing query's result at v is

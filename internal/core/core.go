@@ -159,6 +159,11 @@ type System struct {
 	maint   *construct.Maintainer
 	cost    dataflow.CostModel
 	wl      *dataflow.Workload
+
+	// rebuildSkip, set under mu around a repair-batch recompile, holds the
+	// node ids the current structural run removed: decideAndStart's window
+	// carry-over must not replay their old content onto reused ids.
+	rebuildSkip map[graph.NodeID]bool
 }
 
 // engine returns the current execution engine. Full recompiles swap it
@@ -386,6 +391,26 @@ func (s *System) decideAndStart() error {
 	// so continuous consumers keep receiving updates across the rebuild,
 	// re-resolving their (tag, node) coverage against the new plan.
 	eng.AdoptSubscriptions(prevEng)
+	// Carry content across the rebuild: replay the previous engine's
+	// per-writer window suffixes through the new engine's write path
+	// (exactly how checkpoint recovery rebuilds state), so a recompile is
+	// invisible to readers. Replayed before the swap, so no read ever
+	// observes half-empty windows. s.rebuildSkip holds node ids removed by
+	// the structural run that forced this rebuild — their windows must not
+	// resurrect onto freshly re-added nodes reusing the same id.
+	if prevEng != nil {
+		prevEng.ExportWindows(func(node graph.NodeID, entries []agg.WindowEntry) {
+			if s.rebuildSkip[node] {
+				return
+			}
+			for _, en := range entries {
+				// Writers absent from the rebuilt overlay (nodes the run
+				// removed without reuse) reject the write; that loss is
+				// exactly what node removal means.
+				_ = eng.Write(node, en.V, en.TS)
+			}
+		})
+	}
 	s.eng.Store(eng)
 	s.adaptor = dataflow.NewAdaptor(s.ov, f, s.cost)
 	// Incremental maintenance requires single-path, negative-edge-free
@@ -426,6 +451,13 @@ func (s *System) ReadInto(v graph.NodeID, res *agg.Result) error {
 // immutable plan snapshot.
 func (s *System) ReadView(tag int32, v graph.NodeID) (agg.Result, error) {
 	return s.engine().ReadTagged(tag, v)
+}
+
+// ReadViewWire evaluates member tag's standing query at v and returns the
+// un-finalized partial aggregate as a wire snapshot (see
+// exec.Engine.ReadTaggedWire) — the per-shard half of a cross-shard read.
+func (s *System) ReadViewWire(tag int32, v graph.NodeID) (agg.WirePAO, error) {
+	return s.engine().ReadTaggedWire(tag, v)
 }
 
 // ReadViewInto is ReadView with a caller-provided result (see ReadInto).
@@ -655,10 +687,13 @@ type repairBatch struct {
 	affected  []map[graph.NodeID]bool
 	recompile bool
 	touched   bool
+	// removed records every node id this run deleted, whether or not the
+	// id was later reused by an add: if the run degrades to a recompile,
+	// the engine rebuild's window carry-over must skip them.
+	removed map[graph.NodeID]bool
 	// err collects maintainer failures that degraded the batch to a
 	// recompile; applyRepairBatch surfaces them even when the recompile
-	// succeeds (the rebuild drops window state — callers deserve to know
-	// why).
+	// succeeds.
 	err error
 }
 
@@ -769,6 +804,10 @@ func (s *System) batchNodeRemoved(b *repairBatch, v graph.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b.touched = true
+	if b.removed == nil {
+		b.removed = make(map[graph.NodeID]bool)
+	}
+	b.removed[v] = true
 	if b.recompile || s.maint == nil {
 		b.recompile = true
 		return
@@ -805,10 +844,14 @@ func (s *System) applyRepairBatch(b *repairBatch) error {
 	if !b.touched {
 		return nil
 	}
+	// Any recompile below (forced by the batch, or the fallback when an
+	// incremental repair fails partway) carries window content over, minus
+	// the nodes this run removed.
+	s.rebuildSkip = b.removed
+	defer func() { s.rebuildSkip = nil }()
 	if b.recompile {
 		// b.err carries any maintainer failure that forced this recompile;
-		// surface it even when the rebuild succeeds, since the rebuild
-		// drops window state.
+		// surface it even when the rebuild succeeds.
 		if s.stride > 0 && graph.NodeID(s.g.MaxID()) > s.stride {
 			return errors.Join(b.err, s.restrideLocked())
 		}
@@ -826,8 +869,8 @@ func (s *System) applyRepairBatch(b *repairBatch) error {
 		if err := s.repairViewLocked(&s.views[i], list); err != nil {
 			// The incremental repair failed partway; a recompile restores a
 			// consistent overlay from the final graph. Surface the repair
-			// error even when the recompile succeeds — the rebuild drops
-			// window state, and the caller deserves to know why.
+			// error even when the recompile succeeds, so the caller knows
+			// the fast path degraded.
 			return errors.Join(err, s.recompileLocked())
 		}
 	}
@@ -923,8 +966,8 @@ func (s *System) afterMaintenance() {
 
 // restrideLocked rebuilds a merged system whose data graph outgrew its
 // reader stride. Member tags survive (subscriptions and handles address
-// views by tag plus real node id, never by encoded GID), so the rebuild is
-// invisible to readers apart from window state loss.
+// views by tag plus real node id, never by encoded GID) and window
+// contents are carried over, so the rebuild is invisible to readers.
 func (s *System) restrideLocked() error {
 	stride := strideFor(s.g)
 	if len(s.views) > viewCapacity(stride) {
@@ -1072,8 +1115,11 @@ func (s *System) liveViewsLocked() int {
 
 // recompileLocked rebuilds the overlay and engine from scratch (used when
 // incremental maintenance is not applicable, e.g. negative-edge overlays).
-// Window contents are lost; the paper's maintenance story assumes
-// single-path overlays for incremental repair.
+// Window contents survive: decideAndStart replays the previous engine's
+// window suffixes through the new engine, so a recompile answers reads
+// exactly like an incrementally repaired overlay would — which is what
+// lets shard replicas with independently compiled overlays stay
+// content-equivalent under structural churn.
 func (s *System) recompileLocked() error {
 	if err := s.buildOverlay(); err != nil {
 		return err

@@ -481,6 +481,50 @@ func (e *Engine) ReadTaggedInto(tag int32, v graph.NodeID, res *agg.Result) erro
 	return err
 }
 
+// ReadTaggedWire evaluates query tag's standing query at v like ReadTagged,
+// but returns the un-finalized partial aggregate as a wire snapshot instead
+// of a Result. This is the shard read path: a coordinator collects one
+// snapshot per shard and merges them via agg.MergeWires, so the cross-shard
+// answer flows through exactly the Merge/Finalize semantics a single
+// process would use. Scalar-mode engines snapshot the atomic (sum, count)
+// cell pair directly; PAO-mode engines export under the same locks an
+// ordinary read takes.
+func (e *Engine) ReadTaggedWire(tag int32, v graph.NodeID) (agg.WirePAO, error) {
+	st := e.state.Load()
+	rref := st.plan.readerTagged(tag, v)
+	if rref == overlay.NoNode {
+		return agg.WirePAO{}, fmt.Errorf("exec: read node %d: %w", v, ErrUnknownNode)
+	}
+	e.reads.Add(1)
+	top := st.plan.top
+	if top.Dec[rref] == overlay.Push {
+		ns := st.nodes[rref]
+		defer ns.pullObs.Add(1)
+		if e.scalar != nil {
+			cell := st.scalars[rref]
+			return agg.WirePAO{Sum: cell.sum.Load(), N: cell.cnt.Load()}, nil
+		}
+		ns.mu.Lock()
+		w, ok := agg.Export(st.paos[rref])
+		ns.mu.Unlock()
+		if !ok {
+			return agg.WirePAO{}, agg.ErrNotWireable
+		}
+		return w, nil
+	}
+	if e.scalar != nil {
+		sum, n := e.pullScalar(st, rref)
+		return agg.WirePAO{Sum: sum, N: n}, nil
+	}
+	rs := e.getReadScratch()
+	w, ok := agg.Export(e.computePull(st, rref, rs))
+	e.putReadScratch(rs)
+	if !ok {
+		return agg.WirePAO{}, agg.ErrNotWireable
+	}
+	return w, nil
+}
+
 // Covered reports whether node v's standing query result is push-maintained
 // (pre-computed on every covering write), i.e. whether a subscription on v
 // will observe updates. Pull-annotated readers recompute on demand and are

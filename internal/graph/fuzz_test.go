@@ -1,0 +1,27 @@
+package graph
+
+import "testing"
+
+// FuzzParseEventKind pins the wire-spelling grammar: every accepted
+// spelling round-trips through String, and String of an accepted kind is
+// itself accepted (the NDJSON ingest path and the router's re-encoding
+// both depend on this being a closed loop).
+func FuzzParseEventKind(f *testing.F) {
+	for _, s := range []string{"", "write", "edge-add", "edge-remove", "node-add", "node-remove", "read", "Write", "edge_add", "kind(7)"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseEventKind(s)
+		if err != nil {
+			return
+		}
+		wire := k.String()
+		if s != "" && wire != s {
+			t.Fatalf("ParseEventKind(%q) = %v, but String() = %q", s, k, wire)
+		}
+		back, err := ParseEventKind(wire)
+		if err != nil || back != k {
+			t.Fatalf("String/Parse not closed: %v -> %q -> (%v, %v)", k, wire, back, err)
+		}
+	})
+}

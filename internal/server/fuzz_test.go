@@ -1,0 +1,54 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzIngestLine drives the NDJSON /ingest grammar: ParseIngestLine must
+// never panic, and every accepted line must survive a canonical re-encode
+// and reparse unchanged — the property eagr-router relies on when it
+// re-stamps timestamps and fans events out to shards.
+func FuzzIngestLine(f *testing.F) {
+	for _, s := range []string{
+		`{"node":3,"value":7,"ts":9}`,
+		`{"kind":"write","node":1,"value":-2,"ts":1}`,
+		`{"kind":"edge-add","from":2,"to":5,"ts":3}`,
+		`{"kind":"edge-remove","node":2,"peer":5}`,
+		`{"kind":"node-add","ts":8}`,
+		`{"kind":"node-remove","node":4,"ts":8}`,
+		`{"kind":"read","node":0}`,
+		`{"kind":"sideways"}`,
+		`{"node":`,
+		`{"from":1,"to":2}`,
+		`null`,
+		`[]`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := ParseIngestLine(data)
+		if err != nil {
+			return
+		}
+		if _, kerr := graph.ParseEventKind(ev.Kind.String()); kerr != nil {
+			t.Fatalf("accepted line %q produced unknown kind %v", data, ev.Kind)
+		}
+		canon, merr := json.Marshal(map[string]any{
+			"kind": ev.Kind.String(), "node": ev.Node, "peer": ev.Peer,
+			"value": ev.Value, "ts": ev.TS,
+		})
+		if merr != nil {
+			t.Fatalf("re-encode %+v: %v", ev, merr)
+		}
+		back, err := ParseIngestLine(canon)
+		if err != nil {
+			t.Fatalf("canonical form %s rejected: %v", canon, err)
+		}
+		if back != ev {
+			t.Fatalf("line %q: parsed %+v, canonical reparse %+v", data, ev, back)
+		}
+	})
+}

@@ -6,9 +6,16 @@
 //	GET    /queries                                                 list registered queries
 //	DELETE /queries/{id}                                            retire a query
 //	GET    /queries/{id}/read?node=1                                evaluate the query at a node
+//	GET    /queries/{id}/pao?node=1                                 un-finalized partial aggregate (wire form)
 //	GET    /queries/{id}/watch?node=1&buffer=64                     SSE stream of continuous updates
 //	GET    /queries/{id}/stats                                      per-query overlay statistics
 //	GET    /queries/{id}/covered?node=1                             is the node's result push-maintained?
+//
+// GET /queries/{id}/pao returns the query's un-finalized partial aggregate
+// at a node as an eagr.WirePAO JSON snapshot — the shard half of a
+// cross-shard read: a router merges the per-shard PAOs (agg.MergeWires)
+// and finalizes once, which is exact for every built-in aggregate except
+// topk~ (see internal/shard).
 //
 // plus the shared graph/stream surface:
 //
@@ -20,7 +27,14 @@
 //	POST   /node         {}                               add a node
 //	DELETE /node?node=1                                   remove a node and its edges
 //	POST   /rebalance                                     adaptive re-decision (all queries)
+//	POST   /expire       {"ts":90}                        advance time-based windows to ts
 //	GET    /stats                                         session statistics
+//
+// POST /expire advances every query's time-based windows explicitly. It
+// exists for deployments where the watermark authority is elsewhere — a
+// router fronting several shard servers computes the fleet-wide minimum
+// watermark and broadcasts it — and pairs with WithManualExpiry, which
+// stops the shared Ingestor from expiring on its own local watermark.
 //
 // POST /ingest is the streaming front door: the body is newline-delimited
 // JSON, one event per line, content and structural events interleaved in
@@ -129,6 +143,9 @@ type Server struct {
 	// maxTSJump, when positive, is passed through to the Ingestor as
 	// IngestOptions.MaxTimestampJump (see WithMaxTimestampJump).
 	maxTSJump int64
+	// manualExpire disables the shared Ingestor's watermark-driven window
+	// expiry (see WithManualExpiry); POST /expire is then the only clock.
+	manualExpire bool
 
 	writes  atomic.Int64
 	reads   atomic.Int64
@@ -165,6 +182,17 @@ func WithMaxTimestampJump(jump int64) Option {
 	return func(s *Server) { s.maxTSJump = jump }
 }
 
+// WithManualExpiry stops the shared /ingest Ingestor from expiring
+// time-based windows on its own low watermark; windows then advance only
+// through POST /expire (or the embedder calling Session.ExpireAll). Use it
+// when the server is one shard of a routed fleet: each shard sees only its
+// slice of the stream, so its local watermark may run ahead of shards that
+// are merely caught up on a slower substream — the router owns the
+// fleet-wide minimum and broadcasts it.
+func WithManualExpiry() Option {
+	return func(s *Server) { s.manualExpire = true }
+}
+
 // New returns a server for the session. Queries registered directly on the
 // session (e.g. by the hosting process at startup) are served too.
 func New(sess *eagr.Session, opts ...Option) *Server {
@@ -177,6 +205,7 @@ func New(sess *eagr.Session, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /queries", s.handleListQueries)
 	s.mux.HandleFunc("DELETE /queries/{id}", s.handleRetire)
 	s.mux.HandleFunc("GET /queries/{id}/read", s.handleQueryRead)
+	s.mux.HandleFunc("GET /queries/{id}/pao", s.handleQueryPAO)
 	s.mux.HandleFunc("GET /queries/{id}/watch", s.handleWatch)
 	s.mux.HandleFunc("GET /queries/{id}/stats", s.handleQueryStats)
 	s.mux.HandleFunc("GET /queries/{id}/covered", s.handleQueryCovered)
@@ -186,6 +215,7 @@ func New(sess *eagr.Session, opts ...Option) *Server {
 	s.mux.HandleFunc("/edge", s.handleEdge)
 	s.mux.HandleFunc("/node", s.handleNode)
 	s.mux.HandleFunc("/rebalance", s.handleRebalance)
+	s.mux.HandleFunc("POST /expire", s.handleExpire)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
@@ -239,12 +269,13 @@ func (s *Server) ingestor() (*eagr.Ingestor, error) {
 		return ing, nil
 	}
 	ing, err := s.sess.Ingest(eagr.IngestOptions{
-		BatchSize:        512,
-		FlushInterval:    25 * time.Millisecond,
-		QueueDepth:       16,
-		Backpressure:     eagr.BackpressureBlock,
-		Clock:            eagr.ClockFunc(s.ingTS.Load),
-		MaxTimestampJump: s.maxTSJump,
+		BatchSize:         512,
+		FlushInterval:     25 * time.Millisecond,
+		QueueDepth:        16,
+		Backpressure:      eagr.BackpressureBlock,
+		Clock:             eagr.ClockFunc(s.ingTS.Load),
+		MaxTimestampJump:  s.maxTSJump,
+		DisableAutoExpire: s.manualExpire,
 	})
 	if err != nil {
 		return nil, err
@@ -437,6 +468,55 @@ func (s *Server) handleQueryRead(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, readResp{Node: node, Valid: res.Valid, Scalar: res.Scalar, List: res.List})
 }
 
+// paoResp carries a query's un-finalized partial aggregate at one node:
+// the response of GET /queries/{id}/pao, a merge input for cross-shard
+// reads. Aggregate names the PAO's family so a router can sanity-check it
+// merges like with like.
+type paoResp struct {
+	Node      graph.NodeID `json:"node"`
+	Aggregate string       `json:"aggregate"`
+	PAO       eagr.WirePAO `json:"pao"`
+}
+
+func (s *Server) handleQueryPAO(w http.ResponseWriter, r *http.Request) {
+	q := s.queryFor(w, r)
+	if q == nil {
+		return
+	}
+	node, err := nodeParam(r, "node")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wp, err := q.ReadWire(node)
+	if err != nil {
+		httpError(w, statusFor(err), "%v", err)
+		return
+	}
+	s.reads.Add(1)
+	name := q.Spec().Aggregate
+	if name == "" {
+		name = "sum"
+	}
+	writeJSON(w, paoResp{Node: node, Aggregate: name, PAO: wp})
+}
+
+// handleExpire advances every query's time-based windows to the given
+// timestamp — the manual-expiry companion of WithManualExpiry (see the
+// package doc). Harmless when auto-expiry is on too: expiry only ratchets
+// forward.
+func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		TS int64 `json:"ts"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	s.sess.ExpireAll(req.TS)
+	writeJSON(w, map[string]int64{"ts": req.TS})
+}
+
 func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
 	q := s.queryFor(w, r)
 	if q == nil {
@@ -603,6 +683,30 @@ type ingestEvent struct {
 	TS    int64         `json:"ts"`
 }
 
+// ParseIngestLine decodes one trimmed, non-empty NDJSON line into a stream
+// event: the /ingest wire grammar in one reusable (and fuzzable) place.
+// The input is not retained.
+func ParseIngestLine(raw []byte) (graph.Event, error) {
+	var req ingestEvent
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return graph.Event{}, fmt.Errorf("bad JSON: %v", err)
+	}
+	kind, err := graph.ParseEventKind(req.Kind)
+	if err != nil {
+		return graph.Event{}, err
+	}
+	ev := graph.Event{Kind: kind, Node: req.Node, Peer: req.Peer, Value: req.Value, TS: req.TS}
+	if kind == graph.EdgeAdd || kind == graph.EdgeRemove {
+		if req.From != nil {
+			ev.Node = *req.From
+		}
+		if req.To != nil {
+			ev.Peer = *req.To
+		}
+	}
+	return ev, nil
+}
+
 // handleIngest streams NDJSON events into the server's session Ingestor.
 // Lines are accepted in order; by default the response is sent after a
 // synchronous flush, so every accepted event is applied (and, on a
@@ -635,42 +739,28 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if len(raw) == 0 {
 			continue
 		}
-		var req ingestEvent
-		if err := json.Unmarshal(raw, &req); err != nil {
-			s.finishIngest(ing, w, sync, accepted, fmt.Sprintf("line %d: bad JSON: %v", line, err), http.StatusBadRequest)
-			return
-		}
-		kind, err := graph.ParseEventKind(req.Kind)
+		ev, err := ParseIngestLine(raw)
 		if err != nil {
 			s.finishIngest(ing, w, sync, accepted, fmt.Sprintf("line %d: %v", line, err), http.StatusBadRequest)
 			return
-		}
-		ev := graph.Event{Kind: kind, Node: req.Node, Peer: req.Peer, Value: req.Value, TS: req.TS}
-		if kind == graph.EdgeAdd || kind == graph.EdgeRemove {
-			if req.From != nil {
-				ev.Node = *req.From
-			}
-			if req.To != nil {
-				ev.Peer = *req.To
-			}
 		}
 		if err := ing.SendEvent(ev); err != nil {
 			s.finishIngest(ing, w, sync, accepted, fmt.Sprintf("line %d: %v", line, err), statusForIngest(err))
 			return
 		}
-		if req.TS != 0 {
+		if ev.TS != 0 {
 			// Advance stream time (monotone max, ACCEPTED events only) so
 			// ts-less events that follow are stamped in the client's own
 			// time domain.
 			for {
 				cur := s.ingTS.Load()
-				if req.TS <= cur || s.ingTS.CompareAndSwap(cur, req.TS) {
+				if ev.TS <= cur || s.ingTS.CompareAndSwap(cur, ev.TS) {
 					break
 				}
 			}
 		}
 		accepted++
-		if kind == graph.ContentWrite {
+		if ev.Kind == graph.ContentWrite {
 			// Count at accept time, so writes a failing request already
 			// streamed in (and which DO apply) are not lost from the
 			// counter — and structural/read events are not inflated into it.

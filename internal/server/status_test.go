@@ -1,0 +1,175 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	eagr "repro"
+	"repro/internal/graph"
+)
+
+// TestStatusMapping pins every typed façade/ingest error to its HTTP
+// status, including wrapped forms (handlers always wrap with context), so
+// a refactor cannot silently turn a 404 into a 500.
+func TestStatusMapping(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func(error) int
+		err  error
+		want int
+	}{
+		{"unknown-node", statusFor, eagr.ErrUnknownNode, http.StatusNotFound},
+		{"node-not-found", statusFor, graph.ErrNodeNotFound, http.StatusNotFound},
+		{"edge-not-found", statusFor, graph.ErrEdgeNotFound, http.StatusNotFound},
+		{"edge-exists", statusFor, graph.ErrEdgeExists, http.StatusConflict},
+		{"node-exists", statusFor, graph.ErrNodeExists, http.StatusConflict},
+		{"query-closed", statusFor, eagr.ErrQueryClosed, http.StatusGone},
+		{"conflicting-window", statusFor, eagr.ErrConflictingWindow, http.StatusUnprocessableEntity},
+		{"incompatible-merge", statusFor, eagr.ErrIncompatibleMerge, http.StatusUnprocessableEntity},
+		{"incompatible-query", statusFor, eagr.ErrIncompatibleQuery, http.StatusUnprocessableEntity},
+		{"opaque", statusFor, errors.New("boom"), http.StatusInternalServerError},
+		{"ingest-backpressure", statusForIngest, eagr.ErrBackpressure, http.StatusTooManyRequests},
+		{"ingest-closed", statusForIngest, eagr.ErrIngestorClosed, http.StatusServiceUnavailable},
+		{"ingest-timestamp-jump", statusForIngest, eagr.ErrTimestampJump, http.StatusUnprocessableEntity},
+		{"ingest-opaque", statusForIngest, errors.New("boom"), http.StatusInternalServerError},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.fn(tc.err); got != tc.want {
+				t.Fatalf("status(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+			wrapped := fmt.Errorf("handler context: %w", tc.err)
+			if got := tc.fn(wrapped); got != tc.want {
+				t.Fatalf("status(wrapped %v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQueryPAOEndpoint reads a partial aggregate over the wire and checks
+// it carries the un-finalized (sum, count) pair a router would merge.
+func TestQueryPAOEndpoint(t *testing.T) {
+	ts := testServer(t)
+	for i, req := range []writeReq{{Node: 1, Value: 10, TS: 1}, {Node: 2, Value: 32, TS: 2}} {
+		resp := post(t, ts.URL+"/write", req)
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("write %d status = %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	listResp, err := http.Get(ts.URL + "/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[[]queryResp](t, listResp)
+	if len(list) != 1 {
+		t.Fatalf("queries = %+v, want exactly one", list)
+	}
+	id := list[0].ID
+	resp, err := http.Get(fmt.Sprintf("%s/queries/%d/pao?node=0", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pao status = %d", resp.StatusCode)
+	}
+	got := decode[paoResp](t, resp)
+	if got.Aggregate != "sum" || got.Node != 0 {
+		t.Fatalf("pao header = %+v, want sum at node 0", got)
+	}
+	if got.PAO.Sum != 42 || got.PAO.N != 2 {
+		t.Fatalf("pao = %+v, want Sum=42 N=2", got.PAO)
+	}
+	// Unknown node and unknown query map through the shared status tables.
+	for url, want := range map[string]int{
+		fmt.Sprintf("%s/queries/%d/pao?node=99", ts.URL, id): http.StatusNotFound,
+		ts.URL + "/queries/999/pao?node=0":                   http.StatusNotFound,
+		fmt.Sprintf("%s/queries/%d/pao", ts.URL, id):         http.StatusBadRequest,
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s status = %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestManualExpiry covers the sharded deployment contract: with
+// WithManualExpiry the Ingestor's own watermark must NOT expire windows —
+// only POST /expire advances them.
+func TestManualExpiry(t *testing.T) {
+	sess, _ := testSession(t)
+	q, err := sess.Register(eagr.QuerySpec{Aggregate: "count", WindowTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sess, WithManualExpiry())
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+
+	// Two different writers in node 0's ego network: per-writer window
+	// pruning can't touch node 1's entry, only watermark-driven expiry
+	// could — which manual mode defers to POST /expire.
+	body := "{\"node\":1,\"value\":5,\"ts\":1}\n{\"node\":2,\"value\":6,\"ts\":100}\n"
+	resp, err := http.Post(hs.URL+"/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	// Auto-expiry would have dropped the ts=1 write (watermark 100,
+	// window 10); manual mode keeps it until /expire says so.
+	res, err := q.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar != 2 {
+		t.Fatalf("pre-expire count = %+v, want 2 (manual expiry must not auto-advance)", res)
+	}
+	resp = post(t, hs.URL+"/expire", map[string]int64{"ts": 100})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("expire status = %d", resp.StatusCode)
+	}
+	if res, err = q.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar != 1 {
+		t.Fatalf("post-expire count = %+v, want 1 (ts=1 outside window at 100)", res)
+	}
+}
+
+// TestParseIngestLine pins the NDJSON grammar corner cases the fuzz target
+// explores: kind defaulting, from/to aliasing on edge events, and rejection
+// of unknown kinds and bad JSON.
+func TestParseIngestLine(t *testing.T) {
+	ev, err := ParseIngestLine([]byte(`{"node":3,"value":7,"ts":9}`))
+	if err != nil || ev.Kind != graph.ContentWrite || ev.Node != 3 || ev.Value != 7 || ev.TS != 9 {
+		t.Fatalf("default-kind line = %+v (%v)", ev, err)
+	}
+	ev, err = ParseIngestLine([]byte(`{"kind":"edge-add","from":2,"to":5}`))
+	if err != nil || ev.Kind != graph.EdgeAdd || ev.Node != 2 || ev.Peer != 5 {
+		t.Fatalf("edge-add from/to = %+v (%v)", ev, err)
+	}
+	ev, err = ParseIngestLine([]byte(`{"kind":"edge-remove","node":2,"peer":5}`))
+	if err != nil || ev.Kind != graph.EdgeRemove || ev.Node != 2 || ev.Peer != 5 {
+		t.Fatalf("edge-remove node/peer = %+v (%v)", ev, err)
+	}
+	if _, err = ParseIngestLine([]byte(`{"kind":"sideways"}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err = ParseIngestLine([]byte(`{"node":`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}

@@ -1,0 +1,321 @@
+// Package shard is EAGr's first scale-out layer: a coordinator that
+// partitions one logical session across N shard Sessions and answers
+// reads by merging per-shard partial aggregates.
+//
+// # Partitioning
+//
+// Content is hash-partitioned by writer: a write on node v goes only to
+// Owner(v)'s shard. Structure is replicated: every structural event (edge
+// add/remove, node add/remove) fans out to every shard, so all shards hold
+// identical copies of the graph and of every query's compiled overlay.
+// Replication makes the content partition exact rather than approximate:
+// each shard's standing query at v aggregates the in-window content of
+// exactly the writers that shard owns (non-owned writers exist in the
+// overlay but their windows stay empty), so the shards' partial aggregates
+// for v partition the single-process PAO and merge losslessly — sums add,
+// frequency maps add, max-of-maxes is max. Structural replication also
+// keeps NodeAdd deterministic: the graph's free-list allocator reuses ids
+// in a fixed order, so replaying the same structural stream allocates the
+// same ids on every shard (and on a never-sharded oracle).
+//
+// # Time
+//
+// Each shard runs its own Ingestor with automatic expiry disabled; its
+// watermark advances independently as its batches apply. The cluster's
+// watermark is the minimum over shards that have one, and the coordinator
+// broadcasts ExpireAll at that minimum (on Flush), so every shard — and
+// therefore every merged answer — trims time windows at the same horizon.
+//
+// # Reads
+//
+// A read scatter-gathers: each shard exports its un-finalized partial
+// aggregate as an agg.WirePAO, and the coordinator merges the snapshots
+// through the ordinary Merge/Finalize path (agg.MergeWires). Every built-in
+// aggregate except topk~ answers exactly as a single process would; topk~'s
+// bounded candidate list is admission-order dependent, so its sharded
+// answers are approximate in a different way than its single-process ones.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	eagr "repro"
+	"repro/internal/agg"
+	"repro/internal/graph"
+)
+
+// Owner maps a writer node to its owning shard with a splitmix64 hash —
+// stateless, so routers and clusters never exchange placement metadata.
+func Owner(v graph.NodeID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	z := uint64(v) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}
+
+// Options configure a Cluster.
+type Options struct {
+	// Shards is the number of shard Sessions (default 2).
+	Shards int
+	// Session is the compile configuration every shard opens with.
+	Session eagr.Options
+	// Ingest tunes the per-shard Ingestors. DisableAutoExpire is forced on
+	// (expiry is coordinator-driven); Clock stamps timestamp-less events at
+	// the coordinator, before routing, so every shard lives in one time
+	// domain (nil means wall clock, as for a plain Ingestor).
+	Ingest eagr.IngestOptions
+}
+
+// Cluster hosts N shard Sessions behind one Session-shaped facade: register
+// queries, stream events, read merged answers. All methods are safe for
+// concurrent use; concurrent sends are serialized by the coordinator so
+// every shard observes the same structural order.
+type Cluster struct {
+	opts   Options
+	shards []*eagr.Session
+	ings   []*eagr.Ingestor
+	clock  eagr.Clock
+
+	// mu serializes routing: structural events must interleave identically
+	// on every shard or the replicas (and their node-id allocators) drift.
+	mu sync.Mutex
+
+	qmu     sync.Mutex
+	queries map[int]*Query
+	nextID  int
+}
+
+// Open starts a cluster over g: each shard gets its own deep copy of the
+// graph and its own Ingestor. The original graph is not retained.
+func Open(g *graph.Graph, opts Options) (*Cluster, error) {
+	n := opts.Shards
+	if n <= 0 {
+		n = 2
+	}
+	io := opts.Ingest
+	io.DisableAutoExpire = true
+	clock := io.Clock
+	if clock == nil {
+		clock = eagr.WallClock()
+	}
+	c := &Cluster{opts: opts, clock: clock, queries: make(map[int]*Query)}
+	for i := 0; i < n; i++ {
+		sess, err := eagr.Open(g.Clone(), opts.Session)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		ing, err := sess.Ingest(io)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, sess)
+		c.ings = append(c.ings, ing)
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard exposes shard i's Session (diagnostics and tests).
+func (c *Cluster) Shard(i int) *eagr.Session { return c.shards[i] }
+
+// Register registers the query on every shard and returns the merged-read
+// handle. Compile options follow the Session semantics (Options passed to
+// Open are the default; per-call opts override).
+func (c *Cluster) Register(spec eagr.QuerySpec, opts ...eagr.Options) (*Query, error) {
+	name := spec.Aggregate
+	if name == "" {
+		name = "sum"
+	}
+	a, err := agg.Parse(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", eagr.ErrIncompatibleQuery, err)
+	}
+	qs := make([]*eagr.Query, 0, len(c.shards))
+	for i, sess := range c.shards {
+		q, err := sess.Register(spec, opts...)
+		if err != nil {
+			for _, prev := range qs {
+				_ = prev.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		qs = append(qs, q)
+	}
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	c.nextID++
+	q := &Query{c: c, id: c.nextID, spec: spec, agg: a, qs: qs}
+	c.queries[q.id] = q
+	return q, nil
+}
+
+// Queries returns the open merged-read handles (unordered).
+func (c *Cluster) Queries() []*Query {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	out := make([]*Query, 0, len(c.queries))
+	for _, q := range c.queries {
+		out = append(out, q)
+	}
+	return out
+}
+
+// Send routes one event: content to its owner's shard, structural to every
+// shard. Timestamp-less events are stamped here, before routing, so all
+// shards share one time domain.
+func (c *Cluster) Send(ev eagr.Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.send(ev)
+}
+
+// SendBatch routes a batch under one routing lock, so the batch lands as a
+// contiguous run in every shard's structural order.
+func (c *Cluster) SendBatch(events []eagr.Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	for _, ev := range events {
+		if err := c.send(ev); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (c *Cluster) send(ev eagr.Event) error {
+	if ev.TS == 0 {
+		ev.TS = c.clock.Now()
+	}
+	if !ev.IsStructural() {
+		return c.ings[Owner(ev.Node, len(c.ings))].SendEvent(ev)
+	}
+	var errs []error
+	for _, ing := range c.ings {
+		if err := ing.SendEvent(ev); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Flush drains every shard's Ingestor (a synchronization barrier: on return
+// all previously sent events are applied or reported failed) and then
+// advances expiry to the cluster watermark. Apply errors from all shards
+// are joined.
+func (c *Cluster) Flush() error {
+	var errs []error
+	for i, ing := range c.ings {
+		if err := ing.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	if wm, ok := c.Watermark(); ok {
+		c.ExpireAll(wm)
+	}
+	return errors.Join(errs...)
+}
+
+// Watermark is the minimum watermark over shards that have one — the
+// horizon every shard has safely passed. Shards that have not applied any
+// events yet have no opinion and are skipped; ok is false until at least
+// one shard reports.
+func (c *Cluster) Watermark() (int64, bool) {
+	var min int64
+	any := false
+	for _, ing := range c.ings {
+		wm, ok := ing.Watermark()
+		if !ok {
+			continue
+		}
+		if !any || wm < min {
+			min = wm
+		}
+		any = true
+	}
+	return min, any
+}
+
+// ExpireAll advances every shard's time-based windows to ts.
+func (c *Cluster) ExpireAll(ts int64) {
+	for _, sess := range c.shards {
+		sess.ExpireAll(ts)
+	}
+}
+
+// Stats reports per-shard ingestion counters, indexed by shard.
+func (c *Cluster) Stats() []eagr.IngestorStats {
+	out := make([]eagr.IngestorStats, len(c.ings))
+	for i, ing := range c.ings {
+		out[i] = ing.Stats()
+	}
+	return out
+}
+
+// Close shuts down the shard Ingestors, flushing buffered events first.
+func (c *Cluster) Close() error {
+	var errs []error
+	for i, ing := range c.ings {
+		if err := ing.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Query is a standing query registered on every shard, answered by merging
+// the shards' wire snapshots.
+type Query struct {
+	c    *Cluster
+	id   int
+	spec eagr.QuerySpec
+	agg  eagr.Aggregate
+	qs   []*eagr.Query
+}
+
+// ID returns the cluster-local query id.
+func (q *Query) ID() int { return q.id }
+
+// Spec returns the registered QuerySpec.
+func (q *Query) Spec() eagr.QuerySpec { return q.spec }
+
+// ShardQuery exposes shard i's member query (diagnostics and tests).
+func (q *Query) ShardQuery(i int) *eagr.Query { return q.qs[i] }
+
+// Read scatter-gathers the standing query at v: one wire snapshot per
+// shard, merged and finalized through the single-process aggregate path.
+func (q *Query) Read(v graph.NodeID) (eagr.Result, error) {
+	ws := make([]agg.WirePAO, len(q.qs))
+	for i, sq := range q.qs {
+		w, err := sq.ReadWire(v)
+		if err != nil {
+			return eagr.Result{}, err
+		}
+		ws[i] = w
+	}
+	return agg.MergeWires(q.agg, ws)
+}
+
+// Close retires the query on every shard.
+func (q *Query) Close() error {
+	q.c.qmu.Lock()
+	delete(q.c.queries, q.id)
+	q.c.qmu.Unlock()
+	var errs []error
+	for _, sq := range q.qs {
+		if err := sq.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	eagr "repro"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// TestOwnerIsStableAndBalanced pins down the partitioner contract: pure,
+// total over shard counts, and roughly balanced on a contiguous id range.
+func TestOwnerIsStableAndBalanced(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		counts := make([]int, shards)
+		for v := 0; v < 10000; v++ {
+			s := Owner(graph.NodeID(v), shards)
+			if s != Owner(graph.NodeID(v), shards) {
+				t.Fatalf("Owner(%d, %d) not stable", v, shards)
+			}
+			if s < 0 || s >= shards {
+				t.Fatalf("Owner(%d, %d) = %d out of range", v, shards, s)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if shards > 1 && (c < 10000/shards/2 || c > 10000*2/shards) {
+				t.Fatalf("shards=%d: shard %d owns %d of 10000 nodes", shards, s, c)
+			}
+		}
+	}
+}
+
+// oracleSpecs is every query family the property test drives: each built-in
+// aggregate except topk~ (its bounded candidate list is admission-order
+// dependent, so sharded answers legitimately differ — see package doc),
+// tuple and time windows, a 2-hop member that merges into the first spec's
+// overlay family.
+var oracleSpecs = []eagr.QuerySpec{
+	{Aggregate: "sum", WindowTuples: 3},
+	{Aggregate: "sum", WindowTuples: 3, Hops: 2},
+	{Aggregate: "count", WindowTime: 40},
+	{Aggregate: "avg", WindowTuples: 2},
+	{Aggregate: "max", WindowTuples: 4},
+	{Aggregate: "min", WindowTime: 60},
+	{Aggregate: "stddev", WindowTuples: 4},
+	{Aggregate: "topk(3)", WindowTuples: 5},
+	{Aggregate: "distinct", WindowTime: 50},
+	{Aggregate: "distinct~", WindowTime: 30},
+}
+
+// TestShardedMatchesOracle is the correctness spine of the scale-out layer:
+// 2- and 3-shard clusters fed random mixed batches (content, edge churn,
+// node churn, watermark-driven expiry) must answer every query at every
+// node exactly like a never-sharded single Session that saw the same
+// stream.
+func TestShardedMatchesOracle(t *testing.T) {
+	for _, shards := range []int{2, 3} {
+		for seed := int64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				t.Parallel()
+				runShardedOracle(t, shards, seed)
+			})
+		}
+	}
+}
+
+func runShardedOracle(t *testing.T, shards int, seed int64) {
+	g := workload.SocialGraph(48, 4, seed)
+	oracle, err := eagr.Open(g.Clone(), eagr.Options{Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := Open(g, Options{Shards: shards, Session: eagr.Options{Iterations: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var oqs []*eagr.Query
+	var cqs []*Query
+	for _, spec := range oracleSpecs {
+		oq, err := oracle.Register(spec)
+		if err != nil {
+			t.Fatalf("oracle %+v: %v", spec, err)
+		}
+		cq, err := cluster.Register(spec)
+		if err != nil {
+			t.Fatalf("cluster %+v: %v", spec, err)
+		}
+		oqs = append(oqs, oq)
+		cqs = append(cqs, cq)
+	}
+
+	rng := rand.New(rand.NewSource(seed * 1013))
+	alive := oracle.Graph().Nodes()
+	ts := int64(1)
+	for batch := 0; batch < 24; batch++ {
+		n := 30 + rng.Intn(41)
+		events := make([]eagr.Event, 0, n)
+		for i := 0; i < n; i++ {
+			ts += int64(rng.Intn(3))
+			pick := func() eagr.NodeID { return alive[rng.Intn(len(alive))] }
+			switch p := rng.Float64(); {
+			case p < 0.65 || len(alive) < 8:
+				events = append(events, eagr.NewWrite(pick(), int64(rng.Intn(15)-4), ts))
+			case p < 0.75:
+				// May duplicate an existing edge; both sides skip it.
+				events = append(events, eagr.NewEdgeAdd(pick(), pick(), ts))
+			case p < 0.85:
+				// May miss; both sides skip it.
+				events = append(events, eagr.NewEdgeRemove(pick(), pick(), ts))
+			case p < 0.93:
+				events = append(events, eagr.NewNodeAdd(ts))
+			default:
+				// Drop the victim from the generator's alive view right
+				// away so no later event in this run addresses it.
+				victim := rng.Intn(len(alive))
+				events = append(events, eagr.NewNodeRemove(alive[victim], ts))
+				alive = slices.Delete(alive, victim, victim+1)
+			}
+		}
+		if err := cluster.SendBatch(events); err != nil {
+			t.Fatalf("batch %d: send: %v", batch, err)
+		}
+		// Flush errors carry per-event skip errors (duplicate edges etc.);
+		// the oracle's ApplyBatch joins the same ones, so neither is fatal.
+		_ = cluster.Flush()
+		added, _ := oracle.ApplyBatchNodes(events)
+		alive = append(alive, added...)
+		if wm, ok := cluster.Watermark(); ok {
+			oracle.ExpireAll(wm)
+		}
+		if batch%6 == 5 || batch == 23 {
+			compareAll(t, batch, oracle, oqs, cqs)
+		}
+	}
+	for i := range cluster.shards {
+		assertSameGraph(t, oracle.Graph(), cluster.Shard(i).Graph(), i)
+	}
+}
+
+// compareAll reads every query at every node id ever allocated on both
+// sides; errors (reads on removed nodes) must agree too.
+func compareAll(t *testing.T, batch int, oracle *eagr.Session, oqs []*eagr.Query, cqs []*Query) {
+	t.Helper()
+	maxID := oracle.Graph().MaxID()
+	for qi := range oqs {
+		for v := 0; v < maxID; v++ {
+			want, werr := oqs[qi].Read(eagr.NodeID(v))
+			got, gerr := cqs[qi].Read(eagr.NodeID(v))
+			if (werr != nil) != (gerr != nil) {
+				t.Fatalf("batch %d, query %+v, node %d: oracle err %v, cluster err %v",
+					batch, oqs[qi].Spec(), v, werr, gerr)
+			}
+			if werr == nil && !want.Eq(got) {
+				t.Fatalf("batch %d, query %+v, node %d: oracle %+v, cluster %+v",
+					batch, oqs[qi].Spec(), v, want, got)
+			}
+		}
+	}
+}
+
+// assertSameGraph checks full structural equality — the replicas (and the
+// oracle) must agree on alive ids and adjacency, or the free-list node-id
+// determinism the design depends on has broken.
+func assertSameGraph(t *testing.T, want, got *graph.Graph, shard int) {
+	t.Helper()
+	if want.MaxID() != got.MaxID() || want.NumNodes() != got.NumNodes() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("shard %d: graph shape (%d,%d,%d), oracle (%d,%d,%d)", shard,
+			got.MaxID(), got.NumNodes(), got.NumEdges(),
+			want.MaxID(), want.NumNodes(), want.NumEdges())
+	}
+	for v := 0; v < want.MaxID(); v++ {
+		id := graph.NodeID(v)
+		if want.Alive(id) != got.Alive(id) {
+			t.Fatalf("shard %d: node %d alive=%v, oracle %v", shard, v, got.Alive(id), want.Alive(id))
+		}
+		if !want.Alive(id) {
+			continue
+		}
+		wo := slices.Clone(want.Out(id))
+		go_ := slices.Clone(got.Out(id))
+		slices.Sort(wo)
+		slices.Sort(go_)
+		if !slices.Equal(wo, go_) {
+			t.Fatalf("shard %d: node %d out-edges %v, oracle %v", shard, v, go_, wo)
+		}
+	}
+}
+
+// TestClusterWatermarkIsMin pins the coordinator time contract: the
+// cluster watermark is the minimum over shards that have applied events,
+// and absent until at least one shard has.
+func TestClusterWatermarkIsMin(t *testing.T) {
+	g := workload.SocialGraph(32, 3, 1)
+	cluster, err := Open(g, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, ok := cluster.Watermark(); ok {
+		t.Fatal("watermark reported before any event applied")
+	}
+	// Find one node owned by each shard so both watermarks advance, to
+	// different maxima.
+	var owned [2]eagr.NodeID
+	var found [2]bool
+	for v := 0; v < 32 && !(found[0] && found[1]); v++ {
+		s := Owner(graph.NodeID(v), 2)
+		if !found[s] {
+			owned[s], found[s] = graph.NodeID(v), true
+		}
+	}
+	if err := cluster.Send(eagr.NewWrite(owned[0], 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wm, ok := cluster.Watermark()
+	if !ok || wm != 100 {
+		t.Fatalf("one-shard watermark = (%d,%v), want (100,true)", wm, ok)
+	}
+	if err := cluster.Send(eagr.NewWrite(owned[1], 1, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wm, ok = cluster.Watermark()
+	if !ok || wm != 40 {
+		t.Fatalf("two-shard watermark = (%d,%v), want min (40,true)", wm, ok)
+	}
+}
+
+// TestClusterRoutesContentToOwner checks the partitioner is actually used:
+// a content write lands only on its owner's shard.
+func TestClusterRoutesContentToOwner(t *testing.T) {
+	g := workload.SocialGraph(32, 3, 1)
+	cluster, err := Open(g, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	v := eagr.NodeID(5)
+	if err := cluster.Send(eagr.NewWrite(v, 7, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range cluster.Stats() {
+		want := int64(0)
+		if i == Owner(v, 3) {
+			want = 1
+		}
+		if st.Applied != want {
+			t.Fatalf("shard %d applied %d events, want %d", i, st.Applied, want)
+		}
+	}
+}

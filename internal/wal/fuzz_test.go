@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// segBytes renders a valid one-segment log (batch + register + expire)
+// through the real writer and returns the raw file, for seeding the fuzzer
+// with well-formed input it can mutate into near-valid corruption.
+func segBytes(f *testing.F) []byte {
+	dir := f.TempDir()
+	fs, err := NewOsFS(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	l, err := Open(fs, Options{Policy: SyncNone})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, _, err := l.AppendBatch([]graph.Event{
+		{Kind: graph.ContentWrite, Node: 1, Value: 7, TS: 5},
+		{Kind: graph.EdgeAdd, Node: 2, Peer: 3, TS: 6},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := l.AppendRegister(1, []byte(`{"aggregate":"sum"}`)); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := l.AppendExpire(9); err != nil {
+		f.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "wal-00000001.seg"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzWALScan throws arbitrary bytes at the recovery path as the first
+// segment of a log. Whatever the bytes, Open must not panic; when it
+// succeeds, the recovered log must scan cleanly, stay appendable, and a
+// clean-close reopen must see the appended record's LSN with no further
+// truncation — the crash-recovery contract for any on-disk state.
+func FuzzWALScan(f *testing.F) {
+	real := segBytes(f)
+	hdr := make([]byte, segHdrLen)
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	f.Add([]byte{})
+	f.Add(append([]byte{}, hdr...))
+	f.Add(append(append([]byte{}, hdr...), 0xde, 0xad, 0xbe, 0xef))
+	f.Add(real)
+	f.Add(real[:len(real)-3])                              // torn final record
+	f.Add(append(slices.Clone(real), hdr...))              // valid log + garbage tail
+	f.Add(append(slices.Clone(real), real[segHdrLen:]...)) // duplicated records: LSN continuity break
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal-00000001.seg"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := NewOsFS(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(fs, Options{Policy: SyncNone})
+		if err != nil {
+			// Only fs failures reach here; corruption is truncated, not
+			// reported. Nothing to assert against a dead filesystem.
+			t.Skip()
+		}
+		scanned := 0
+		var lastDelivered uint64
+		if err := l.Scan(0, func(r Record) error {
+			scanned++
+			lastDelivered = r.LSN
+			return nil
+		}); err != nil {
+			t.Fatalf("scan after recovery: %v", err)
+		}
+		deliveredAll := lastDelivered == l.LastLSN()
+		lsn, _, err := l.AppendBatch([]graph.Event{{Kind: graph.ContentWrite, Node: 1, Value: 42, TS: 10}})
+		if err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+
+		l2, err := Open(fs, Options{Policy: SyncNone})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer l2.Close()
+		if l2.Truncated() {
+			t.Fatal("reopen after clean close reports truncation")
+		}
+		if got := l2.LastLSN(); got != lsn {
+			t.Fatalf("reopen LastLSN = %d, want appended %d", got, lsn)
+		}
+		rescanned := 0
+		if err := l2.Scan(0, func(Record) error { rescanned++; return nil }); err != nil {
+			t.Fatalf("rescan: %v", err)
+		}
+		// A frame-valid record with an undecodable body (CRC-correct junk
+		// type) stops delivery without erroring, so the appended record is
+		// only guaranteed to surface when the first scan delivered the
+		// whole log.
+		if deliveredAll && rescanned != scanned+1 {
+			t.Fatalf("rescan delivered %d records, want %d", rescanned, scanned+1)
+		}
+		if !deliveredAll && rescanned != scanned {
+			t.Fatalf("rescan delivered %d records, first scan %d", rescanned, scanned)
+		}
+	})
+}
