@@ -238,6 +238,36 @@ func BenchmarkOpSubscribeFanoutBatch(b *testing.B) {
 	benchfix.RunWriteBatch(b, eng, writes, 1)
 }
 
+// benchAutotuneShift measures a mixed Zipf stream whose hot set has
+// drifted away from the workload the overlay was planned for. The tuned
+// variant lets the autotune controller adapt (frontier flips + re-plan
+// cutover) during warm-up; the off variant measures the stale plan. The
+// gap is the self-driving adaptivity win.
+func benchAutotuneShift(b *testing.B, tuned bool) {
+	sys, events, err := benchfix.AutotuneShiftFixture(tuned)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchfix.RunSystemMixed(b, sys, events)
+}
+
+func BenchmarkOpAutotuneShiftingZipf(b *testing.B)    { benchAutotuneShift(b, true) }
+func BenchmarkOpAutotuneShiftingZipfOff(b *testing.B) { benchAutotuneShift(b, false) }
+
+// benchResyncCutover measures the online ResyncPushState cutover — the
+// no-quiescence primitive behind autotune's re-plan path — as a function
+// of overlay size.
+func benchResyncCutover(b *testing.B, nodes int) {
+	eng, err := benchfix.ResyncEngine(nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchfix.RunResync(b, eng)
+}
+
+func BenchmarkOpResyncCutover2k(b *testing.B) { benchResyncCutover(b, 2000) }
+func BenchmarkOpResyncCutover8k(b *testing.B) { benchResyncCutover(b, 8000) }
+
 // BenchmarkOpIngestMixedBatch measures unified mixed ingestion: ApplyBatch
 // over a content stream with periodic structural churn bursts, each burst
 // coalesced into one overlay repair per query instead of one per event.

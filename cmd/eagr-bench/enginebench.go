@@ -252,6 +252,13 @@ var seedBaseline = map[string]engineBenchResult{
 	// and a merged 2-shard scatter-gather read.
 	"OpShardedIngest": {NsPerOp: 366.7, OpsPerSec: 2.73e6, AllocsPerOp: 0, BytesPerOp: 0},
 	"OpShardedRead":   {NsPerOp: 449.5, OpsPerSec: 2.22e6, AllocsPerOp: 4, BytesPerOp: 240},
+	// Measured just before the self-driving adaptivity controller landed:
+	// the shifting-Zipf fixture could only run its stale seed-1 plan
+	// against the seed-7 hot set (the value the Off variant still
+	// reproduces), and the online resync cutover at the two fixture sizes.
+	"OpAutotuneShiftingZipf": {NsPerOp: 134.3, OpsPerSec: 7.45e6, AllocsPerOp: 0, BytesPerOp: 0},
+	"OpResyncCutover2k":      {NsPerOp: 1.90e6, OpsPerSec: 527, AllocsPerOp: 10660, BytesPerOp: 1067289},
+	"OpResyncCutover8k":      {NsPerOp: 8.68e6, OpsPerSec: 115, AllocsPerOp: 41527, BytesPerOp: 4339305},
 }
 
 func toResult(r testing.BenchmarkResult) engineBenchResult {
@@ -424,6 +431,41 @@ func runEngineBench(path string) error {
 		cur[m.name] = r
 		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	// Self-driving adaptivity: the shifting-Zipf drift fixture with the
+	// controller adapting during warm-up vs the stale plan as compiled,
+	// and the online resync cutover primitive at two overlay sizes.
+	autotunes := []struct {
+		name  string
+		tuned bool
+	}{
+		{"OpAutotuneShiftingZipf", true},
+		{"OpAutotuneShiftingZipfOff", false},
+	}
+	for _, m := range autotunes {
+		sys, events, err := benchfix.AutotuneShiftFixture(m.tuned)
+		if err != nil {
+			return err
+		}
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunSystemMixed(b, sys, events)
+		}))
+		cur[m.name] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	for _, n := range []int{2000, 8000} {
+		eng, err := benchfix.ResyncEngine(n)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("OpResyncCutover%dk", n/1000)
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunResync(b, eng)
+		}))
+		cur[name] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
 	// Durability: checkpoint write cost on a loaded session, and cold
 	// recovery replaying an 8k-event WAL tail through the apply path.

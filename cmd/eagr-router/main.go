@@ -157,6 +157,53 @@ func (rt *router) do(method, shardURL, path string, body []byte, out any) (int, 
 	return resp.StatusCode, nil
 }
 
+// shardErr is one shard's fan-out failure: the shard index, the HTTP status
+// it answered with (0 when the request never completed), and the error.
+type shardErr struct {
+	shard int
+	code  int
+	err   error
+}
+
+// fanout runs fn for every shard concurrently and waits for all of them.
+// Per-shard ordering is preserved because every caller holds rt.mu across
+// the whole fan-out: concurrent router requests never interleave their
+// fan-outs, only the shards WITHIN one fan-out run in parallel — so each
+// shard still observes the structural stream in router order, at the
+// latency of the slowest shard instead of the sum of all shards. The
+// lowest-indexed failure is returned, keeping error attribution
+// deterministic under concurrency.
+func (rt *router) fanout(fn func(i int, base string) (int, error)) *shardErr {
+	errs := make([]*shardErr, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, base := range rt.shards {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			if code, err := fn(i, base); err != nil {
+				errs[i] = &shardErr{shard: i, code: code, err: err}
+			}
+		}(i, base)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// status maps a shard failure onto the router's response status: client
+// errors and Gone relay as-is, everything else (including transport
+// failures, code 0) is a bad gateway.
+func (e *shardErr) status() int {
+	if e.code >= 400 && e.code < 500 || e.code == http.StatusGone {
+		return e.code
+	}
+	return http.StatusBadGateway
+}
+
 // handleRegister registers the query on every shard (same body, so the
 // shards compile identical overlay families) and records the id mapping.
 // A partial failure retires the already-registered copies: shard query
@@ -366,18 +413,18 @@ func (rt *router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	// Sequential fan-out: shard i+1 starts after shard i acknowledged, so
-	// a failure can name the shard that broke the replica invariant.
-	var minWM int64
-	haveWM := false
-	for i, base := range rt.shards {
+	// Concurrent fan-out: every shard receives its substream in parallel
+	// (rt.mu, held across the whole fan-out, is what keeps per-shard
+	// ordering intact between requests), so a mixed batch costs the
+	// slowest shard's apply, not the sum.
+	wms := make([]*int64, len(rt.shards))
+	if ferr := rt.fanout(func(i int, base string) (int, error) {
 		if bufs[i].Len() == 0 {
-			continue
+			return 0, nil
 		}
 		resp, err := rt.client.Post(base+"/ingest", "application/x-ndjson", bytes.NewReader(bufs[i].Bytes()))
 		if err != nil {
-			httpError(w, http.StatusBadGateway, "shard %d: %v", i, err)
-			return
+			return 0, err
 		}
 		var ack struct {
 			Accepted  int    `json:"accepted"`
@@ -387,15 +434,22 @@ func (rt *router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		err = json.NewDecoder(resp.Body).Decode(&ack)
 		resp.Body.Close()
 		if err != nil {
-			httpError(w, http.StatusBadGateway, "shard %d: decode: %v", i, err)
-			return
+			return resp.StatusCode, fmt.Errorf("decode: %v", err)
 		}
 		if resp.StatusCode >= 300 || ack.Error != "" {
-			httpError(w, http.StatusBadGateway, "shard %d: %s %s", i, resp.Status, ack.Error)
-			return
+			return resp.StatusCode, fmt.Errorf("%s %s", resp.Status, ack.Error)
 		}
-		if ack.Watermark != nil && (!haveWM || *ack.Watermark < minWM) {
-			minWM, haveWM = *ack.Watermark, true
+		wms[i] = ack.Watermark
+		return resp.StatusCode, nil
+	}); ferr != nil {
+		httpError(w, http.StatusBadGateway, "shard %d: %v", ferr.shard, ferr.err)
+		return
+	}
+	var minWM int64
+	haveWM := false
+	for _, wm := range wms {
+		if wm != nil && (!haveWM || *wm < minWM) {
+			minWM, haveWM = *wm, true
 		}
 	}
 	resp := map[string]any{"accepted": accepted}
@@ -403,11 +457,11 @@ func (rt *router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// The fleet clock: broadcast the minimum so no shard expires
 		// windows ahead of the slowest substream.
 		body, _ := json.Marshal(map[string]int64{"ts": minWM})
-		for i, base := range rt.shards {
-			if _, err := rt.do(http.MethodPost, base, "/expire", body, nil); err != nil {
-				httpError(w, http.StatusBadGateway, "shard %d: expire: %v", i, err)
-				return
-			}
+		if ferr := rt.fanout(func(i int, base string) (int, error) {
+			return rt.do(http.MethodPost, base, "/expire", body, nil)
+		}); ferr != nil {
+			httpError(w, http.StatusBadGateway, "shard %d: expire: %v", ferr.shard, ferr.err)
+			return
 		}
 		resp["watermark"] = minWM
 	}
@@ -426,26 +480,14 @@ func (rt *router) fanoutJSON(path string) http.HandlerFunc {
 		}
 		rt.mu.Lock()
 		defer rt.mu.Unlock()
-		var first json.RawMessage
-		for i, base := range rt.shards {
-			var out json.RawMessage
-			code, err := rt.do(http.MethodPost, base, path, body, &out)
-			if err != nil && code == 0 {
-				httpError(w, http.StatusBadGateway, "shard %d: %v", i, err)
-				return
-			}
-			if err != nil {
-				status := http.StatusBadGateway
-				if code >= 400 && code < 500 || code == http.StatusGone {
-					status = code
-				}
-				httpError(w, status, "shard %d: %v", i, err)
-				return
-			}
-			if i == 0 {
-				first = out
-			}
+		outs := make([]json.RawMessage, len(rt.shards))
+		if ferr := rt.fanout(func(i int, base string) (int, error) {
+			return rt.do(http.MethodPost, base, path, body, &outs[i])
+		}); ferr != nil {
+			httpError(w, ferr.status(), "shard %d: %v", ferr.shard, ferr.err)
+			return
 		}
+		first := outs[0]
 		if len(first) > 0 {
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write(first)
@@ -461,16 +503,11 @@ func (rt *router) fanoutQuery(path string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		rt.mu.Lock()
 		defer rt.mu.Unlock()
-		for i, base := range rt.shards {
-			code, err := rt.do(r.Method, base, path+"?"+r.URL.RawQuery, nil, nil)
-			if err != nil {
-				status := http.StatusBadGateway
-				if code >= 400 && code < 500 || code == http.StatusGone {
-					status = code
-				}
-				httpError(w, status, "shard %d: %v", i, err)
-				return
-			}
+		if ferr := rt.fanout(func(i int, base string) (int, error) {
+			return rt.do(r.Method, base, path+"?"+r.URL.RawQuery, nil, nil)
+		}); ferr != nil {
+			httpError(w, ferr.status(), "shard %d: %v", ferr.shard, ferr.err)
+			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	}
@@ -486,11 +523,12 @@ func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
 	reads, queries := rt.reads, len(rt.queries)
 	rt.qmu.Unlock()
 	shardStats := make([]json.RawMessage, len(rt.shards))
-	for i, base := range rt.shards {
+	_ = rt.fanout(func(i int, base string) (int, error) {
 		if _, err := rt.do(http.MethodGet, base, "/stats", nil, &shardStats[i]); err != nil {
 			shardStats[i], _ = json.Marshal(map[string]string{"error": err.Error()})
 		}
-	}
+		return 0, nil
+	})
 	writeJSON(w, map[string]any{
 		"shards":          len(rt.shards),
 		"contentRouted":   writes,

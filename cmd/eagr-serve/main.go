@@ -61,6 +61,11 @@ func main() {
 		tsJump   = flag.Int64("ingest-max-ts-jump", 0, "reject /ingest events whose timestamp runs further than this ahead of the stream (0 = unbounded; guards the watermark against corrupt far-future timestamps)")
 		manualEx = flag.Bool("ingest-manual-expire", false, "do not expire time-based windows on the local ingest watermark; only POST /expire advances them (for shard servers behind eagr-router, which owns the fleet-wide minimum watermark)")
 
+		autotune         = flag.Bool("autotune", false, "run the self-driving adaptivity controller: background sampling of observed push/pull rates, frontier flips, cold-view demotion, and full re-plan cutovers (see /stats \"autotune\")")
+		autotuneInterval = flag.Duration("autotune-interval", 2*time.Second, "controller sampling period with -autotune")
+		autotuneRatio    = flag.Float64("autotune-ratio", 1.15, "observed-cost/fresh-plan-cost ratio that triggers a full re-plan cutover with -autotune")
+		autotuneCooldown = flag.Duration("autotune-cooldown", 30*time.Second, "minimum time between re-plan cutovers per overlay with -autotune")
+
 		dataDir    = flag.String("data-dir", "", "durability directory: WAL + checkpoints (empty = in-memory only)")
 		fsyncMode  = flag.String("fsync", "per-batch", "WAL fsync policy with -data-dir: per-batch | interval | off")
 		fsyncEvery = flag.Duration("fsync-interval", time.Second, "fsync cadence under -fsync interval")
@@ -85,6 +90,13 @@ func main() {
 	}
 
 	opts := eagr.Options{Algorithm: *alg, Iterations: 6}
+	if *autotune {
+		opts.Autotune = &eagr.AutotuneOptions{
+			Interval:         *autotuneInterval,
+			DegradationRatio: *autotuneRatio,
+			Cooldown:         *autotuneCooldown,
+		}
+	}
 	var sess *eagr.Session
 	recoveredQueries := 0
 	if *dataDir != "" {
@@ -161,6 +173,9 @@ func main() {
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
 		api.Close()
+		// Stop the adaptivity controller before the final checkpoint so no
+		// re-plan cutover races the durability close.
+		sess.StopAutotune()
 		if *dataDir != "" {
 			// Final checkpoint + clean-shutdown marker: the next start
 			// skips WAL replay entirely.

@@ -66,8 +66,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/agg"
+	"repro/internal/autotune"
 	"repro/internal/construct"
 	"repro/internal/core"
 	"repro/internal/dataflow"
@@ -200,6 +202,53 @@ type Options struct {
 	// on-demand read cost (in cost-model units); pull subtrees over the
 	// bound are pre-computed instead.
 	MaxReadCost float64
+	// Autotune, when non-nil, starts the session's self-driving adaptivity
+	// controller (see AutotuneOptions and WithAutotune). It is a
+	// session-level setting: only the Options value passed to Open (or
+	// OpenDurable) is consulted, never per-Register overrides, and it has
+	// no effect on query sharing keys.
+	Autotune *AutotuneOptions
+}
+
+// AutotuneOptions configure the background adaptivity controller: a
+// per-session goroutine that samples the engines' live push/pull
+// observations into a decayed workload estimate and re-optimizes running
+// overlays online — incremental frontier flips, cold-view demotion in
+// merged families, and full re-plan cutovers when the observed-workload
+// cost of the current decisions degrades past a threshold. All actions ride
+// the online resync: ingestion and reads never pause. Zero fields take
+// documented defaults.
+type AutotuneOptions struct {
+	// Interval is the controller's sampling period (default 2s).
+	Interval time.Duration
+	// Decay is the per-tick retention of the workload estimate in [0,1)
+	// (default 0.5; higher remembers longer).
+	Decay float64
+	// MinActivity is the decayed observation count required before the
+	// controller retargets views or re-plans (default 256).
+	MinActivity float64
+	// ColdFactor/HotFactor bound the view hysteresis band as fractions of
+	// the mean per-view read rate (defaults 0.1 and 0.5): a push view
+	// colder than ColdFactor×mean demotes to pull, a demoted view hotter
+	// than HotFactor×mean promotes back.
+	ColdFactor, HotFactor float64
+	// DegradationRatio triggers a full re-plan cutover when the current
+	// decisions cost more than this multiple of a fresh plan under the
+	// observed workload (default 1.15).
+	DegradationRatio float64
+	// Cooldown is the minimum time between re-plan cutovers on one overlay
+	// (default 30s; negative disables the cooldown).
+	Cooldown time.Duration
+}
+
+// WithAutotune returns an Options value enabling the self-driving
+// adaptivity controller, for passing to Open:
+//
+//	sess, err := eagr.Open(g, eagr.WithAutotune(eagr.AutotuneOptions{}))
+//
+// To combine with other session defaults, set Options.Autotune directly.
+func WithAutotune(a AutotuneOptions) Options {
+	return Options{Autotune: &a}
 }
 
 // Update is one continuous-query delivery: the standing query at Node
@@ -222,6 +271,12 @@ type Session struct {
 	// OpenDurable; the mutators check it with one nil test, so the
 	// durability-off hot paths stay allocation-free.
 	dur *durableState
+	// tuner is the self-driving adaptivity controller, nil unless enabled
+	// (Options.Autotune or EnableAutotune). The write/read hot paths never
+	// touch it; it samples the engines' always-on observation counters from
+	// its own goroutine.
+	tuner   *autotune.Controller
+	tunerMu sync.Mutex
 
 	mu      sync.Mutex
 	queries map[int]*Query
@@ -240,12 +295,50 @@ func Open(g *Graph, opts ...Options) (*Session, error) {
 	if len(opts) == 1 {
 		o = opts[0]
 	}
-	return &Session{
+	s := &Session{
 		g:        g,
 		defaults: o,
 		multi:    core.NewMulti(g),
 		queries:  map[int]*Query{},
-	}, nil
+	}
+	if o.Autotune != nil {
+		s.EnableAutotune(*o.Autotune)
+	}
+	return s, nil
+}
+
+// EnableAutotune starts the session's background adaptivity controller (see
+// AutotuneOptions); it is what Open does when Options.Autotune is set. A
+// no-op if the controller is already running. The controller runs until
+// StopAutotune.
+func (s *Session) EnableAutotune(a AutotuneOptions) {
+	s.tunerMu.Lock()
+	defer s.tunerMu.Unlock()
+	if s.tuner == nil {
+		s.tuner = autotune.New(s.multi, autotune.Config{
+			Interval:         a.Interval,
+			Decay:            a.Decay,
+			MinActivity:      a.MinActivity,
+			ColdFactor:       a.ColdFactor,
+			HotFactor:        a.HotFactor,
+			DegradationRatio: a.DegradationRatio,
+			Cooldown:         a.Cooldown,
+		})
+	}
+	s.tuner.Start()
+}
+
+// StopAutotune halts the background adaptivity controller and waits for any
+// in-flight pass to finish. A no-op when the controller never ran;
+// idempotent. Counters survive, so SessionStats keeps reporting what the
+// controller did, and EnableAutotune can restart it.
+func (s *Session) StopAutotune() {
+	s.tunerMu.Lock()
+	t := s.tuner
+	s.tunerMu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
 }
 
 // Register compiles spec into a standing query and returns its handle. An
@@ -697,6 +790,45 @@ type SessionStats struct {
 	// DroppedUpdates counts subscription deliveries discarded because
 	// consumers fell behind, summed over all live queries.
 	DroppedUpdates int64
+	// Adaptivity is the session's live adaptivity state — observation
+	// totals and last-rebalance outcome — populated whether or not the
+	// autotune controller is running (POST /rebalance feeds it too).
+	Adaptivity AdaptivityStats
+	// Autotune reports the self-driving adaptivity controller; zero with
+	// Enabled=false when it was never started.
+	Autotune AutotuneStats
+}
+
+// AdaptivityStats aggregates the adaptivity telemetry of every compiled
+// overlay in the session.
+type AdaptivityStats struct {
+	// PushObserved/PullObserved are total push/pull observations drained
+	// from the engines' per-node counters (by rebalances or the autotune
+	// controller) since the session opened.
+	PushObserved, PullObserved int64
+	// Rebalances counts rebalance passes across all overlays; LastFlips
+	// sums each overlay's most recent pass's flips, and LastRebalanceNano
+	// is the wall-clock time (UnixNano) of the newest pass anywhere (0 if
+	// none ran).
+	Rebalances        int64
+	LastFlips         int
+	LastRebalanceNano int64
+}
+
+// AutotuneStats is the public snapshot of the background adaptivity
+// controller's counters (see AutotuneOptions for the knobs behind them).
+type AutotuneStats struct {
+	// Enabled reports whether the controller's loop is currently running.
+	Enabled bool
+	// Ticks counts controller passes; Flips the frontier decision flips it
+	// applied; ViewDemotions/ViewPromotions the merged-family member views
+	// it retargeted; Reoptimizes the full re-plan cutovers.
+	Ticks, Flips, ViewDemotions, ViewPromotions, Reoptimizes int64
+	// LastTrigger describes the most recent action ("" if none yet).
+	LastTrigger string
+	// EstimatedCost/PlanCost are the latest degradation check: the cost of
+	// the current decisions under the observed workload vs a fresh plan.
+	EstimatedCost, PlanCost float64
 }
 
 // Stats returns current session-wide statistics.
@@ -709,7 +841,31 @@ func (s *Session) Stats() SessionStats {
 		st.Readers += ov.Readers
 		st.Partials += ov.Partials
 		st.Edges += ov.Edges
+		ad := sys.AdaptivityStats()
+		st.Adaptivity.PushObserved += ad.PushObserved
+		st.Adaptivity.PullObserved += ad.PullObserved
+		st.Adaptivity.Rebalances += ad.Rebalances
+		st.Adaptivity.LastFlips += ad.LastFlips
+		if ad.LastRebalanceNano > st.Adaptivity.LastRebalanceNano {
+			st.Adaptivity.LastRebalanceNano = ad.LastRebalanceNano
+		}
 	}
+	s.tunerMu.Lock()
+	if t := s.tuner; t != nil {
+		ts := t.Stats()
+		st.Autotune = AutotuneStats{
+			Enabled:        ts.Running,
+			Ticks:          ts.Ticks,
+			Flips:          ts.Flips,
+			ViewDemotions:  ts.ViewDemotions,
+			ViewPromotions: ts.ViewPromotions,
+			Reoptimizes:    ts.Reoptimizes,
+			LastTrigger:    ts.LastTrigger,
+			EstimatedCost:  ts.EstimatedCost,
+			PlanCost:       ts.PlanCost,
+		}
+	}
+	s.tunerMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st.Queries = len(s.queries)

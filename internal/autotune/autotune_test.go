@@ -1,0 +1,329 @@
+package autotune
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// pairGraph builds n disjoint writer→reader pairs: edge i → i+n, so node i
+// writes and node i+n aggregates over it. The attached plan workload is
+// write-heavy (writers at 100, readers read at 0.01), which the decision
+// procedure provably compiles to all-pull readers.
+func pairGraph(t *testing.T, n int) (*core.MultiSystem, *core.System) {
+	t.Helper()
+	g := graph.NewWithNodes(2 * n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan := dataflow.NewWorkload(g.MaxID())
+	for i := 0; i < n; i++ {
+		plan.Write[i] = 100
+		plan.Read[i+n] = 0.01
+	}
+	m := core.NewMulti(g)
+	att, err := m.Attach("pair-sum",
+		core.Query{Aggregate: agg.Sum{}, Window: agg.NewTupleWindow(1)},
+		core.Options{Algorithm: core.Baseline, Workload: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := att.System()
+	for i := 0; i < n; i++ {
+		if sys.Engine().Covered(graph.NodeID(i + n)) {
+			t.Fatalf("reader %d compiled to push under a write-heavy plan", i+n)
+		}
+	}
+	return m, sys
+}
+
+// TestAutotuneFlipsHotPullReader drives a workload shift the adaptive
+// scheme can answer incrementally: the single pull reader of a 0→1 pair
+// turns read-hot (256 reads, no writes), which contradicts the write-heavy
+// plan at a frontier node. One controller tick must apply the frontier
+// flip — the reader becomes push-covered — without a full reoptimize.
+func TestAutotuneFlipsHotPullReader(t *testing.T) {
+	m, sys := pairGraph(t, 1)
+	for i := 0; i < 256; i++ {
+		if _, err := sys.Read(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl := New(m, Config{MinActivity: 1})
+	ctl.TickNow()
+	st := ctl.Stats()
+	if st.Flips < 1 {
+		t.Fatalf("expected >=1 frontier flip, got stats %+v", st)
+	}
+	if !strings.Contains(st.LastTrigger, "rebalance") {
+		t.Fatalf("LastTrigger = %q, want a rebalance trigger", st.LastTrigger)
+	}
+	if !sys.Engine().Covered(1) {
+		t.Fatal("hot pull reader was not flipped to push")
+	}
+	if st.Reoptimizes != 0 {
+		t.Fatalf("incremental flip escalated to %d reoptimize(s)", st.Reoptimizes)
+	}
+	ast := sys.AdaptivityStats()
+	if ast.Rebalances < 1 || ast.LastFlips < 1 {
+		t.Fatalf("core adaptivity stats missed the rebalance: %+v", ast)
+	}
+	if ast.PullObserved < 256 {
+		t.Fatalf("PullObserved = %d, want >= 256", ast.PullObserved)
+	}
+}
+
+// TestAutotuneShiftTriggersExactlyOneReoptimize drives a shift spread so
+// thin (8 reads per reader, under the adaptor's 64-sample window) that no
+// frontier flip can answer it — only the cost-degradation signal fires.
+// The plan said write-heavy; the observed stream is read-heavy, so the
+// all-pull decisions cost ~8x a fresh plan and the controller must cut
+// over via Reoptimize exactly once: the cooldown and the now-correct plan
+// (hysteresis) both forbid a second cutover while the same shifted
+// workload keeps flowing.
+func TestAutotuneShiftTriggersExactlyOneReoptimize(t *testing.T) {
+	const pairs = 200
+	m, sys := pairGraph(t, pairs)
+	ctl := New(m, Config{MinActivity: 1, DegradationRatio: 1.05, Cooldown: time.Hour})
+	ctl.now = func() time.Time { return time.Unix(1000, 0) }
+	round := func() {
+		for i := 0; i < pairs; i++ {
+			if err := sys.Write(graph.NodeID(i), 1, 1); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 8; k++ {
+				if _, err := sys.Read(graph.NodeID(i + pairs)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	round()
+	ctl.TickNow()
+	st := ctl.Stats()
+	if st.Reoptimizes != 1 {
+		t.Fatalf("Reoptimizes = %d after the shift, want exactly 1 (stats %+v)", st.Reoptimizes, st)
+	}
+	if st.Flips != 0 {
+		t.Fatalf("flips fired below the sample window: %+v", st)
+	}
+	if !strings.Contains(st.LastTrigger, "reoptimize") {
+		t.Fatalf("LastTrigger = %q, want a reoptimize trigger", st.LastTrigger)
+	}
+	if st.EstimatedCost <= st.PlanCost {
+		t.Fatalf("degradation check recorded no gap: cost %v <= plan %v", st.EstimatedCost, st.PlanCost)
+	}
+	if !sys.Engine().Covered(graph.NodeID(pairs)) {
+		t.Fatal("cutover did not re-plan the hot readers to push")
+	}
+	// Hysteresis: the same shifted workload keeps flowing, the controller
+	// keeps ticking, and the count must stay at one.
+	for j := 0; j < 5; j++ {
+		round()
+		ctl.TickNow()
+	}
+	if got := ctl.Stats().Reoptimizes; got != 1 {
+		t.Fatalf("Reoptimizes = %d after settling, want exactly 1", got)
+	}
+}
+
+// TestAutotuneColdViewDemotionPromotion checks the member-view hysteresis
+// band on a merged all-push family of two overlapping views: reading only
+// view A demotes cold view B to pull; view B heating past the promotion
+// bar brings it back. Reads are spread across nodes (6 per reader, under
+// the adaptor window) so only the view signal can act.
+func TestAutotuneColdViewDemotionPromotion(t *testing.T) {
+	g := workload.SocialGraph(200, 6, 1)
+	m := core.NewMulti(g)
+	attach := func(i, hi int) *core.Attachment {
+		pred := func(_ *graph.Graph, v graph.NodeID) bool { return int(v) < hi }
+		att, err := m.AttachMerged(fmt.Sprintf("view-q%d", i), "fam",
+			core.Query{Aggregate: agg.Sum{}, Window: agg.NewTupleWindow(1), Predicate: pred},
+			core.Options{Algorithm: construct.AlgVNMA, Mode: core.ModeAllPush,
+				Construct: construct.Config{Iterations: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return att
+	}
+	a0, a1 := attach(0, 100), attach(1, 150)
+	sys := a0.System()
+	if a1.System() != sys {
+		t.Fatal("family members did not merge into one system")
+	}
+	tag0, tag1 := a0.ViewTag(), a1.ViewTag()
+	if !sys.ViewCovered(tag1, 50) {
+		t.Fatal("all-push family member starts uncovered")
+	}
+	ctl := New(m, Config{MinActivity: 1})
+
+	readView := func(tag int32, hi int) {
+		for r := 0; r < 6; r++ {
+			for v := 0; v < hi; v++ {
+				if _, err := sys.ReadView(tag, graph.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	readView(tag0, 100)
+	ctl.TickNow()
+	st := ctl.Stats()
+	if st.ViewDemotions < 1 {
+		t.Fatalf("cold view was not demoted: %+v", st)
+	}
+	if sys.ViewCovered(tag1, 50) {
+		t.Fatal("demoted view still push-covered")
+	}
+	if !sys.ViewCovered(tag0, 50) {
+		t.Fatal("hot view lost its push coverage")
+	}
+
+	readView(tag1, 150)
+	ctl.TickNow()
+	st = ctl.Stats()
+	if st.ViewPromotions < 1 {
+		t.Fatalf("reheated view was not promoted: %+v", st)
+	}
+	if !sys.ViewCovered(tag1, 50) {
+		t.Fatal("promoted view still uncovered")
+	}
+}
+
+// TestAutotuneControllerStress races the background controller loop (1ms
+// interval: sampling, flips, view retuning and reoptimize cutovers)
+// against concurrent batched writes, reads, structural edge churn, and
+// merged-family attach/detach. Run under -race in CI.
+func TestAutotuneControllerStress(t *testing.T) {
+	g := workload.SocialGraph(400, 6, 1)
+	m := core.NewMulti(g)
+	plan := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	if _, err := m.Attach("stress-sum",
+		core.Query{Aggregate: agg.Sum{}, Window: agg.NewTupleWindow(1)},
+		core.Options{Algorithm: core.Baseline, Workload: plan}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		lo := i * 200
+		pred := func(_ *graph.Graph, v graph.NodeID) bool { return int(v) >= lo && int(v) < lo+250 }
+		if _, err := m.AttachMerged(fmt.Sprintf("stress-view%d", i), "stress-fam",
+			core.Query{Aggregate: agg.Sum{}, Window: agg.NewTupleWindow(1), Predicate: pred},
+			core.Options{Algorithm: construct.AlgVNMA, Mode: core.ModeAllPush,
+				Construct: construct.Config{Iterations: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shifted := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 7)
+	var writes []graph.Event
+	for _, ev := range workload.Events(shifted, 1<<13, 9) {
+		if ev.Kind == graph.ContentWrite {
+			writes = append(writes, ev)
+		}
+	}
+
+	ctl := New(m, Config{Interval: time.Millisecond, MinActivity: 1,
+		DegradationRatio: 1.02, Cooldown: -1})
+	ctl.Start()
+	ctl.Start() // idempotent
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // batched ingestion
+		defer wg.Done()
+		for i := 0; ; i += 512 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			off := i % (len(writes) - 512)
+			if err := m.WriteBatch(writes[off : off+512]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // point reads across every system
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, sys := range m.Systems() {
+				_, _ = sys.Read(graph.NodeID(i % 400))
+			}
+		}
+	}()
+	go func() { // structural churn: toggle edges absent from the base graph
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := graph.NodeID((i*131 + 17) % 400)
+			v := graph.NodeID((i*197 + 89) % 400)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := m.AddEdge(u, v); err != nil {
+				continue
+			}
+			if err := m.RemoveEdge(u, v); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // attach/retire merged members while the controller runs
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pred := func(_ *graph.Graph, v graph.NodeID) bool { return int(v) < 120 }
+			att, err := m.AttachMerged(fmt.Sprintf("stress-churn%d", i), "stress-fam",
+				core.Query{Aggregate: agg.Sum{}, Window: agg.NewTupleWindow(1), Predicate: pred},
+				core.Options{Algorithm: construct.AlgVNMA, Mode: core.ModeAllPush,
+					Construct: construct.Config{Iterations: 3}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := m.Detach(att); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(250 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	ctl.Stop()
+	ctl.Stop() // idempotent
+	st := ctl.Stats()
+	if st.Running {
+		t.Fatal("controller still running after Stop")
+	}
+	if st.Ticks == 0 {
+		t.Fatal("background loop never ticked")
+	}
+}

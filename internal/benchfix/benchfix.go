@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/agg"
+	"repro/internal/autotune"
 	"repro/internal/bipartite"
 	"repro/internal/construct"
 	"repro/internal/core"
@@ -312,6 +313,117 @@ func RunWrites(b *testing.B, eng *exec.Engine, writes []graph.Event) {
 	for i := 0; i < b.N; i++ {
 		ev := writes[i%len(writes)]
 		if err := eng.Write(ev.Node, ev.Value, ev.TS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AutotuneShiftFixture builds the workload-drift fixture behind the
+// OpAutotuneShiftingZipf pair: one dataflow-mode SUM query over the
+// standard 2000-node social graph, planned for a 1:1 Zipf workload with
+// one hot set (seed 1), then warmed with a SHIFTED Zipf stream (seed 7)
+// whose hot writers and readers land elsewhere — so the compiled push/pull
+// decisions are wrong for the traffic actually observed. With tuned=true
+// the warm-up interleaves manual controller ticks (TickNow on a
+// never-Started controller, keeping the fixture deterministic): frontier
+// flips and a re-plan cutover adapt the overlay to the shifted hot set
+// before measurement. With tuned=false the stale plan is measured as-is.
+// The ns/op gap between the two is the controller's win.
+func AutotuneShiftFixture(tuned bool) (*core.System, []graph.Event, error) {
+	g := workload.SocialGraph(2000, 8, 1)
+	m := core.NewMulti(g)
+	plan := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	att, err := m.Attach("autotune-shift-sum",
+		core.Query{Aggregate: agg.Sum{}, Window: agg.NewTupleWindow(1)},
+		core.Options{Algorithm: core.Baseline, Workload: plan})
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := att.System()
+	shifted := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 7)
+	events := workload.Events(shifted, 1<<16, 9)
+	var ctl *autotune.Controller
+	if tuned {
+		ctl = autotune.New(m, autotune.Config{
+			MinActivity:      1,
+			DegradationRatio: 1.02,
+			Cooldown:         -1, // re-plan whenever the cost check demands it
+		})
+	}
+	// Warm-up: 8 passes over an 8192-event prefix of the shifted stream,
+	// one controller tick per pass when tuned. The untuned fixture runs
+	// the identical passes so window state matches.
+	for pass := 0; pass < 8; pass++ {
+		for _, ev := range events[:1<<13] {
+			if ev.Kind == graph.Read {
+				_, _ = sys.Read(ev.Node)
+			} else if err := sys.Write(ev.Node, ev.Value, ev.TS); err != nil {
+				return nil, nil, err
+			}
+		}
+		if ctl != nil {
+			ctl.TickNow()
+		}
+	}
+	return sys, events, nil
+}
+
+// RunSystemMixed is the mixed read/write measurement loop over a
+// core.System, used by the autotune benches where the push/pull decisions
+// differ between fixture builds.
+func RunSystemMixed(b *testing.B, sys *core.System, events []graph.Event) {
+	if len(events) == 0 {
+		b.Fatal("benchfix: no events in fixture")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i&(len(events)-1)]
+		if ev.Kind == graph.Read {
+			_, _ = sys.Read(ev.Node)
+		} else {
+			_ = sys.Write(ev.Node, ev.Value, ev.TS)
+		}
+	}
+}
+
+// ResyncEngine builds the online-cutover fixture behind OpResyncCutover*:
+// a social graph of the given size compiled to the baseline overlay with
+// dataflow-optimal decisions, pre-loaded with one pass of writes so the
+// resync rebuilds real push state. The measured op — ResyncPushState — is
+// the no-quiescence cutover primitive the autotune controller's re-plan
+// path leans on; running it at two sizes charts cutover latency against
+// overlay size.
+func ResyncEngine(nodes int) (*exec.Engine, error) {
+	g := workload.SocialGraph(nodes, 8, 1)
+	ag := bipartite.Build(g, graph.InNeighbors{}, graph.AllNodes)
+	ov := construct.Baseline(ag)
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	f, err := dataflow.ComputeFreqs(ov, wl, 1)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dataflow.Decide(ov, f, dataflow.ModelFor(agg.Sum{})); err != nil {
+		return nil, err
+	}
+	eng, err := exec.New(ov, agg.Sum{}, agg.NewTupleWindow(1))
+	if err != nil {
+		return nil, err
+	}
+	for i, ev := range Writes(workload.Events(wl, 1<<14, 2)) {
+		if err := eng.Write(ev.Node, ev.Value, int64(i+1)); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// RunResync measures repeated online ResyncPushState cutovers.
+func RunResync(b *testing.B, eng *exec.Engine) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.ResyncPushState(); err != nil {
 			b.Fatal(err)
 		}
 	}

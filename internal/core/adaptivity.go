@@ -1,0 +1,236 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+)
+
+// This file is the adaptivity surface a background controller (package
+// autotune) drives: draining the engine's live push/pull observations into
+// graph-level workload samples, applying pending frontier flips, force-
+// demoting/promoting member views, and costing the current decisions
+// against a fresh plan for the observed workload. Everything here is also
+// usable on demand (Rebalance, the /rebalance endpoint) — the controller
+// merely calls it on a clock.
+
+// AdaptivityStats is the externally visible adaptivity state of one system:
+// monotonic totals of the push/pull observations drained from the engine
+// and the outcome of the most recent rebalance, available whether or not a
+// background controller is running.
+type AdaptivityStats struct {
+	// PushObserved/PullObserved are the total observation counts drained
+	// from the engine's per-node counters since the system started.
+	PushObserved, PullObserved int64
+	// Rebalances counts Rebalance/ApplyFlips passes; LastFlips is the flip
+	// count of the most recent pass and LastRebalanceNano its wall-clock
+	// time (UnixNano; 0 if no pass has run).
+	Rebalances        int64
+	LastFlips         int
+	LastRebalanceNano int64
+}
+
+// AdaptivityStats returns the system's adaptivity telemetry. Lock-free.
+func (s *System) AdaptivityStats() AdaptivityStats {
+	return AdaptivityStats{
+		PushObserved:      s.obsPush.Load(),
+		PullObserved:      s.obsPull.Load(),
+		Rebalances:        s.rebalances.Load(),
+		LastFlips:         int(s.lastFlips.Load()),
+		LastRebalanceNano: s.lastRebalanceNano.Load(),
+	}
+}
+
+// Sample is one drained window of engine observations translated into
+// graph-level terms: per-writer-node write counts, per-reader-node read
+// counts (merged views fold onto their base data-graph node), per-view-tag
+// read counts, and the adaptor's current frontier-flip pressure.
+type Sample struct {
+	WriterWrites map[graph.NodeID]float64
+	ReaderReads  map[graph.NodeID]float64
+	ViewReads    map[int32]float64
+	// Pressure is the number of frontier nodes whose filled observation
+	// window contradicts their decision — what ApplyFlips would flip now.
+	Pressure int
+	// Activity is the total drained observation count (pushes + pulls,
+	// including interior overlay nodes).
+	Activity float64
+}
+
+// SampleObservations drains the engine's push/pull counters, feeds them to
+// the adaptive scheme (so a later ApplyFlips sees them), and returns the
+// window translated into graph terms for workload estimation. It shares the
+// cumulative telemetry with Rebalance; the two may be freely interleaved.
+func (s *System) SampleObservations() Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pushes, pulls := s.drainObservationsLocked()
+	smp := Sample{
+		WriterWrites: make(map[graph.NodeID]float64),
+		ReaderReads:  make(map[graph.NodeID]float64),
+		ViewReads:    make(map[int32]float64),
+	}
+	for ref, c := range pushes {
+		smp.Activity += c
+		if int(ref) >= s.ov.Len() || !s.ov.Alive(ref) {
+			continue
+		}
+		if n := s.ov.Node(ref); n.Kind == overlay.WriterNode {
+			smp.WriterWrites[n.GID] += c
+		}
+	}
+	for ref, c := range pulls {
+		smp.Activity += c
+		if int(ref) >= s.ov.Len() || !s.ov.Alive(ref) {
+			continue
+		}
+		// Every read bumps its reader's pull counter exactly once whether
+		// the reader is push- or pull-annotated (interior pulls land on
+		// partials/writers, skipped here), so reader pulls ARE read rates.
+		if s.ov.Node(ref).Kind == overlay.ReaderNode {
+			smp.ReaderReads[s.ov.ReaderNodeOf(ref)] += c
+			smp.ViewReads[s.ov.TagOf(ref)] += c
+		}
+	}
+	smp.Pressure = s.adaptor.Pressure()
+	return smp
+}
+
+// drainObservationsLocked moves the engine's observation window into the
+// adaptor and the cumulative telemetry. Callers hold s.mu.
+func (s *System) drainObservationsLocked() (pushes, pulls map[overlay.NodeRef]float64) {
+	pushes, pulls = s.engine().Observations()
+	var p, l float64
+	for _, c := range pushes {
+		p += c
+	}
+	for _, c := range pulls {
+		l += c
+	}
+	s.obsPush.Add(int64(p))
+	s.obsPull.Add(int64(l))
+	s.adaptor.ObserveBatch(pushes, pulls)
+	return pushes, pulls
+}
+
+// ApplyFlips applies the frontier decision flips pending from observations
+// already fed to the adaptive scheme (via SampleObservations or Rebalance),
+// resynchronizing push-side state when any occurred. Unlike Rebalance it
+// does not drain a fresh observation window first.
+func (s *System) ApplyFlips() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyRebalanceLocked()
+}
+
+// applyRebalanceLocked runs the adaptor's rebalance pass, records the
+// telemetry, and resyncs engine state when decisions flipped. Callers hold
+// s.mu.
+func (s *System) applyRebalanceLocked() (int, error) {
+	flips := s.adaptor.Rebalance()
+	s.rebalances.Add(1)
+	s.lastFlips.Store(int64(flips))
+	s.lastRebalanceNano.Store(time.Now().UnixNano())
+	if flips > 0 {
+		if err := s.engine().ResyncPushState(); err != nil {
+			return flips, err
+		}
+	}
+	return flips, nil
+}
+
+// DecisionMode returns the effective decision mode the system compiled with
+// (Continuous queries report ModeAllPush, an empty requested mode
+// ModeDataflow).
+func (s *System) DecisionMode() Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opts.Mode
+}
+
+// ViewDecisions reports, per live member view tag, whether the view's
+// readers are currently push-maintained (true when any live reader of the
+// view is Push).
+func (s *System) ViewDecisions() map[int32]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int32]bool)
+	for i := range s.views {
+		if s.views[i].live {
+			out[s.views[i].tag] = false
+		}
+	}
+	s.ov.ForEachNode(func(ref overlay.NodeRef, n *overlay.Node) {
+		if n.Kind != overlay.ReaderNode || n.Dec != overlay.Push {
+			return
+		}
+		t := s.ov.TagOf(ref)
+		if _, ok := out[t]; ok {
+			out[t] = true
+		}
+	})
+	return out
+}
+
+// RetargetViews force-demotes the readers of the demote views to pull and
+// promotes the readers of the promote views to push, resynchronizing engine
+// state online. Readers are overlay sinks, so demotion never violates the
+// decision-consistency constraint; promotion repairs it by pushing the
+// promoted readers' input subtrees (RepairDecisions). It returns the number
+// of reader decisions changed. Note that a structural repair on an all-push
+// system re-forces push everywhere (afterMaintenance), undoing demotions —
+// the background controller simply re-applies them on its next pass.
+func (s *System) RetargetViews(demote, promote []int32) (int, error) {
+	if len(demote) == 0 && len(promote) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want := make(map[int32]overlay.Decision, len(demote)+len(promote))
+	for _, t := range demote {
+		want[t] = overlay.Pull
+	}
+	for _, t := range promote {
+		want[t] = overlay.Push
+	}
+	changed := 0
+	s.ov.ForEachNode(func(ref overlay.NodeRef, n *overlay.Node) {
+		if n.Kind != overlay.ReaderNode {
+			return
+		}
+		if dec, ok := want[s.ov.TagOf(ref)]; ok && n.Dec != dec {
+			n.Dec = dec
+			changed++
+		}
+	})
+	if changed == 0 {
+		return 0, nil
+	}
+	if len(promote) > 0 {
+		dataflow.RepairDecisions(s.ov)
+	}
+	return changed, s.engine().ResyncPushState()
+}
+
+// EstimateCosts evaluates the §4.3 objective for workload wl under the
+// system's CURRENT decisions, and under a fresh dataflow plan computed for
+// that workload on a clone of the overlay (the live overlay and its
+// decisions are untouched). The ratio current/fresh is the degradation
+// signal the background controller uses to decide when a full Reoptimize
+// cutover pays for itself.
+func (s *System) EstimateCosts(wl *dataflow.Workload) (current, fresh float64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := dataflow.ComputeFreqs(s.ov, s.stridedWorkload(wl), s.windowSizeHint())
+	if err != nil {
+		return 0, 0, err
+	}
+	current = dataflow.TotalCost(s.ov, f, s.cost)
+	clone := s.ov.Clone()
+	if _, err := dataflow.Decide(clone, f, s.cost); err != nil {
+		return 0, 0, err
+	}
+	return current, dataflow.TotalCost(clone, f, s.cost), nil
+}

@@ -164,6 +164,14 @@ type System struct {
 	// node ids the current structural run removed: decideAndStart's window
 	// carry-over must not replay their old content onto reused ids.
 	rebuildSkip map[graph.NodeID]bool
+
+	// Adaptivity telemetry: monotonic totals of drained push/pull
+	// observations and the outcome of the most recent rebalance. Atomics so
+	// stats readers never contend with the mutators holding mu.
+	obsPush, obsPull  atomic.Int64
+	rebalances        atomic.Int64
+	lastFlips         atomic.Int64
+	lastRebalanceNano atomic.Int64
 }
 
 // engine returns the current execution engine. Full recompiles swap it
@@ -548,15 +556,8 @@ func (s *System) AG() *bipartite.AG { return s.ag }
 func (s *System) Rebalance() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	pushes, pulls := s.engine().Observations()
-	s.adaptor.ObserveBatch(pushes, pulls)
-	flips := s.adaptor.Rebalance()
-	if flips > 0 {
-		if err := s.engine().ResyncPushState(); err != nil {
-			return flips, err
-		}
-	}
-	return flips, nil
+	s.drainObservationsLocked()
+	return s.applyRebalanceLocked()
 }
 
 // Reoptimize recomputes dataflow decisions from a new expected workload

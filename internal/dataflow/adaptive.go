@@ -131,6 +131,31 @@ func (a *Adaptor) Rebalance() int {
 	return flips
 }
 
+// Pressure counts the frontier nodes whose observed activity has filled the
+// monitoring window AND contradicts their current decision — exactly the
+// flips the next Rebalance would apply. Counters are not consumed, so a
+// background controller can poll Pressure cheaply and only pay for a
+// Rebalance (and the push-state resync it forces) when there is something
+// to flip.
+func (a *Adaptor) Pressure() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pending := 0
+	a.ov.ForEachNode(func(ref overlay.NodeRef, n *overlay.Node) {
+		if !a.frontier(ref) {
+			return
+		}
+		if a.pushes[ref]+a.pulls[ref] < a.MinSamples {
+			return
+		}
+		w := a.pulls[ref]*a.m.PullCost(a.deg[ref]) - a.pushes[ref]*a.m.PushCost(a.deg[ref])
+		if (n.Dec == overlay.Pull && w > 0) || (n.Dec == overlay.Push && w < 0) {
+			pending++
+		}
+	})
+	return pending
+}
+
 // Decisions returns a snapshot of the current decisions (for tests).
 func (a *Adaptor) Decisions() map[overlay.NodeRef]overlay.Decision {
 	a.mu.Lock()

@@ -972,6 +972,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"servedReads":     s.reads.Load(),
 		"servedWatches":   s.watches.Load(),
 		"ingest":          ingest,
+		// Adaptivity state is always surfaced: POST /rebalance and the
+		// autotune controller both feed the same per-overlay telemetry.
+		"adaptivity": map[string]any{
+			"pushObserved":      st.Adaptivity.PushObserved,
+			"pullObserved":      st.Adaptivity.PullObserved,
+			"rebalances":        st.Adaptivity.Rebalances,
+			"lastFlips":         st.Adaptivity.LastFlips,
+			"lastRebalanceNano": st.Adaptivity.LastRebalanceNano,
+		},
+	}
+	if at := st.Autotune; at.Enabled || at.Ticks > 0 {
+		resp["autotune"] = map[string]any{
+			"enabled":        at.Enabled,
+			"ticks":          at.Ticks,
+			"flips":          at.Flips,
+			"viewDemotions":  at.ViewDemotions,
+			"viewPromotions": at.ViewPromotions,
+			"reoptimizes":    at.Reoptimizes,
+			"lastTrigger":    at.LastTrigger,
+			"estimatedCost":  at.EstimatedCost,
+			"planCost":       at.PlanCost,
+		}
 	}
 	if dst := s.sess.DurabilityStats(); dst.Enabled {
 		durability := map[string]any{
