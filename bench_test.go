@@ -11,6 +11,7 @@ package eagr
 
 import (
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -324,6 +325,64 @@ func BenchmarkOpIngestorThroughput(b *testing.B) {
 	}
 	b.StopTimer()
 }
+
+// BenchmarkOpIngestorThroughputParallel measures the pipelined ingest
+// path: slabs of events through SendEvents into the sharded apply worker
+// pool (ApplyWorkers defaults to GOMAXPROCS, so `go test -cpu=1,2,4`
+// charts the scaling curve; at one proc the Ingestor degenerates to the
+// sequential worker, which is the same-semantics baseline the parallel
+// path must never fall behind).
+func BenchmarkOpIngestorThroughputParallel(b *testing.B) {
+	sess, writes := ingestorFixture(b)
+	ing, err := sess.Ingest(IngestOptions{
+		BatchSize:     1024,
+		QueueDepth:    8,
+		FlushInterval: -1,
+		Clock:         LogicalClock(),
+		ApplyWorkers:  runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const slab = 512
+	buf := make([]Event, 0, slab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := writes[i%len(writes)]
+		buf = append(buf, NewWrite(ev.Node, ev.Value, int64(i+1)))
+		if len(buf) == slab {
+			if _, err := ing.SendEvents(buf); err != nil {
+				b.Fatal(err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := ing.SendEvents(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+// benchExpireSparse measures a watermark advance over 2000 live
+// time-window writers where only ~one writer expires per tick: the
+// heap-indexed ExpireAll (O(expired)) against the full-walk
+// ExpireAllScan reference (O(writers)).
+func benchExpireSparse(b *testing.B, scan bool) {
+	eng, err := benchfix.ExpiryEngine(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchfix.RunExpireSparse(b, eng, scan)
+}
+
+func BenchmarkOpExpireSparse(b *testing.B)     { benchExpireSparse(b, false) }
+func BenchmarkOpExpireSparseScan(b *testing.B) { benchExpireSparse(b, true) }
 
 func BenchmarkOpSumDataflow(b *testing.B) { benchOps(b, construct.AlgVNMA, "dataflow", agg.Sum{}) }
 func BenchmarkOpSumAllPush(b *testing.B)  { benchOps(b, "baseline", "push", agg.Sum{}) }

@@ -52,6 +52,57 @@ func benchIngestorThroughput(b *testing.B) {
 	b.StopTimer()
 }
 
+// benchIngestorThroughputParallel is the -engine-bench twin of the repo's
+// BenchmarkOpIngestorThroughputParallel: slabs of events through
+// SendEvents into the pipelined apply worker pool, ApplyWorkers pinned to
+// the current GOMAXPROCS (the -cpu sweep sets it per run). At one proc
+// the Ingestor degenerates to the sequential worker.
+func benchIngestorThroughputParallel(b *testing.B) {
+	g := workload.SocialGraph(2000, 8, 1)
+	sess, err := eagr.Open(g, eagr.Options{Algorithm: "baseline", Mode: "all-push"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Register(eagr.QuerySpec{Aggregate: "sum"}); err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.ZipfWorkload(g.MaxID(), 1.0, 1e6, 1, 1)
+	writes := benchfix.Writes(workload.Events(wl, 1<<16, 2))
+	ing, err := sess.Ingest(eagr.IngestOptions{
+		BatchSize:     1024,
+		QueueDepth:    8,
+		FlushInterval: -1,
+		Clock:         eagr.LogicalClock(),
+		ApplyWorkers:  runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const slab = 512
+	buf := make([]eagr.Event, 0, slab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := writes[i%len(writes)]
+		buf = append(buf, eagr.NewWrite(ev.Node, ev.Value, int64(i+1)))
+		if len(buf) == slab {
+			if _, err := ing.SendEvents(buf); err != nil {
+				b.Fatal(err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := ing.SendEvents(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
 // benchShardCluster opens a 2-shard cluster over the micro fixture graph
 // with one standing sum query — the same fixture as OpIngestorThroughput,
 // so the coordinator's routing + replication overhead is directly
@@ -259,6 +310,15 @@ var seedBaseline = map[string]engineBenchResult{
 	"OpAutotuneShiftingZipf": {NsPerOp: 134.3, OpsPerSec: 7.45e6, AllocsPerOp: 0, BytesPerOp: 0},
 	"OpResyncCutover2k":      {NsPerOp: 1.90e6, OpsPerSec: 527, AllocsPerOp: 10660, BytesPerOp: 1067289},
 	"OpResyncCutover8k":      {NsPerOp: 8.68e6, OpsPerSec: 115, AllocsPerOp: 41527, BytesPerOp: 4339305},
+	// Measured just before the multi-core ingestion pipeline landed: a
+	// watermark advance walked every writer (the value ExpireAllScan still
+	// reproduces — 2000 live time-window writers, ~1 actual expiry per
+	// tick), and the Ingestor had a single sequential apply worker, so the
+	// per-core rows all start from the one-worker per-event Send cost.
+	"OpExpireSparse":                     {NsPerOp: 67697.0, OpsPerSec: 14.8e3, AllocsPerOp: 0, BytesPerOp: 0},
+	"OpIngestorThroughputParallel/cpu=1": {NsPerOp: 312.0, OpsPerSec: 3.21e6, AllocsPerOp: 0, BytesPerOp: 0},
+	"OpIngestorThroughputParallel/cpu=2": {NsPerOp: 312.0, OpsPerSec: 3.21e6, AllocsPerOp: 0, BytesPerOp: 0},
+	"OpIngestorThroughputParallel/cpu=4": {NsPerOp: 312.0, OpsPerSec: 3.21e6, AllocsPerOp: 0, BytesPerOp: 0},
 }
 
 func toResult(r testing.BenchmarkResult) engineBenchResult {
@@ -277,8 +337,9 @@ func toResult(r testing.BenchmarkResult) engineBenchResult {
 // runEngineBench measures the BenchmarkOp* micros (via the shared
 // internal/benchfix fixture, the same one bench_test.go drives) through
 // testing.Benchmark and writes BENCH_engine.json (current + recorded seed
-// baseline) to path.
-func runEngineBench(path string) error {
+// baseline) to path. cpus lists the GOMAXPROCS values the
+// parallel-ingest sweep pins (the -cpu flag).
+func runEngineBench(path string, cpus []int) error {
 	cur := map[string]engineBenchResult{}
 	fmt.Println("engine micro-benchmarks (this takes ~30s):")
 	micros := []struct {
@@ -415,6 +476,45 @@ func runEngineBench(path string) error {
 		cur["OpIngestorThroughput"] = r
 		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			"OpIngestorThroughput", r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	// Pipelined ingestion across core counts (the -cpu sweep): the same
+	// content stream in SendEvents slabs through the partitioned apply
+	// worker pool, GOMAXPROCS pinned per run. Fig 13(d)'s scaling story at
+	// micro-benchmark scale.
+	{
+		prev := runtime.GOMAXPROCS(0)
+		for _, c := range cpus {
+			runtime.GOMAXPROCS(c)
+			name := fmt.Sprintf("OpIngestorThroughputParallel/cpu=%d", c)
+			r := toResult(testing.Benchmark(benchIngestorThroughputParallel))
+			cur[name] = r
+			fmt.Printf("  %-34s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+				name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+	// Watermark expiry with 2000 live time-window writers and ~1 actual
+	// expiry per tick: the heap-indexed O(expired) path vs the full-walk
+	// O(writers) reference it replaced.
+	expiries := []struct {
+		name string
+		scan bool
+	}{
+		{"OpExpireSparse", false},
+		{"OpExpireSparseScan", true},
+	}
+	for _, m := range expiries {
+		eng, err := benchfix.ExpiryEngine(1000)
+		if err != nil {
+			return err
+		}
+		scan := m.scan
+		r := toResult(testing.Benchmark(func(b *testing.B) {
+			benchfix.RunExpireSparse(b, eng, scan)
+		}))
+		cur[m.name] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
 	// Scale-out: the sharded coordinator's per-event routing cost (hash
 	// the owner, stamp time, enqueue on that shard's Ingestor) and merged

@@ -15,10 +15,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
+
+// parseCPUList parses the -cpu flag: a comma-separated list of positive
+// GOMAXPROCS values for the parallel-ingest sweep.
+func parseCPUList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -cpu entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-cpu list is empty")
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -31,11 +54,17 @@ func main() {
 		quick  = flag.Bool("quick", false, "shrink datasets for a fast pass")
 		engB   = flag.Bool("engine-bench", false, "run the engine micro-benchmarks and write BENCH_engine.json")
 		engOut = flag.String("engine-bench-out", "BENCH_engine.json", "output path for -engine-bench")
+		cpus   = flag.String("cpu", "1,2,4", "comma-separated GOMAXPROCS values for the -engine-bench parallel-ingest sweep")
 	)
 	flag.Parse()
 
 	if *engB {
-		if err := runEngineBench(*engOut); err != nil {
+		cpuList, err := parseCPUList(*cpus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "engine-bench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runEngineBench(*engOut, cpuList); err != nil {
 			fmt.Fprintf(os.Stderr, "engine-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +100,17 @@ type IngestOptions struct {
 	// DisableAutoExpire turns off watermark-driven window expiry; the
 	// caller owns ExpireAll again.
 	DisableAutoExpire bool
+	// ApplyWorkers sizes the pipelined apply pool: dequeued batches are
+	// split into content runs partitioned across this many persistent
+	// workers by data-graph node (per-node — and therefore per-writer —
+	// order is preserved; writer slots are 1:1 with nodes in every
+	// compiled overlay), with structural runs acting as barriers, so one
+	// batch's apply overlaps the next batch's buffering AND the batch
+	// after's apply. 0 means GOMAXPROCS; 1 forces the sequential single
+	// worker. Durable sessions always use the sequential worker: the WAL
+	// append and the apply must stay under one lock so checkpoints never
+	// observe a half-applied batch.
+	ApplyWorkers int
 }
 
 // withDefaults fills unset options.
@@ -118,15 +130,24 @@ func (o IngestOptions) withDefaults() IngestOptions {
 	if o.Lateness < 0 {
 		o.Lateness = 0
 	}
+	if o.ApplyWorkers <= 0 {
+		o.ApplyWorkers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
 // Ingestor is a Session's streaming ingestion handle: a buffered,
 // batching, backpressured front-end to ApplyBatch that also makes time
 // first-class. Events accumulate into batches (flushed by size, by
-// interval, or explicitly) and a background worker applies them in send
-// order — content runs through the sharded parallel write path, structural
-// runs through the coalesced repair path.
+// interval, or explicitly) and a background apply stage applies them in
+// send order — content runs through the sharded parallel write path,
+// structural runs through the coalesced repair path. With ApplyWorkers >
+// 1 (the default on multi-core hosts, for non-durable sessions) the apply
+// stage is PIPELINED: successive batches' content runs overlap across a
+// node-partitioned worker pool while structural events fence, so ingest
+// throughput scales with cores instead of being bounded by one apply
+// goroutine; per-node apply order, watermark monotonicity and Flush/Close
+// barriers are identical to the sequential worker (see runPipelined).
 //
 // The Ingestor tracks a low watermark over applied timestamps: the maximum
 // timestamp seen minus the configured Lateness. Every time the watermark
@@ -156,6 +177,9 @@ type Ingestor struct {
 	stopTick chan struct{}
 
 	bufPool sync.Pool
+	// chunkPool recycles the pipelined path's per-worker content
+	// partitions (see runPipelined).
+	chunkPool sync.Pool
 
 	maxTS     atomic.Int64 // max applied timestamp; MinInt64 until one applies
 	watermark atomic.Int64
@@ -213,7 +237,16 @@ func (s *Session) Ingest(opts IngestOptions) (*Ingestor, error) {
 			ing.watermark.Store(wm)
 		}
 	}
-	go ing.run()
+	if w := o.ApplyWorkers; w > 1 && s.dur == nil {
+		// Pipelined apply: content runs fan out across a persistent
+		// worker pool and successive batches overlap. Durable sessions
+		// keep the sequential worker — their WAL append and apply share
+		// one critical section (see durableState.logged), which an
+		// asynchronous apply would break.
+		go ing.runPipelined(w)
+	} else {
+		go ing.run()
+	}
 	if o.FlushInterval > 0 {
 		go ing.tick()
 	}
@@ -248,6 +281,34 @@ func (ing *Ingestor) SendEvent(ev Event) error {
 	if ing.closed {
 		return ErrIngestorClosed
 	}
+	return ing.sendLocked(ev)
+}
+
+// SendEvents ingests a slice of events in order under ONE mutex
+// acquisition — the batch-parse fast path (the HTTP /ingest handler decodes
+// a request body into event slabs and hands them over whole). It returns
+// the number of events accepted: on error, events before that index were
+// accepted and will apply, the event AT that index was rejected, and no
+// later event was examined — exactly the state a SendEvent loop stopping
+// at the first failure would leave. The caller keeps ownership of evs.
+func (ing *Ingestor) SendEvents(evs []Event) (int, error) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.closed {
+		return 0, ErrIngestorClosed
+	}
+	for i, ev := range evs {
+		if err := ing.sendLocked(ev); err != nil {
+			return i, err
+		}
+	}
+	return len(evs), nil
+}
+
+// sendLocked is the accept path shared by SendEvent and SendEvents:
+// stamping, the MaxTimestampJump guard, buffering and size-triggered
+// flushes, all under ing.mu.
+func (ing *Ingestor) sendLocked(ev Event) error {
 	if ev.TS == 0 {
 		// Stamp under the mutex: buffer order and timestamp order agree,
 		// so an Ingestor-clocked stream is in-order at the watermark even
@@ -401,6 +462,187 @@ func (ing *Ingestor) run() {
 	}
 }
 
+// --- Pipelined apply (ApplyWorkers > 1, non-durable sessions) ---
+//
+// The sequential worker above applies one batch at a time: batch N+1 waits
+// in the queue while batch N runs through ApplyBatch. The pipelined path
+// keeps the queue/buffer stages untouched but splits the apply stage into
+// a dispatcher, a pool of persistent content workers, and a completer:
+//
+//	queue ──▶ dispatcher: split batch into runs
+//	            content run    → partition by node across W workers
+//	            structural run → FENCE (drain all workers), apply inline
+//	          workers: apply partition serially per engine (order kept)
+//	          completer: per batch IN ORDER — wait its chunks, advance
+//	                     watermark, signal Flush/Close, recycle buffers
+//
+// Stream semantics are preserved exactly: events on one node always hash
+// to the same worker and worker channels are FIFO, so per-node (and, as
+// writer slots are 1:1 with nodes, per-writer) order holds across
+// overlapping batches; structural fences drain every in-flight content
+// chunk before the graph mutates, reproducing ApplyBatch's run barriers;
+// and the completer advances the watermark in batch order, so expiry
+// timing is monotone just as under the sequential worker.
+
+// pjob is one dequeued batch in flight through the pipeline: wg counts its
+// undone content chunks; errs collects structural apply errors (content
+// writes cannot fail — unknown nodes are absorbed, exactly as in
+// ApplyBatch). errs is written only by the dispatcher and read by the
+// completer after receiving pj on the jobs channel.
+type pjob struct {
+	job  ingestJob
+	wg   sync.WaitGroup
+	errs []error
+}
+
+// pchunk is one worker's message: a content partition of some batch, or a
+// barrier the worker acknowledges once every earlier chunk on its channel
+// has applied.
+type pchunk struct {
+	events  []Event
+	job     *pjob
+	barrier *sync.WaitGroup
+}
+
+// runPipelined is the pipelined apply stage: dispatcher loop, worker pool
+// and completer replacing the single run() goroutine.
+func (ing *Ingestor) runPipelined(workers int) {
+	defer close(ing.done)
+	chans := make([]chan pchunk, workers)
+	var wpool sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan pchunk, cap(ing.queue)+1)
+		wpool.Add(1)
+		go func(ch chan pchunk) {
+			defer wpool.Done()
+			for c := range ch {
+				if c.barrier != nil {
+					c.barrier.Done()
+					continue
+				}
+				ing.applyContentChunk(c.events)
+				ing.putChunk(c.events)
+				c.job.wg.Done()
+			}
+		}(chans[i])
+	}
+	jobs := make(chan *pjob, cap(ing.queue)+2)
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for pj := range jobs {
+			pj.wg.Wait()
+			job := pj.job
+			err := errors.Join(pj.errs...)
+			if len(job.events) > 0 {
+				ing.applied.Add(int64(len(job.events)))
+				ing.batches.Add(1)
+				ing.advanceWatermark(job.events)
+			}
+			if job.events != nil {
+				ing.putBuf(job.events)
+			}
+			if job.done != nil {
+				job.done <- err
+			} else if err != nil {
+				ing.recordError(err)
+			}
+		}
+	}()
+	fence := func() {
+		// Worker channels are FIFO: once every worker acknowledges the
+		// barrier, every content chunk dispatched before it has applied.
+		var b sync.WaitGroup
+		b.Add(workers)
+		for _, ch := range chans {
+			ch <- pchunk{barrier: &b}
+		}
+		b.Wait()
+	}
+	parts := make([][]Event, workers)
+	for job := range ing.queue {
+		ing.depth.Add(-1)
+		pj := &pjob{job: job}
+		events := job.events
+		for i := 0; i < len(events); {
+			j := i
+			if events[i].IsStructural() {
+				for j < len(events) && events[j].IsStructural() {
+					j++
+				}
+				// Structural events are fences: drain every in-flight
+				// content chunk — earlier batches' and this batch's — then
+				// mutate the graph inline, exactly where the event sits in
+				// the stream.
+				fence()
+				if err := ing.sess.ApplyBatch(events[i:j]); err != nil {
+					pj.errs = append(pj.errs, err)
+				}
+			} else {
+				for j < len(events) && !events[j].IsStructural() {
+					j++
+				}
+				ing.dispatchContent(pj, events[i:j], chans, parts)
+			}
+			i = j
+		}
+		jobs <- pj
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wpool.Wait()
+	close(jobs)
+	cwg.Wait()
+}
+
+// dispatchContent splits a content run into per-worker partitions by node
+// id and hands each non-empty partition to its worker. Copying into pooled
+// chunk buffers (rather than subslicing the batch) lets the batch buffer
+// recycle as soon as the completer is done with its timestamps, while
+// chunks are still in flight.
+func (ing *Ingestor) dispatchContent(pj *pjob, run []Event, chans []chan pchunk, parts [][]Event) {
+	workers := len(parts)
+	for _, ev := range run {
+		p := int(uint64(ev.Node) % uint64(workers))
+		if parts[p] == nil {
+			parts[p] = ing.getChunk()
+		}
+		parts[p] = append(parts[p], ev)
+	}
+	for p, part := range parts {
+		if part == nil {
+			continue
+		}
+		parts[p] = nil
+		pj.wg.Add(1)
+		chans[p] <- pchunk{events: part, job: pj}
+	}
+}
+
+// applyContentChunk applies one partition serially against every attached
+// system's engine. One in-pool worker per partition: the engine's own
+// batch fan-out is disabled (workers=1) so parallelism comes from the
+// partitioning, with subscription fan-out still coalesced per chunk.
+func (ing *Ingestor) applyContentChunk(events []Event) {
+	for _, sys := range ing.sess.multi.Systems() {
+		_ = sys.Engine().WriteBatchWorkers(events, 1)
+	}
+}
+
+func (ing *Ingestor) getChunk() []Event {
+	if p, ok := ing.chunkPool.Get().(*[]Event); ok {
+		return (*p)[:0]
+	}
+	return make([]Event, 0, 256)
+}
+
+func (ing *Ingestor) putChunk(c []Event) {
+	c = c[:0]
+	ing.chunkPool.Put(&c)
+}
+
 // tick is the interval flusher: a partial buffer never waits longer than
 // FlushInterval for the next size-triggered flush. A full queue skips the
 // tick (the next send or tick retries) so the flusher never stalls.
@@ -430,8 +672,9 @@ func (ing *Ingestor) tick() {
 
 // advanceWatermark folds a batch's timestamps into the max-observed
 // timestamp and, when the bounded-lateness watermark advanced, expires
-// time-based windows up to it. Only the single worker goroutine calls it,
-// so the advance is monotone.
+// time-based windows up to it. Only one goroutine calls it — the
+// sequential apply worker, or the pipelined completer (which processes
+// batches in queue order) — so the advance is monotone.
 func (ing *Ingestor) advanceWatermark(events []Event) {
 	maxTS := ing.maxTS.Load()
 	for _, ev := range events {

@@ -1,5 +1,7 @@
 package agg
 
+import "math"
+
 // Window is the sliding window w of a query ⟨F,w,N,pred⟩ (paper §2.1). A
 // window is attached to each writer node; it admits new values and expires
 // old ones, keeping the writer's PAO equal to F over the in-window values.
@@ -23,6 +25,14 @@ type Window interface {
 	// snapshot through the normal write path rebuilds the window AND every
 	// partial aggregate derived from it.
 	Snapshot(dst []WindowEntry) []WindowEntry
+	// NextExpiry returns the earliest timestamp ts at which Expire(ts)
+	// would remove a value currently in the window, and whether such a
+	// deadline exists. Windows that never expire by time (count-based
+	// windows, empty windows) report false. The deadline is a lower bound
+	// that only changes when the oldest value changes — on expiry, or on
+	// an empty→non-empty transition — which is what lets callers index it
+	// lazily (internal/exec's expiry heap) instead of polling every writer.
+	NextExpiry() (int64, bool)
 	// Clone returns an empty window with the same parameters.
 	Clone() Window
 }
@@ -68,6 +78,9 @@ func (w *TupleWindow) Add(pao PAO, v int64, ts int64) {
 
 // Expire implements Window; tuple windows never expire by time.
 func (w *TupleWindow) Expire(PAO, int64) {}
+
+// NextExpiry implements Window; tuple windows never expire by time.
+func (w *TupleWindow) NextExpiry() (int64, bool) { return 0, false }
 
 // Len implements Window.
 func (w *TupleWindow) Len() int { return w.n }
@@ -135,6 +148,21 @@ func (w *TimeWindow) Expire(pao PAO, ts int64) {
 	if i > 0 {
 		w.vals = append(w.vals[:0], w.vals[i:]...)
 	}
+}
+
+// NextExpiry implements Window: the oldest value falls out at its ts + T
+// (Expire(ts) removes values with ts' <= ts-T, so the first removal happens
+// exactly at vals[0].ts + T). The sum saturates at MaxInt64 — a value
+// written near the end of time never reports a wrapped-around deadline.
+func (w *TimeWindow) NextExpiry() (int64, bool) {
+	if len(w.vals) == 0 {
+		return 0, false
+	}
+	d := w.vals[0].ts + w.T
+	if d < w.vals[0].ts {
+		d = math.MaxInt64
+	}
+	return d, true
 }
 
 // Len implements Window.

@@ -1,0 +1,57 @@
+package agg
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTimeWindowNextExpiry pins the NextExpiry contract the engine's
+// expiry index builds on: no deadline while empty, oldest-value ts + T
+// while populated, deadline advancing as values expire, and saturation at
+// MaxInt64 when ts + T would overflow.
+func TestTimeWindowNextExpiry(t *testing.T) {
+	w := NewTimeWindow(10)
+	pao := Sum{}.NewPAO()
+	if _, ok := w.NextExpiry(); ok {
+		t.Fatal("empty window reported a deadline")
+	}
+	w.Add(pao, 1, 100)
+	w.Add(pao, 2, 105)
+	if d, ok := w.NextExpiry(); !ok || d != 110 {
+		t.Fatalf("NextExpiry = %d,%v; want 110,true", d, ok)
+	}
+	// Expire(ts) removes values with ts' <= ts-T, so the deadline is the
+	// first ts at which the oldest value actually drops.
+	w.Expire(pao, 109)
+	if d, ok := w.NextExpiry(); !ok || d != 110 {
+		t.Fatalf("deadline moved on a no-op expire: %d,%v", d, ok)
+	}
+	w.Expire(pao, 110)
+	if d, ok := w.NextExpiry(); !ok || d != 115 {
+		t.Fatalf("NextExpiry after first drop = %d,%v; want 115,true", d, ok)
+	}
+	w.Expire(pao, 115)
+	if _, ok := w.NextExpiry(); ok {
+		t.Fatal("drained window still reports a deadline")
+	}
+	// Overflow saturation: a value near the end of time must not report a
+	// wrapped-around (past) deadline.
+	w2 := NewTimeWindow(100)
+	w2.Add(Sum{}.NewPAO(), 1, math.MaxInt64-3)
+	if d, ok := w2.NextExpiry(); !ok || d != math.MaxInt64 {
+		t.Fatalf("saturated NextExpiry = %d,%v; want MaxInt64,true", d, ok)
+	}
+}
+
+// TestTupleWindowNextExpiry pins the count-window contract: never a
+// deadline, so tuple-windowed writers never enter the expiry index.
+func TestTupleWindowNextExpiry(t *testing.T) {
+	w := NewTupleWindow(3)
+	pao := Sum{}.NewPAO()
+	for i := int64(1); i <= 5; i++ {
+		w.Add(pao, i, i*10)
+		if _, ok := w.NextExpiry(); ok {
+			t.Fatal("tuple window reported a deadline")
+		}
+	}
+}

@@ -102,6 +102,12 @@ type Engine struct {
 	notify atomic.Pointer[notifyTable]
 	subMu  sync.Mutex
 
+	// expiry is the per-writer next-expiry index: ExpireAll pops only the
+	// writers whose time-window deadline the watermark has passed, so a
+	// watermark advance is O(expired writers) instead of a full walk.
+	// Writers with no time-based deadline (tuple windows) never enter it.
+	expiry expiryHeap
+
 	writes atomic.Int64
 	reads  atomic.Int64
 
@@ -142,6 +148,12 @@ type nodeState struct {
 	mu      sync.Mutex
 	pushObs atomic.Int64
 	pullObs atomic.Int64
+	// inExpiryHeap marks a writer slot registered in the engine's
+	// next-expiry index (expiry.go). Read and written only under mu, so
+	// registration can't be lost to a write racing the ExpireAll that
+	// popped the slot's entry. Shared across snapshots with the rest of
+	// the cell, so Grow/Resync don't disturb membership.
+	inExpiryHeap bool
 }
 
 // scalarCell is one overlay node's partial aggregate in scalar mode: the
@@ -359,6 +371,17 @@ func (e *Engine) writeOn(st *engineState, v graph.NodeID, value int64, ts int64,
 	ws.rec.target = st.paos[wref]
 	ws.rec.removed = ws.rec.removed[:0]
 	st.windows[wref].Add(&ws.rec, value, ts)
+	if !ns.inExpiryHeap {
+		// First value of a time window (or the first since the heap popped
+		// this writer empty): index its deadline so ExpireAll finds it
+		// without walking every writer. Tuple windows report no deadline
+		// and never register — the check is one interface call returning
+		// false on the count-window hot path.
+		if d, ok := st.windows[wref].NextExpiry(); ok {
+			ns.inExpiryHeap = true
+			e.expiry.push(d, wref)
+		}
+	}
 	removed := ws.rec.removed
 	if e.scalar != nil {
 		var remSum int64
@@ -642,55 +665,108 @@ func (e *Engine) computePull(st *engineState, ref overlay.NodeRef, rs *readScrat
 	return out
 }
 
-// ExpireAll advances time-based windows to ts at every writer, propagating
-// expirations through the push region. Tuple windows are unaffected. Safe
-// for concurrent use with all other engine methods; expiry deltas are
-// logged like writes while an online resync is in flight.
+// ExpireAll advances time-based windows to ts, propagating expirations
+// through the push region. Tuple windows are unaffected. It consults the
+// per-writer next-expiry index and touches ONLY writers whose oldest
+// in-window value has fallen due — O(expired writers) per watermark
+// advance, and a single heap peek when nothing expires. Safe for
+// concurrent use with all other engine methods; expiry deltas are logged
+// like writes while an online resync is in flight. Concurrent ExpireAll
+// calls pop disjoint writer sets; a write racing the advance is expired by
+// the next advance, exactly as under the full walk.
 func (e *Engine) ExpireAll(ts int64) {
+	if !e.expiry.due(ts) {
+		return
+	}
+	scratch := e.expiry.getScratch()
+	*scratch = e.expiry.popDue(ts, *scratch)
+	st := e.state.Load()
+	for _, wref := range *scratch {
+		if int(wref) >= len(st.nodes) {
+			// Registered under a newer snapshot than the one loaded above;
+			// slots only grow, so a fresh load contains it.
+			st = e.state.Load()
+		}
+		e.expireWriter(st, wref, ts, true)
+	}
+	e.expiry.putScratch(scratch)
+}
+
+// ExpireAllScan is the reference O(writers) implementation of ExpireAll: a
+// full walk over every writer, bypassing the next-expiry index (heap
+// membership is left untouched — stale entries are re-checked harmlessly
+// when popped). It is retained for differential testing of the indexed
+// path and produces identical window, PAO, scalar and notification effects
+// for any ts.
+func (e *Engine) ExpireAllScan(ts int64) {
 	pinned := e.state.Load()
 	for _, wref := range pinned.plan.top.Writers {
-		ws := e.getScratch()
-		ns := pinned.nodes[wref]
-		ns.mu.Lock()
-		// Re-resolve under the writer's mutex — the resync fence, exactly
-		// as in writeOn.
-		st := e.state.Load()
-		ws.rec.target = st.paos[wref]
-		ws.rec.removed = ws.rec.removed[:0]
-		st.windows[wref].Expire(&ws.rec, ts)
-		removed := ws.rec.removed
-		var remSum int64
-		if e.scalar != nil && len(removed) > 0 {
-			for _, r := range removed {
-				remSum += r
-			}
-			cell := st.scalars[wref]
-			cell.sum.Add(-remSum)
-			cell.cnt.Add(-int64(len(removed)))
-		}
-		if len(removed) > 0 {
-			if lg := e.log.Load(); lg != nil {
-				if e.scalar != nil {
-					lg.record(wref, deltaRec{epoch: st.epoch, dSum: -remSum, dCnt: -int64(len(removed))})
-				} else {
-					lg.record(wref, paoDelta(st.epoch, 0, false, removed))
-				}
-			}
-		}
-		ns.mu.Unlock()
-		if len(removed) > 0 {
-			if e.scalar != nil {
-				e.propagateScalar(st, wref, -remSum, -int64(len(removed)))
-			} else {
-				e.propagate(st, wref, nil, removed)
-			}
-			if nt := e.notify.Load(); nt != nil {
-				e.notifyFanout(nt, st, wref, ts)
-			}
-		}
-		e.putScratch(ws)
+		e.expireWriter(pinned, wref, ts, false)
 	}
 }
+
+// expireWriter advances one writer's window to ts: the exact per-writer
+// body both ExpireAll paths share. fromHeap marks a call that consumed the
+// writer's index entry (heap-driven path) and therefore owns its
+// re-registration: under the writer's mutex, after the expiry, the window
+// either reports a fresh deadline — pushed back with inExpiryHeap kept
+// true — or is deadline-free and the flag clears so the next write
+// re-registers. The scan path leaves membership alone: any live entry is
+// still in the heap and must not be duplicated.
+func (e *Engine) expireWriter(pinned *engineState, wref overlay.NodeRef, ts int64, fromHeap bool) {
+	ws := e.getScratch()
+	ns := pinned.nodes[wref]
+	ns.mu.Lock()
+	// Re-resolve under the writer's mutex — the resync fence, exactly
+	// as in writeOn.
+	st := e.state.Load()
+	ws.rec.target = st.paos[wref]
+	ws.rec.removed = ws.rec.removed[:0]
+	st.windows[wref].Expire(&ws.rec, ts)
+	removed := ws.rec.removed
+	var remSum int64
+	if e.scalar != nil && len(removed) > 0 {
+		for _, r := range removed {
+			remSum += r
+		}
+		cell := st.scalars[wref]
+		cell.sum.Add(-remSum)
+		cell.cnt.Add(-int64(len(removed)))
+	}
+	if len(removed) > 0 {
+		if lg := e.log.Load(); lg != nil {
+			if e.scalar != nil {
+				lg.record(wref, deltaRec{epoch: st.epoch, dSum: -remSum, dCnt: -int64(len(removed))})
+			} else {
+				lg.record(wref, paoDelta(st.epoch, 0, false, removed))
+			}
+		}
+	}
+	if fromHeap {
+		if d, ok := st.windows[wref].NextExpiry(); ok {
+			e.expiry.push(d, wref)
+		} else {
+			ns.inExpiryHeap = false
+		}
+	}
+	ns.mu.Unlock()
+	if len(removed) > 0 {
+		if e.scalar != nil {
+			e.propagateScalar(st, wref, -remSum, -int64(len(removed)))
+		} else {
+			e.propagate(st, wref, nil, removed)
+		}
+		if nt := e.notify.Load(); nt != nil {
+			e.notifyFanout(nt, st, wref, ts)
+		}
+	}
+	e.putScratch(ws)
+}
+
+// ExpiryIndexSize reports the number of writers currently registered in the
+// next-expiry index (writers holding at least one value with a time-based
+// deadline). Exposed for tests and diagnostics.
+func (e *Engine) ExpiryIndexSize() int { return e.expiry.size() }
 
 // Grow recompiles the plan and resizes per-node state after the overlay
 // changed (e.g. through incremental maintenance or node splitting),

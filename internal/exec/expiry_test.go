@@ -1,0 +1,179 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/construct"
+	"repro/internal/graph"
+)
+
+// expiryPairs builds two identical time-windowed engines over the paper
+// graph — one to drive through the heap-indexed ExpireAll, one through
+// the full-walk ExpireAllScan reference.
+func expiryPair(t *testing.T, T int64) (*Engine, *Engine) {
+	t.Helper()
+	mk := func() *Engine {
+		ov := construct.Baseline(paperAG())
+		decide(t, ov, "push")
+		e, err := New(ov, agg.Sum{}, agg.NewTimeWindow(T))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return mk(), mk()
+}
+
+// compareEngines reads every node on both engines and fails on the first
+// disagreement.
+func compareEngines(t *testing.T, label string, a, b *Engine) {
+	t.Helper()
+	for v := graph.NodeID(0); v < 7; v++ {
+		got, err1 := a.Read(v)
+		want, err2 := b.Read(v)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: node %d: %v / %v", label, v, err1, err2)
+		}
+		if got.Valid != want.Valid || got.Scalar != want.Scalar {
+			t.Fatalf("%s: node %d: heap %+v, scan %+v", label, v, got, want)
+		}
+	}
+}
+
+// TestExpireHeapMatchesScanProperty is the expiry index's differential
+// anchor: random interleavings of writes and watermark advances (with
+// re-advances of the same watermark, empty advances, and bursts that
+// expire many writers at once) must leave the heap-driven engine in
+// exactly the state the full-walk reference reaches.
+func TestExpireHeapMatchesScanProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		heap, scan := expiryPair(t, 25)
+		ts := int64(0)
+		for step := 0; step < 2000; step++ {
+			switch rng.Intn(10) {
+			case 0: // watermark advance
+				wm := ts - int64(rng.Intn(30))
+				heap.ExpireAll(wm)
+				scan.ExpireAllScan(wm)
+				compareEngines(t, "advance", heap, scan)
+			case 1: // repeated advance at the same watermark (idempotence)
+				heap.ExpireAll(ts)
+				scan.ExpireAllScan(ts)
+				heap.ExpireAll(ts)
+				scan.ExpireAllScan(ts)
+				compareEngines(t, "re-advance", heap, scan)
+			case 2: // time jump so a burst of writers expires at once
+				ts += int64(rng.Intn(60))
+			default:
+				ts += int64(rng.Intn(3))
+				v := graph.NodeID(rng.Intn(7))
+				val := int64(rng.Intn(100))
+				if err := heap.Write(v, val, ts); err != nil {
+					t.Fatal(err)
+				}
+				if err := scan.Write(v, val, ts); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		heap.ExpireAll(ts)
+		scan.ExpireAllScan(ts)
+		compareEngines(t, "final", heap, scan)
+		if n := heap.ExpiryIndexSize(); n > 7 {
+			t.Fatalf("heap holds %d entries for 7 writers; duplicate registrations", n)
+		}
+	}
+}
+
+// TestExpireHeapSaturatedWatermarks drives the index at the int64 edges:
+// writes near MinInt64 (where ts-T underflows and the expiry cut must
+// saturate instead of wrapping) and near MaxInt64 (where the next-expiry
+// deadline ts+T overflows and must saturate to MaxInt64, never
+// registering a deadline in the past).
+func TestExpireHeapSaturatedWatermarks(t *testing.T) {
+	const T = 100
+	heap, scan := expiryPair(t, T)
+	lo := int64(math.MinInt64) + 3
+	hi := int64(math.MaxInt64) - 3
+	for i, ts := range []int64{lo, lo + 1, lo + T/2, 0, 1, hi - 1, hi} {
+		v := graph.NodeID(i % 7)
+		if err := heap.Write(v, 5, ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := scan.Write(v, 5, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, wm := range []int64{math.MinInt64, lo, lo + T, 0, T, hi, math.MaxInt64} {
+		heap.ExpireAll(wm)
+		scan.ExpireAllScan(wm)
+		compareEngines(t, "saturated", heap, scan)
+	}
+	// A MaxInt64 advance must terminate even though every surviving
+	// deadline saturates to MaxInt64 (pop, re-check, re-register must not
+	// spin: re-registered deadlines only ever move forward).
+	heap.ExpireAll(math.MaxInt64)
+	heap.ExpireAll(math.MaxInt64)
+	compareEngines(t, "max-advance", heap, scan)
+}
+
+// TestTupleWindowsNeverEnterExpiryHeap is the regression guard for the
+// index's zero-cost claim on tuple-windowed engines: count windows report
+// no deadline, so writers must never register and watermark advances stay
+// a single heap peek.
+func TestTupleWindowsNeverEnterExpiryHeap(t *testing.T) {
+	ov := construct.Baseline(paperAG())
+	decide(t, ov, "push")
+	e, err := New(ov, agg.Sum{}, agg.NewTupleWindow(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := e.Write(graph.NodeID(i%7), int64(i), int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			e.ExpireAll(int64(i + 1))
+		}
+	}
+	if n := e.ExpiryIndexSize(); n != 0 {
+		t.Fatalf("tuple-window engine registered %d expiry entries, want 0", n)
+	}
+}
+
+// TestExpiryIndexRepopulatesAcrossRecompile checks the index survives the
+// engine lifecycle the doc comment promises: entries live across Grow and
+// state rebuilds (shared nodeState cells), and a writer whose window
+// empties mid-stream re-registers on its next write.
+func TestExpiryIndexRepopulatesAcrossRecompile(t *testing.T) {
+	heap, scan := expiryPair(t, 10)
+	write := func(v graph.NodeID, val, ts int64) {
+		t.Helper()
+		if err := heap.Write(v, val, ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := scan.Write(v, val, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(0, 7, 5)
+	write(1, 9, 6)
+	// Expire everything: both writers' windows empty, entries consumed.
+	heap.ExpireAll(100)
+	scan.ExpireAllScan(100)
+	if n := heap.ExpiryIndexSize(); n != 0 {
+		t.Fatalf("index size after draining = %d, want 0", n)
+	}
+	// Re-write: the empty->non-empty transition must re-register.
+	write(0, 3, 200)
+	if n := heap.ExpiryIndexSize(); n != 1 {
+		t.Fatalf("index size after re-write = %d, want 1", n)
+	}
+	heap.ExpireAll(300)
+	scan.ExpireAllScan(300)
+	compareEngines(t, "re-register", heap, scan)
+}

@@ -707,6 +707,42 @@ func ParseIngestLine(raw []byte) (graph.Event, error) {
 	return ev, nil
 }
 
+// ingestSlab is the pooled decode buffer of one /ingest request: events
+// parsed from the body plus their 1-based line numbers, so a batched send
+// that stops mid-slab can still report the exact failing line.
+type ingestSlab struct {
+	evs   []graph.Event
+	lines []int
+}
+
+// ingestSlabSize is the number of decoded events handed to the Ingestor
+// per SendEvents call — one send-mutex acquisition amortized over this
+// many lines.
+const ingestSlabSize = 512
+
+var slabPool = sync.Pool{New: func() any {
+	return &ingestSlab{
+		evs:   make([]graph.Event, 0, ingestSlabSize),
+		lines: make([]int, 0, ingestSlabSize),
+	}
+}}
+
+func (sl *ingestSlab) reset() {
+	sl.evs = sl.evs[:0]
+	sl.lines = sl.lines[:0]
+}
+
+// scanErrMessage maps a body-scan failure to its response message: an
+// over-long NDJSON line gets a typed, self-describing 400 naming the limit
+// (bufio's "token too long" says neither which line nor what the cap is);
+// line is the last line successfully scanned.
+func scanErrMessage(line int, err error) string {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Sprintf("line %d: event line exceeds the %d-byte limit", line+1, maxIngestLine)
+	}
+	return fmt.Sprintf("read body: %v", err)
+}
+
 // handleIngest streams NDJSON events into the server's session Ingestor.
 // Lines are accepted in order; by default the response is sent after a
 // synchronous flush, so every accepted event is applied (and, on a
@@ -716,6 +752,11 @@ func ParseIngestLine(raw []byte) (graph.Event, error) {
 // the flush, and per-event apply errors surface through GET /stats
 // (ingest.applyErrorCount / ingest.lastApplyError) instead of the
 // response.
+//
+// The body is read in large chunks (the scanner buffers up to
+// maxIngestLine per line and returns zero-copy slices) and, on servers
+// without a MaxTimestampJump guard, decoded into a pooled event slab
+// handed to the Ingestor as whole batches — see ingestSlabbed.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ing, err := s.ingestor()
 	if err != nil {
@@ -729,6 +770,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 64<<10), maxIngestLine)
+	if s.maxTSJump > 0 {
+		s.ingestPerLine(ing, w, sc, sync)
+		return
+	}
+	s.ingestSlabbed(ing, w, sc, sync)
+}
+
+// ingestPerLine sends one event per SendEvent call. It is kept for
+// servers with a MaxTimestampJump guard, where stream time must advance
+// strictly per ACCEPTED event: a jump-rejected event aborts the request
+// without having moved the stamp reference for anything after it.
+func (s *Server) ingestPerLine(ing *eagr.Ingestor, w http.ResponseWriter, sc *bufio.Scanner, sync bool) {
 	accepted := 0
 	line := 0
 	for sc.Scan() {
@@ -768,7 +821,100 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		s.finishIngest(ing, w, sync, accepted, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		s.finishIngest(ing, w, sync, accepted, scanErrMessage(line, err), http.StatusBadRequest)
+		return
+	}
+	s.finishIngest(ing, w, sync, accepted, "", http.StatusOK)
+}
+
+// ingestSlabbed is the batch-parse fast path (no MaxTimestampJump):
+// lines decode into a pooled slab handed to the Ingestor via SendEvents —
+// one mutex acquisition per ingestSlabSize events instead of per line.
+// Timestampless events are stamped with stream time AT PARSE, which is
+// the value the Ingestor's per-line clock stamp would have produced:
+// stream time advances only on explicitly-stamped events, and the parse
+// loop folds those in as it passes them. Without a jump guard the only
+// send failure is a closing Ingestor, which aborts the request — so
+// advancing stream time at parse (rather than at accept) is observable
+// only on a request that was going to fail with 503 anyway.
+func (s *Server) ingestSlabbed(ing *eagr.Ingestor, w http.ResponseWriter, sc *bufio.Scanner, sync bool) {
+	slab := slabPool.Get().(*ingestSlab)
+	defer func() {
+		slab.reset()
+		slabPool.Put(slab)
+	}()
+	accepted := 0
+	line := 0
+	// flush hands the slab over whole; on a send failure it reports the
+	// exact failing line (events before it were accepted and will apply,
+	// matching the per-line path's partial-accept behavior).
+	flush := func() (failMsg string, failCode int) {
+		if len(slab.evs) == 0 {
+			return "", 0
+		}
+		n, err := ing.SendEvents(slab.evs)
+		writes := 0
+		for _, ev := range slab.evs[:n] {
+			if ev.Kind == graph.ContentWrite {
+				writes++
+			}
+		}
+		if writes > 0 {
+			s.writes.Add(int64(writes))
+		}
+		accepted += n
+		if err != nil {
+			return fmt.Sprintf("line %d: %v", slab.lines[n], err), statusForIngest(err)
+		}
+		slab.reset()
+		return "", 0
+	}
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		ev, err := ParseIngestLine(raw)
+		if err != nil {
+			if msg, code := flush(); msg != "" {
+				s.finishIngest(ing, w, sync, accepted, msg, code)
+				return
+			}
+			s.finishIngest(ing, w, sync, accepted, fmt.Sprintf("line %d: %v", line, err), http.StatusBadRequest)
+			return
+		}
+		if ev.TS == 0 {
+			// A zero stream time stays zero — the Ingestor clock stamp is
+			// the identical load.
+			ev.TS = s.ingTS.Load()
+		} else {
+			for {
+				cur := s.ingTS.Load()
+				if ev.TS <= cur || s.ingTS.CompareAndSwap(cur, ev.TS) {
+					break
+				}
+			}
+		}
+		slab.evs = append(slab.evs, ev)
+		slab.lines = append(slab.lines, line)
+		if len(slab.evs) >= ingestSlabSize {
+			if msg, code := flush(); msg != "" {
+				s.finishIngest(ing, w, sync, accepted, msg, code)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if msg, code := flush(); msg != "" {
+			s.finishIngest(ing, w, sync, accepted, msg, code)
+			return
+		}
+		s.finishIngest(ing, w, sync, accepted, scanErrMessage(line, err), http.StatusBadRequest)
+		return
+	}
+	if msg, code := flush(); msg != "" {
+		s.finishIngest(ing, w, sync, accepted, msg, code)
 		return
 	}
 	s.finishIngest(ing, w, sync, accepted, "", http.StatusOK)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -739,5 +740,90 @@ func TestDurableIngestSurvivesCrash(t *testing.T) {
 	}
 	if r.Scalar != 12 {
 		t.Fatalf("recovered sum at node 0 = %d, want 12", r.Scalar)
+	}
+}
+
+// TestIngestLineLength checks the NDJSON line-length contract: event lines
+// well past bufio.Scanner's default 64KB token cap are accepted up to
+// maxIngestLine, and a line beyond the cap fails with a typed 400 that
+// names the limit (not bufio's opaque "token too long") while the lines
+// before it still apply.
+func TestIngestLineLength(t *testing.T) {
+	ts := testServer(t)
+	// A ~128KB line — double the default Scanner token size. Unknown JSON
+	// fields are ignored by the decoder, so padding rides in one.
+	pad := strings.Repeat("x", 128<<10)
+	big := `{"kind":"write","node":1,"value":5,"ts":1,"pad":"` + pad + `"}`
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader(big+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("128KB line: status = %d, want 200", resp.StatusCode)
+	}
+	if got := decode[map[string]any](t, resp); got["accepted"].(float64) != 1 {
+		t.Fatalf("128KB line: accepted = %v, want 1", got["accepted"])
+	}
+	// Over the cap: the line before it applies, the response is a 400
+	// naming the limit and the failing line.
+	over := `{"kind":"write","node":2,"value":9,"ts":2,"pad":"` +
+		strings.Repeat("y", maxIngestLine) + `"}`
+	body := `{"kind":"write","node":3,"value":4,"ts":3}` + "\n" + over + "\n"
+	resp, err = http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-cap line: status = %d, want 400", resp.StatusCode)
+	}
+	got := decode[map[string]any](t, resp)
+	if got["accepted"].(float64) != 1 {
+		t.Fatalf("over-cap line: accepted = %v, want the line before it", got["accepted"])
+	}
+	msg, _ := got["error"].(string)
+	if !strings.Contains(msg, "line 2") || !strings.Contains(msg, "exceeds") ||
+		!strings.Contains(msg, strconv.Itoa(maxIngestLine)) {
+		t.Fatalf("over-cap error = %q, want line number and byte limit", msg)
+	}
+}
+
+// TestIngestorSlabMatchesPerLine checks the two /ingest decode paths agree:
+// the same NDJSON body produces identical accepted counts and reads whether
+// it flows through the slab fast path (default) or the per-line path (jump
+// guard configured, large enough to never reject here).
+func TestIngestorSlabMatchesPerLine(t *testing.T) {
+	var body strings.Builder
+	for i := 0; i < 1200; i++ { // > 2 slabs
+		fmt.Fprintf(&body, `{"node":%d,"value":%d,"ts":%d}`+"\n", i%8, i, i+1)
+		if i%7 == 0 {
+			fmt.Fprintf(&body, `{"kind":"edge-add","from":%d,"to":%d,"ts":%d}`+"\n", 8+i%4, i%8, i+1)
+		}
+	}
+	run := func(t *testing.T, srv *Server) (float64, float64) {
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		defer srv.Close()
+		resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader(body.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		got := decode[map[string]any](t, resp)
+		read, err := http.Get(ts.URL + "/read?node=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := decode[map[string]any](t, read)
+		return got["accepted"].(float64), res["scalar"].(float64)
+	}
+	sessA, _ := testSession(t)
+	accA, sumA := run(t, New(sessA))
+	sessB, _ := testSession(t)
+	accB, sumB := run(t, New(sessB, WithMaxTimestampJump(1<<40)))
+	if accA != accB || sumA != sumB {
+		t.Fatalf("slab path (accepted=%v sum=%v) != per-line path (accepted=%v sum=%v)",
+			accA, sumA, accB, sumB)
 	}
 }

@@ -1,0 +1,234 @@
+package eagr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPipelinedIngestMatchesSequentialOracle is the pipelined tentpole's
+// correctness anchor: a random mixed content/structural stream through an
+// Ingestor with a multi-worker apply pool must leave every query in
+// exactly the state the one-event-at-a-time mutators produce. Structural
+// fences and the per-node partition are what make this hold — content
+// writes to one writer never reorder, and every structural event sees all
+// earlier content applied. The oracle session replays the stream
+// sequentially and expires once at the ingestor's final watermark (time
+// windows only ever drop values monotonically, so one final advance lands
+// on the same state as the pipelined side's incremental ones).
+func TestPipelinedIngestMatchesSequentialOracle(t *testing.T) {
+	specs := []QuerySpec{
+		{Aggregate: "sum", WindowTuples: 3},
+		{Aggregate: "count"},
+		{Aggregate: "max", WindowTuples: 2},
+		{Aggregate: "sum", WindowTime: 40},
+	}
+	for _, workers := range []int{2, 4} {
+		for _, batch := range []int{16, 128} {
+			rng := rand.New(rand.NewSource(int64(workers*1000 + batch)))
+			bo := newBatchOracle(t, 48, specs, Options{Algorithm: "iob"})
+			events := mixedStream(rng, 48, 1500, 6)
+			for i := range events {
+				// mixedStream timestamps from 0, but a zero-TS event would be
+				// wall-clock stamped by the Ingestor; start stream time at 1.
+				events[i].TS++
+			}
+			ing, err := bo.batch.Ingest(IngestOptions{
+				BatchSize:     batch,
+				QueueDepth:    4,
+				FlushInterval: -1,
+				ApplyWorkers:  workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n, err := ing.SendEvents(events); err != nil || n != len(events) {
+				t.Fatalf("SendEvents = %d, %v", n, err)
+			}
+			// Close surfaces the per-event skip errors the stream's
+			// deliberately-invalid events produce; the oracle ignores the
+			// identical skips in applySequential.
+			_ = ing.Close()
+			for _, ev := range events {
+				bo.applySequential(ev)
+			}
+			if wm, ok := ing.Watermark(); ok {
+				bo.oracle.ExpireAll(wm)
+			}
+			bo.compare(fmt.Sprintf("workers=%d batch=%d", workers, batch))
+		}
+	}
+}
+
+// TestPipelinedIngestRacesAutotuneAndSubscriptions is the CI stress
+// companion (run under -race): a pipelined Ingestor drives a
+// content-heavy stream while the autotune controller ticks re-planning
+// cutovers and a subscription consumer drains continuous updates. The
+// test asserts liveness and a final cross-check against an undisturbed
+// sequential session; the race detector owns the memory-safety claim.
+func TestPipelinedIngestRacesAutotuneAndSubscriptions(t *testing.T) {
+	const nodes = 64
+	mk := func() (*Session, *Query) {
+		g := NewGraph(nodes)
+		for i := 0; i < nodes; i++ {
+			_ = g.AddEdge(NodeID((i+1)%nodes), NodeID(i))
+			_ = g.AddEdge(NodeID((i+5)%nodes), NodeID(i))
+		}
+		sess, err := Open(g, Options{Algorithm: "baseline"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := sess.Register(QuerySpec{Aggregate: "sum", Continuous: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess, q
+	}
+	sess, q := mk()
+	oracle, oq := mk()
+	sess.EnableAutotune(AutotuneOptions{Interval: time.Millisecond, MinActivity: 1})
+	defer sess.StopAutotune()
+
+	ch, cancel, err := q.Subscribe(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	var drained sync.WaitGroup
+	drained.Add(1)
+	go func() {
+		defer drained.Done()
+		for range ch {
+		}
+	}()
+
+	ing, err := sess.Ingest(IngestOptions{
+		BatchSize:     32,
+		QueueDepth:    4,
+		FlushInterval: -1,
+		ApplyWorkers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	events := make([]Event, 0, 6000)
+	for i := 0; i < 6000; i++ {
+		events = append(events, NewWrite(NodeID(rng.Intn(nodes)), int64(rng.Intn(100)), int64(i+1)))
+	}
+	for off := 0; off < len(events); off += 97 {
+		end := min(off+97, len(events))
+		if _, err := ing.SendEvents(events[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	drained.Wait()
+
+	for _, ev := range events {
+		if err := oracle.Write(ev.Node, ev.Value, ev.TS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v < nodes; v++ {
+		got, err1 := q.Read(NodeID(v))
+		want, err2 := oq.Read(NodeID(v))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("node %d: %v / %v", v, err1, err2)
+		}
+		if got.Valid != want.Valid || got.Scalar != want.Scalar {
+			t.Fatalf("node %d: pipelined %+v, oracle %+v", v, got, want)
+		}
+	}
+}
+
+// TestPipelinedIngestStructuralFences checks the fence path specifically:
+// a stream alternating content slabs with structural events that rewire
+// the very nodes being written, at a batch size that puts several
+// content/structural boundaries inside each batch.
+func TestPipelinedIngestStructuralFences(t *testing.T) {
+	bo := newBatchOracle(t, 32, []QuerySpec{{Aggregate: "sum", WindowTuples: 4}}, Options{Algorithm: "iob"})
+	ing, err := bo.batch.Ingest(IngestOptions{
+		BatchSize:     256,
+		QueueDepth:    2,
+		FlushInterval: -1,
+		ApplyWorkers:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	var events []Event
+	ts := int64(0)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 20; i++ {
+			ts++
+			events = append(events, NewWrite(NodeID(rng.Intn(32)), int64(rng.Intn(50)), ts))
+		}
+		u, v := NodeID(rng.Intn(32)), NodeID(rng.Intn(32))
+		ts++
+		if rng.Intn(2) == 0 {
+			events = append(events, NewEdgeAdd(u, v, ts))
+		} else {
+			events = append(events, NewEdgeRemove(u, v, ts))
+		}
+	}
+	if _, err := ing.SendEvents(events); err != nil {
+		t.Fatal(err)
+	}
+	// Close surfaces per-event skips (toggling an absent edge); the oracle
+	// side ignores the identical skips.
+	_ = ing.Close()
+	for _, ev := range events {
+		bo.applySequential(ev)
+	}
+	bo.compare("fences")
+}
+
+// TestSendEvents covers the slab entry point's contract: all-accepted
+// count on success, the index of the first rejected event on error, and
+// the closed-ingestor fast path.
+func TestSendEvents(t *testing.T) {
+	sess, err := Open(ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Register(QuerySpec{Aggregate: "sum"}); err != nil {
+		t.Fatal(err)
+	}
+	ing, err := sess.Ingest(IngestOptions{
+		BatchSize:        4,
+		FlushInterval:    -1,
+		MaxTimestampJump: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{
+		NewWrite(0, 1, 5),
+		NewWrite(1, 2, 6),
+		NewWrite(2, 3, 1000), // jump of 994 > 10: rejected
+		NewWrite(3, 4, 7),
+	}
+	n, err := ing.SendEvents(evs)
+	if n != 2 || !errors.Is(err, ErrTimestampJump) {
+		t.Fatalf("SendEvents = %d, %v; want 2, ErrTimestampJump", n, err)
+	}
+	// The two accepted events are buffered; the rejected one consumed
+	// nothing after it.
+	if n, err := ing.SendEvents(evs[3:]); n != 1 || err != nil {
+		t.Fatalf("resume SendEvents = %d, %v", n, err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ing.SendEvents(evs[:1]); n != 0 || !errors.Is(err, ErrIngestorClosed) {
+		t.Fatalf("closed SendEvents = %d, %v; want 0, ErrIngestorClosed", n, err)
+	}
+}
