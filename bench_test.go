@@ -266,8 +266,87 @@ func benchResyncCutover(b *testing.B, nodes int) {
 	benchfix.RunResync(b, eng)
 }
 
-func BenchmarkOpResyncCutover2k(b *testing.B) { benchResyncCutover(b, 2000) }
-func BenchmarkOpResyncCutover8k(b *testing.B) { benchResyncCutover(b, 8000) }
+func BenchmarkOpResyncCutover2k(b *testing.B)  { benchResyncCutover(b, 2000) }
+func BenchmarkOpResyncCutover8k(b *testing.B)  { benchResyncCutover(b, 8000) }
+func BenchmarkOpResyncCutover32k(b *testing.B) { benchResyncCutover(b, 32000) }
+
+// topoBenchSession builds the topology-bench fixture: a session over the
+// standard 2000-node social graph with the given topo query registered,
+// plus a balanced churn tape — each tape entry toggles one random non-seed
+// edge, so replaying it keeps the graph (and triangle counts) bounded.
+func topoBenchSession(b *testing.B, spec QuerySpec) (*Session, *Query, []Event) {
+	b.Helper()
+	g := workload.SocialGraph(2000, 8, 1)
+	sess, err := Open(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sess.Register(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := NodeID(g.MaxID())
+	tape := make([]Event, 4096)
+	for i := range tape {
+		u, w := NodeID(rng.Intn(int(n))), NodeID(rng.Intn(int(n)))
+		if i%2 == 0 {
+			tape[i] = NewEdgeAdd(u, w, int64(i+1))
+		} else {
+			tape[i] = NewEdgeRemove(u, w, int64(i+1))
+		}
+	}
+	return sess, q, tape
+}
+
+// BenchmarkOpTriangleChurn measures incremental triangle maintenance: one
+// structural event through ApplyBatch with a triangles query standing —
+// the per-edge O(degree-overlap) delta, not a recount. Duplicate-add and
+// missed-remove skips ride along, as in any real churn stream.
+func BenchmarkOpTriangleChurn(b *testing.B) {
+	sess, _, tape := topoBenchSession(b, QuerySpec{Aggregate: "triangles"})
+	ev := make([]Event, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev[0] = tape[i%len(tape)]
+		_ = sess.ApplyBatch(ev)
+	}
+}
+
+// BenchmarkOpDensityRead measures a standing density read: degree lookup
+// plus one fixed-point division over the incrementally-maintained triangle
+// count.
+func BenchmarkOpDensityRead(b *testing.B) {
+	sess, q, tape := topoBenchSession(b, QuerySpec{Aggregate: "density"})
+	if err := sess.ApplyBatch(tape); err != nil {
+		// Per-event skips (duplicate edges) are expected in the tape.
+		_ = err
+	}
+	maxID := sess.Graph().MaxID()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Read(NodeID(i % maxID)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpEgoBetweennessRecompute measures one watermark tick of the
+// windowed ego-betweenness view: a structural event dirties the egos it
+// touched, then ExpireAll crosses the window and recomputes exactly those.
+func BenchmarkOpEgoBetweennessRecompute(b *testing.B) {
+	sess, _, tape := topoBenchSession(b, QuerySpec{Aggregate: "ego-betweenness", WindowTime: 1})
+	ev := make([]Event, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev[0] = tape[i%len(tape)]
+		_ = sess.ApplyBatch(ev)
+		sess.ExpireAll(int64(i + 2))
+	}
+}
 
 // BenchmarkOpIngestMixedBatch measures unified mixed ingestion: ApplyBatch
 // over a content stream with periodic structural churn bursts, each burst

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -246,6 +247,83 @@ func benchRecoverReplayTail(b *testing.B) {
 	b.ReportMetric(float64(replayed), "events/op")
 }
 
+// benchTopoSession is the -engine-bench twin of the repo's
+// topoBenchSession fixture: a session over the standard 2000-node social
+// graph with one topology query standing and a 4096-event tape of random
+// edge adds/removes (duplicate adds and missed removes ride along, as in
+// any real churn stream).
+func benchTopoSession(b *testing.B, spec eagr.QuerySpec) (*eagr.Session, *eagr.Query, []eagr.Event) {
+	b.Helper()
+	g := workload.SocialGraph(2000, 8, 1)
+	sess, err := eagr.Open(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sess.Register(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := eagr.NodeID(g.MaxID())
+	tape := make([]eagr.Event, 4096)
+	for i := range tape {
+		u, w := eagr.NodeID(rng.Intn(int(n))), eagr.NodeID(rng.Intn(int(n)))
+		if i%2 == 0 {
+			tape[i] = eagr.NewEdgeAdd(u, w, int64(i+1))
+		} else {
+			tape[i] = eagr.NewEdgeRemove(u, w, int64(i+1))
+		}
+	}
+	return sess, q, tape
+}
+
+// benchTriangleChurn is the twin of BenchmarkOpTriangleChurn: one
+// structural event through ApplyBatch with a triangles query standing —
+// the per-edge O(degree-overlap) incremental delta, never a recount.
+func benchTriangleChurn(b *testing.B) {
+	sess, _, tape := benchTopoSession(b, eagr.QuerySpec{Aggregate: "triangles"})
+	ev := make([]eagr.Event, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev[0] = tape[i%len(tape)]
+		_ = sess.ApplyBatch(ev)
+	}
+}
+
+// benchDensityRead is the twin of BenchmarkOpDensityRead: a standing
+// density read — degree lookup plus one fixed-point division over the
+// incrementally-maintained triangle count.
+func benchDensityRead(b *testing.B) {
+	sess, q, tape := benchTopoSession(b, eagr.QuerySpec{Aggregate: "density"})
+	// Per-event skips (duplicate edges) are expected in the tape.
+	_ = sess.ApplyBatch(tape)
+	maxID := sess.Graph().MaxID()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Read(eagr.NodeID(i % maxID)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEgoBetweennessRecompute is the twin of
+// BenchmarkOpEgoBetweennessRecompute: one watermark tick of the windowed
+// ego-betweenness view — a structural event dirties the egos it touched,
+// then ExpireAll crosses the window and recomputes exactly those.
+func benchEgoBetweennessRecompute(b *testing.B) {
+	sess, _, tape := benchTopoSession(b, eagr.QuerySpec{Aggregate: "ego-betweenness", WindowTime: 1})
+	ev := make([]eagr.Event, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev[0] = tape[i%len(tape)]
+		_ = sess.ApplyBatch(ev)
+		sess.ExpireAll(int64(i + 2))
+	}
+}
+
 // engineBenchResult is one micro-benchmark's measurement, serialized into
 // BENCH_engine.json so successive PRs have a perf trajectory to compare
 // against.
@@ -315,6 +393,15 @@ var seedBaseline = map[string]engineBenchResult{
 	// reproduces — 2000 live time-window writers, ~1 actual expiry per
 	// tick), and the Ingestor had a single sequential apply worker, so the
 	// per-core rows all start from the one-worker per-event Send cost.
+	// Measured when topology-valued aggregates landed — the first recorded
+	// numbers for the topo micros (one incremental triangle delta per
+	// structural event, a standing fixed-point density read, one windowed
+	// ego-betweenness watermark tick over the accumulated churn graph) and
+	// the pre-existing resync cutover at the new 32k overlay size.
+	"OpResyncCutover32k":                 {NsPerOp: 2.93e7, OpsPerSec: 34, AllocsPerOp: 159291, BytesPerOp: 17209201},
+	"OpTriangleChurn":                    {NsPerOp: 678.4, OpsPerSec: 1.47e6, AllocsPerOp: 7, BytesPerOp: 158},
+	"OpDensityRead":                      {NsPerOp: 51.3, OpsPerSec: 19.5e6, AllocsPerOp: 0, BytesPerOp: 0},
+	"OpEgoBetweennessRecompute":          {NsPerOp: 2.20e6, OpsPerSec: 454, AllocsPerOp: 7, BytesPerOp: 499},
 	"OpExpireSparse":                     {NsPerOp: 67697.0, OpsPerSec: 14.8e3, AllocsPerOp: 0, BytesPerOp: 0},
 	"OpIngestorThroughputParallel/cpu=1": {NsPerOp: 312.0, OpsPerSec: 3.21e6, AllocsPerOp: 0, BytesPerOp: 0},
 	"OpIngestorThroughputParallel/cpu=2": {NsPerOp: 312.0, OpsPerSec: 3.21e6, AllocsPerOp: 0, BytesPerOp: 0},
@@ -554,7 +641,7 @@ func runEngineBench(path string, cpus []int) error {
 		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
-	for _, n := range []int{2000, 8000} {
+	for _, n := range []int{2000, 8000, 32000} {
 		eng, err := benchfix.ResyncEngine(n)
 		if err != nil {
 			return err
@@ -566,6 +653,23 @@ func runEngineBench(path string, cpus []int) error {
 		cur[name] = r
 		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
 			name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+	}
+	// Topology-valued aggregates: incremental triangle maintenance under
+	// edge churn, a standing density read, and one windowed
+	// ego-betweenness watermark tick.
+	topos := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"OpTriangleChurn", benchTriangleChurn},
+		{"OpDensityRead", benchDensityRead},
+		{"OpEgoBetweennessRecompute", benchEgoBetweennessRecompute},
+	}
+	for _, m := range topos {
+		r := toResult(testing.Benchmark(m.fn))
+		cur[m.name] = r
+		fmt.Printf("  %-26s %10.1f ns/op %12.0f ops/s %3d allocs/op\n",
+			m.name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 	}
 	// Durability: checkpoint write cost on a loaded session, and cold
 	// recovery replaying an 8k-event WAL tail through the apply path.

@@ -90,6 +90,10 @@ func TestRouterE2E(t *testing.T) {
 		{Aggregate: "count", WindowTime: 40},
 		{Aggregate: "max", WindowTuples: 4},
 		{Aggregate: "distinct", WindowTime: 50},
+		// Topology-valued: the router proxies one replica's exact value
+		// instead of merging PAOs.
+		{Aggregate: "density"},
+		{Aggregate: "triangles"},
 	}
 	var oqs []*eagr.Query
 	var routerIDs []int

@@ -13,7 +13,19 @@
 //     partial aggregate (GET /queries/{id}/pao), merges the PAOs
 //     (agg.MergeWires) and finalizes once — exact for every built-in
 //     aggregate except topk~ (bounded candidate lists are admission-order
-//     dependent; see internal/shard);
+//     dependent; see internal/shard). Topology-valued aggregates (density,
+//     triangles, wedges, ego-betweenness) have no mergeable PAO and need
+//     none: structure is replicated, so the router proxies GET /read from
+//     any one shard and the answer is already fleet-exact — preferring the
+//     first healthy shard, falling through on transport failure;
+//   - transient per-shard failures on IDEMPOTENT requests (GETs, POST
+//     /expire) retry with capped exponential backoff before the fan-out
+//     fails; non-idempotent traffic (/ingest, /edge, /node, query
+//     registration) never retries — a duplicate apply would corrupt the
+//     replicas — and instead surfaces the error to the client, whose
+//     stream-level retry can reconcile;
+//   - GET /healthz on each shard backs the router's own health view,
+//     surfaced under "shardHealth" in GET /stats;
 //   - time is centralized: the router stamps ts-less events into the
 //     stream's time domain before routing, and after every synchronous
 //     /ingest computes the fleet-wide MINIMUM watermark and broadcasts it
@@ -62,6 +74,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/topo"
 )
 
 // maxIngestLine mirrors internal/server's per-line bound.
@@ -70,6 +83,9 @@ const maxIngestLine = 1 << 20
 type routerQuery struct {
 	ID        int    `json:"id"`
 	Aggregate string `json:"aggregate"`
+	// Topo marks a topology-valued query: reads proxy one shard's exact
+	// value instead of merging PAOs.
+	Topo bool `json:"topo,omitempty"`
 	// ShardIDs[i] is the query's id on shard i — shards assign their own
 	// ids, the router owns the mapping.
 	ShardIDs []int `json:"shardIDs"`
@@ -91,16 +107,25 @@ type router struct {
 	queries map[int]*routerQuery
 	nextID  int
 
-	writes int64 // content events routed (under mu)
-	reads  int64 // scatter-gather reads served (under qmu)
+	writes  int64 // content events routed (under mu)
+	reads   int64 // scatter-gather reads served (under qmu)
+	retries int64 // idempotent per-shard retries that went on to succeed (atomic-free: under qmu)
+
+	// retryBase is the first backoff delay; tests shrink it. Growth is
+	// 2x per attempt, capped at 8*retryBase, retryAttempts tries total.
+	retryBase time.Duration
 }
+
+// retryAttempts bounds idempotent retries: first try + 3 retries.
+const retryAttempts = 4
 
 func newRouter(shards []string) *router {
 	rt := &router{
-		shards:  shards,
-		client:  &http.Client{Timeout: 30 * time.Second},
-		mux:     http.NewServeMux(),
-		queries: map[int]*routerQuery{},
+		shards:    shards,
+		client:    &http.Client{Timeout: 30 * time.Second},
+		mux:       http.NewServeMux(),
+		queries:   map[int]*routerQuery{},
+		retryBase: 25 * time.Millisecond,
 	}
 	rt.mux.HandleFunc("POST /ingest", rt.handleIngest)
 	rt.mux.HandleFunc("POST /queries", rt.handleRegister)
@@ -150,11 +175,56 @@ func (rt *router) do(method, shardURL, path string, body []byte, out any) (int, 
 		return resp.StatusCode, fmt.Errorf("%s%s: %s: %s", shardURL, path, resp.Status, strings.TrimSpace(string(msg)))
 	}
 	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, fmt.Errorf("%s%s: decode: %v", shardURL, path, err)
+		// 204s and other empty successes are legal (e.g. POST /edge):
+		// only decode when the shard actually sent a body.
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return resp.StatusCode, fmt.Errorf("%s%s: read: %v", shardURL, path, err)
+		}
+		if len(bytes.TrimSpace(payload)) > 0 {
+			if err := json.Unmarshal(payload, out); err != nil {
+				return resp.StatusCode, fmt.Errorf("%s%s: decode: %v", shardURL, path, err)
+			}
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+// doRetry is rt.do for IDEMPOTENT requests only (GETs, POST /expire): on a
+// transient failure — transport error (code 0) or a 5xx — it retries with
+// capped exponential backoff (retryBase·2^k, capped at 8·retryBase, up to
+// retryAttempts tries). 4xx responses are the shard's verdict, not a
+// transient, and return immediately. Non-idempotent traffic (/ingest,
+// structural mutations, query registration) must NEVER come through here:
+// a retry after an applied-but-unacked request would double-apply on one
+// replica and desynchronize the fleet.
+func (rt *router) doRetry(method, shardURL, path string, body []byte, out any) (int, error) {
+	var (
+		code int
+		err  error
+	)
+	delay := rt.retryBase
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			if delay *= 2; delay > 8*rt.retryBase {
+				delay = 8 * rt.retryBase
+			}
+		}
+		code, err = rt.do(method, shardURL, path, body, out)
+		if err == nil {
+			if attempt > 0 {
+				rt.qmu.Lock()
+				rt.retries++
+				rt.qmu.Unlock()
+			}
+			return code, nil
+		}
+		if code >= 400 && code < 500 {
+			return code, err // definitive rejection; retrying cannot help
+		}
+	}
+	return code, err
 }
 
 // shardErr is one shard's fan-out failure: the shard index, the HTTP status
@@ -225,9 +295,13 @@ func (rt *router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "sum"
 	}
+	isTopo := false
 	if _, err := agg.Parse(name); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+		if !topo.IsTopo(name) {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		isTopo = true
 	}
 	rt.qmu.Lock()
 	defer rt.qmu.Unlock()
@@ -250,7 +324,7 @@ func (rt *router) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 		ids = append(ids, qr.ID)
 	}
-	rq := &routerQuery{ID: rt.nextID, Aggregate: name, ShardIDs: ids}
+	rq := &routerQuery{ID: rt.nextID, Aggregate: name, Topo: isTopo, ShardIDs: ids}
 	rt.nextID++
 	rt.queries[rq.ID] = rq
 	w.Header().Set("Content-Type", "application/json")
@@ -317,6 +391,10 @@ func (rt *router) handleRead(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing %q parameter", "node")
 		return
 	}
+	if rq.Topo {
+		rt.handleTopoRead(w, rq, node)
+		return
+	}
 	a, err := agg.Parse(rq.Aggregate)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
@@ -328,7 +406,7 @@ func (rt *router) handleRead(w http.ResponseWriter, r *http.Request) {
 			PAO agg.WirePAO `json:"pao"`
 		}
 		path := "/queries/" + strconv.Itoa(rq.ShardIDs[i]) + "/pao?node=" + node
-		code, err := rt.do(http.MethodGet, base, path, nil, &pr)
+		code, err := rt.doRetry(http.MethodGet, base, path, nil, &pr)
 		if err != nil {
 			status := http.StatusBadGateway
 			if code >= 400 && code < 500 || code == http.StatusGone {
@@ -351,6 +429,34 @@ func (rt *router) handleRead(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"node": nodeID, "valid": res.Valid, "scalar": res.Scalar, "list": res.List,
 	})
+}
+
+// handleTopoRead answers a topology-valued read: structure is replicated,
+// so any single shard's GET /read is already the exact fleet-wide value.
+// The router prefers shard 0 and falls through to the next shard on a
+// transient failure (each with its own retry budget); a 4xx/410 is a
+// verdict every replica shares and is relayed immediately.
+func (rt *router) handleTopoRead(w http.ResponseWriter, rq *routerQuery, node string) {
+	var lastErr *shardErr
+	for i, base := range rt.shards {
+		var out json.RawMessage
+		path := "/queries/" + strconv.Itoa(rq.ShardIDs[i]) + "/read?node=" + node
+		code, err := rt.doRetry(http.MethodGet, base, path, nil, &out)
+		if err == nil {
+			rt.qmu.Lock()
+			rt.reads++
+			rt.qmu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(out)
+			return
+		}
+		lastErr = &shardErr{shard: i, code: code, err: err}
+		if code >= 400 && code < 500 || code == http.StatusGone {
+			httpError(w, code, "shard %d: %v", i, err)
+			return
+		}
+	}
+	httpError(w, http.StatusBadGateway, "all shards failed; last: shard %d: %v", lastErr.shard, lastErr.err)
 }
 
 // encodeEvent renders one routed event back to canonical NDJSON. The
@@ -455,10 +561,11 @@ func (rt *router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"accepted": accepted}
 	if haveWM {
 		// The fleet clock: broadcast the minimum so no shard expires
-		// windows ahead of the slowest substream.
+		// windows ahead of the slowest substream. Expiry only ratchets
+		// forward, so POST /expire is idempotent and safe to retry.
 		body, _ := json.Marshal(map[string]int64{"ts": minWM})
 		if ferr := rt.fanout(func(i int, base string) (int, error) {
-			return rt.do(http.MethodPost, base, "/expire", body, nil)
+			return rt.doRetry(http.MethodPost, base, "/expire", body, nil)
 		}); ferr != nil {
 			httpError(w, http.StatusBadGateway, "shard %d: expire: %v", ferr.shard, ferr.err)
 			return
@@ -513,18 +620,41 @@ func (rt *router) fanoutQuery(path string) http.HandlerFunc {
 	}
 }
 
-// handleStats reports the router's own counters plus every shard's full
-// /stats body, keyed by shard index.
+// shardHealth is one shard's probe result in GET /stats: Healthy reports
+// whether GET /healthz answered 200 (after the idempotent retry budget),
+// Error carries the final failure when it did not.
+type shardHealth struct {
+	Shard   int    `json:"shard"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// probeHealth checks every shard's /healthz concurrently, each probe with
+// its own retry budget, so a blip doesn't mark a shard down.
+func (rt *router) probeHealth() []shardHealth {
+	out := make([]shardHealth, len(rt.shards))
+	_ = rt.fanout(func(i int, base string) (int, error) {
+		out[i] = shardHealth{Shard: i, Healthy: true}
+		if _, err := rt.doRetry(http.MethodGet, base, "/healthz", nil, nil); err != nil {
+			out[i] = shardHealth{Shard: i, Healthy: false, Error: err.Error()}
+		}
+		return 0, nil
+	})
+	return out
+}
+
+// handleStats reports the router's own counters, every shard's /healthz
+// verdict, and every shard's full /stats body, keyed by shard index.
 func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Lock()
 	writes, streamTS := rt.writes, rt.streamTS
 	rt.mu.Unlock()
 	rt.qmu.Lock()
-	reads, queries := rt.reads, len(rt.queries)
+	reads, queries, retries := rt.reads, len(rt.queries), rt.retries
 	rt.qmu.Unlock()
 	shardStats := make([]json.RawMessage, len(rt.shards))
 	_ = rt.fanout(func(i int, base string) (int, error) {
-		if _, err := rt.do(http.MethodGet, base, "/stats", nil, &shardStats[i]); err != nil {
+		if _, err := rt.doRetry(http.MethodGet, base, "/stats", nil, &shardStats[i]); err != nil {
 			shardStats[i], _ = json.Marshal(map[string]string{"error": err.Error()})
 		}
 		return 0, nil
@@ -534,7 +664,9 @@ func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
 		"contentRouted":   writes,
 		"readsMerged":     reads,
 		"queries":         queries,
+		"retriedRequests": retries,
 		"streamTimestamp": streamTS,
+		"shardHealth":     rt.probeHealth(),
 		"shardStats":      shardStats,
 	})
 }

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	eagr "repro"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// fleetGraph builds one instance of the fixture graph every shard (and the
+// oracle) starts from: 0-1, 1-2, 2-3 as directed edges.
+func fleetGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := eagr.NewGraph(6)
+	for _, e := range [][2]eagr.NodeID{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// newFleet spins up n in-process shard servers over identical graphs and a
+// router fronting them (retry backoff shrunk for test speed). mid, when
+// non-nil, wraps each shard handler — the hook fault-injection tests use.
+func newFleet(t *testing.T, n int, mid func(shard int, h http.Handler) http.Handler) (*router, *httptest.Server) {
+	t.Helper()
+	bases := make([]string, n)
+	for i := 0; i < n; i++ {
+		sess, err := eagr.Open(fleetGraph(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(sess)
+		var h http.Handler = srv
+		if mid != nil {
+			h = mid(i, srv)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+		bases[i] = ts.URL
+	}
+	rt := newRouter(bases)
+	rt.retryBase = time.Millisecond
+	rts := httptest.NewServer(rt)
+	t.Cleanup(rts.Close)
+	return rt, rts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeInto[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestRouterTopoRegisterAndRead: a topology-valued query registers across
+// the fleet, structural fan-out keeps the replicas aligned, and reads
+// proxy one shard's exact value (no PAO merge).
+func TestRouterTopoRegisterAndRead(t *testing.T) {
+	_, rts := newFleet(t, 2, nil)
+
+	resp := postJSON(t, rts.URL+"/queries", map[string]any{"aggregate": "triangles"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+	reg := decodeInto[routerQuery](t, resp)
+	if !reg.Topo || len(reg.ShardIDs) != 2 {
+		t.Fatalf("registered query = %+v, want topo on 2 shards", reg)
+	}
+
+	// Close the 0-1-2 triangle through the router's structural fan-out.
+	resp = postJSON(t, rts.URL+"/edge", map[string]any{"from": 2, "to": 0})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("edge status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	read, err := http.Get(fmt.Sprintf("%s/queries/%d/read?node=1", rts.URL, reg.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.StatusCode != http.StatusOK {
+		t.Fatalf("read status = %d", read.StatusCode)
+	}
+	got := decodeInto[map[string]any](t, read)
+	if got["scalar"].(float64) != 1 {
+		t.Fatalf("triangles(1) via router = %v, want 1", got)
+	}
+
+	// Unknown aggregates still 422 without touching any shard.
+	resp = postJSON(t, rts.URL+"/queries", map[string]any{"aggregate": "nope"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bogus aggregate status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// flakyShard fails the first `fails` requests matching match with 502,
+// then forwards to the real shard — a transient brown-out.
+type flakyShard struct {
+	next  http.Handler
+	match func(*http.Request) bool
+	fails int32
+	seen  int32
+}
+
+func (f *flakyShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.match(r) {
+		atomic.AddInt32(&f.seen, 1)
+		if atomic.AddInt32(&f.fails, -1) >= 0 {
+			http.Error(w, "injected brown-out", http.StatusBadGateway)
+			return
+		}
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// TestRouterRetriesIdempotentReads: a shard browning out on reads must be
+// absorbed by the retry budget; the client sees one clean 200 and /stats
+// counts the retry.
+func TestRouterRetriesIdempotentReads(t *testing.T) {
+	var flaky *flakyShard
+	_, rts := newFleet(t, 2, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		flaky = &flakyShard{next: h, fails: 2, match: func(r *http.Request) bool {
+			return r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/read")
+		}}
+		return flaky
+	})
+	reg := decodeInto[routerQuery](t, postJSON(t, rts.URL+"/queries", map[string]any{"aggregate": "density"}))
+
+	read, err := http.Get(fmt.Sprintf("%s/queries/%d/read?node=1", rts.URL, reg.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.StatusCode != http.StatusOK {
+		t.Fatalf("read through brown-out status = %d, want 200", read.StatusCode)
+	}
+	read.Body.Close()
+	if got := atomic.LoadInt32(&flaky.seen); got != 3 {
+		t.Fatalf("shard saw %d read attempts, want 3 (2 failures + 1 success)", got)
+	}
+	st := decodeInto[map[string]any](t, mustGetOK(t, rts.URL+"/stats"))
+	if st["retriedRequests"].(float64) < 1 {
+		t.Fatalf("stats retriedRequests = %v, want >= 1", st["retriedRequests"])
+	}
+}
+
+// TestRouterNeverRetriesIngest: non-idempotent traffic gets exactly one
+// attempt — a failure surfaces instead of risking a double-apply.
+func TestRouterNeverRetriesIngest(t *testing.T) {
+	var flaky *flakyShard
+	_, rts := newFleet(t, 2, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		flaky = &flakyShard{next: h, fails: 1, match: func(r *http.Request) bool {
+			return r.URL.Path == "/ingest"
+		}}
+		return flaky
+	})
+	// Structural, so the substream fans out to BOTH shards — including the
+	// flaky one — regardless of content ownership hashing.
+	body := strings.NewReader(`{"kind":"edge-add","from":3,"to":1,"ts":1}` + "\n")
+	resp, err := http.Post(rts.URL+"/ingest", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("ingest through failing shard status = %d, want 502", resp.StatusCode)
+	}
+	if got := atomic.LoadInt32(&flaky.seen); got != 1 {
+		t.Fatalf("shard saw %d ingest attempts, want exactly 1 (no retry)", got)
+	}
+}
+
+// TestRouterHealthProbes: /stats surfaces per-shard /healthz verdicts, and
+// a dead shard reports unhealthy without failing the stats request.
+func TestRouterHealthProbes(t *testing.T) {
+	rt, rts := newFleet(t, 2, nil)
+
+	st := decodeInto[map[string]any](t, mustGetOK(t, rts.URL+"/stats"))
+	hs := st["shardHealth"].([]any)
+	if len(hs) != 2 {
+		t.Fatalf("shardHealth = %v, want 2 entries", hs)
+	}
+	for i, h := range hs {
+		if h.(map[string]any)["healthy"] != true {
+			t.Fatalf("shard %d reported unhealthy: %v", i, h)
+		}
+	}
+
+	// Point shard 1 at a dead address: probes must fail closed, not hang
+	// or kill /stats.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	rt.shards[1] = dead.URL
+	st = decodeInto[map[string]any](t, mustGetOK(t, rts.URL+"/stats"))
+	hs = st["shardHealth"].([]any)
+	h1 := hs[1].(map[string]any)
+	if h1["healthy"] != false || h1["error"] == "" {
+		t.Fatalf("dead shard health = %v, want unhealthy with error", h1)
+	}
+}
+
+// TestRouterTopoReadFailsOver: when the preferred shard is down entirely,
+// a topo read falls through to the next replica and still answers.
+func TestRouterTopoReadFailsOver(t *testing.T) {
+	rt, rts := newFleet(t, 2, nil)
+	reg := decodeInto[routerQuery](t, postJSON(t, rts.URL+"/queries", map[string]any{"aggregate": "wedges"}))
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	rt.shards[0] = dead.URL
+
+	read, err := http.Get(fmt.Sprintf("%s/queries/%d/read?node=1", rts.URL, reg.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.StatusCode != http.StatusOK {
+		t.Fatalf("failover read status = %d, want 200", read.StatusCode)
+	}
+	// Ego 1's neighborhood {0,2} gives one wedge.
+	got := decodeInto[map[string]any](t, read)
+	if got["scalar"].(float64) != 1 {
+		t.Fatalf("wedges(1) after failover = %v, want 1", got)
+	}
+}
+
+func mustGetOK(t *testing.T, u string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status = %d", u, resp.StatusCode)
+	}
+	return resp
+}

@@ -75,6 +75,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/topo"
 )
 
 // NodeID identifies a node in the data graph.
@@ -278,6 +279,15 @@ type Session struct {
 	tuner   *autotune.Controller
 	tunerMu sync.Mutex
 
+	// topoEng hosts the session's topology-valued views (internal/topo),
+	// created lazily on the first topo Register and attached to the graph's
+	// structural-mutation path as a listener. Content writes never touch it
+	// — the listener hook fires on structural events and watermark advances
+	// only — so sessions without topo queries (and content-only batches in
+	// sessions with them) pay nothing.
+	topoMu  sync.Mutex
+	topoEng *topo.Engine
+
 	mu      sync.Mutex
 	queries map[int]*Query
 	nextID  int
@@ -398,8 +408,16 @@ func (s *Session) register(spec QuerySpec, o Options, forcedID int) (*Query, err
 	if spec.WindowTuples > 0 && spec.WindowTime > 0 {
 		return nil, ErrConflictingWindow
 	}
-	a, err := agg.Parse(specOrDefault(spec.Aggregate, "sum"))
+	name := specOrDefault(spec.Aggregate, "sum")
+	a, err := agg.Parse(name)
 	if err != nil {
+		// Not a numeric aggregate: topology-valued aggregates (density,
+		// triangles, ego-betweenness, ...) register through internal/topo.
+		// The numeric registry wins on a name collision, preserving the
+		// behavior of custom aggregates registered before topo existed.
+		if ts, terr := topo.Parse(name); terr == nil {
+			return s.registerTopo(ts, spec, o, forcedID)
+		}
 		return nil, fmt.Errorf("eagr: %w: %w", ErrIncompatibleQuery, err)
 	}
 	q := core.Query{Aggregate: a, Continuous: spec.Continuous}
@@ -456,6 +474,80 @@ func (s *Session) register(spec QuerySpec, o Options, forcedID int) (*Query, err
 	h.sys.Store(h.sysRef)
 	s.queries[h.id] = h
 	return h, nil
+}
+
+// registerTopo attaches a topology-valued query (internal/topo): an
+// aggregate over the STRUCTURE of each node's 1-hop undirected ego network,
+// fed by the graph's edge churn through the structural-listener hook
+// instead of a compiled content overlay. Queries with equal (aggregate,
+// window) configurations share one refcounted engine view — the topo form
+// of compile-key sharing. QuerySpec.WindowTime selects the recompute
+// cadence for recompute-class aggregates (ego-betweenness); incremental
+// aggregates are always exact and take no window.
+// TopoScale is the fixed-point scale for fractional topology values:
+// a Result.Scalar of TopoScale reads as 1.0 (density of a perfect clique,
+// one unit of ego-betweenness).
+const TopoScale = topo.Scale
+
+// TopoAggregates returns the sorted canonical names of the registered
+// topology-valued aggregates ("density", "ego-betweenness", …), the
+// structural counterpart of the numeric agg registry.
+func TopoAggregates() []string { return topo.Names() }
+
+func (s *Session) registerTopo(ts topo.Spec, spec QuerySpec, o Options, forcedID int) (*Query, error) {
+	ta, err := topo.New(ts)
+	if err != nil {
+		return nil, fmt.Errorf("eagr: %w: %w", ErrIncompatibleQuery, err)
+	}
+	if spec.WindowTuples > 0 {
+		return nil, fmt.Errorf("eagr: %w: topology aggregate %q consumes edge churn, not content tuples — it takes no tuple window", ErrIncompatibleQuery, ts.Name)
+	}
+	if spec.Hops > 1 || o.Neighborhood != nil {
+		return nil, fmt.Errorf("eagr: %w: topology aggregate %q is defined on the 1-hop undirected ego network; custom neighborhoods and hop depths do not apply", ErrIncompatibleQuery, ts.Name)
+	}
+	if spec.WindowTime > 0 && ta.Incremental() {
+		return nil, fmt.Errorf("eagr: %w: topology aggregate %q is maintained incrementally (always exact); a recompute window only applies to scheduled aggregates like ego-betweenness", ErrIncompatibleQuery, ts.Name)
+	}
+	view, err := s.topoEngine().Acquire(ts, spec.WindowTime)
+	if err != nil {
+		return nil, fmt.Errorf("eagr: %w: %w", ErrIncompatibleQuery, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := forcedID
+	if id <= 0 {
+		s.nextID++
+		id = s.nextID
+	} else if id > s.nextID {
+		s.nextID = id
+	}
+	h := &Query{
+		sess:     s,
+		id:       id,
+		spec:     spec,
+		opts:     o,
+		fullKey:  ts.Key(spec.WindowTime),
+		topoView: view,
+		subs:     map[*exec.Subscription]struct{}{},
+	}
+	s.queries[h.id] = h
+	return h, nil
+}
+
+// topoEngine returns the session's topology engine, creating it on first
+// use. Construction runs under the structural mutation lock (the listener
+// attach hook), so the engine's bootstrap snapshot of the graph and the
+// event stream it observes afterwards are gap- and overlap-free.
+func (s *Session) topoEngine() *topo.Engine {
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	if s.topoEng == nil {
+		s.multi.AttachStructuralListener(func(g *graph.Graph) core.StructuralListener {
+			s.topoEng = topo.NewEngine(g)
+			return s.topoEng
+		})
+	}
+	return s.topoEng
 }
 
 // compatKey canonicalizes a query's compile configuration into two sharing
@@ -790,6 +882,9 @@ type SessionStats struct {
 	// DroppedUpdates counts subscription deliveries discarded because
 	// consumers fell behind, summed over all live queries.
 	DroppedUpdates int64
+	// TopoViews is the number of live topology-valued views (internal/topo)
+	// the session's topo queries share; 0 when no topo query is registered.
+	TopoViews int
 	// Adaptivity is the session's live adaptivity state — observation
 	// totals and last-rebalance outcome — populated whether or not the
 	// autotune controller is running (POST /rebalance feeds it too).
@@ -866,6 +961,11 @@ func (s *Session) Stats() SessionStats {
 		}
 	}
 	s.tunerMu.Unlock()
+	s.topoMu.Lock()
+	if s.topoEng != nil {
+		st.TopoViews = s.topoEng.Views()
+	}
+	s.topoMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st.Queries = len(s.queries)
@@ -903,6 +1003,13 @@ type Query struct {
 	sys    atomic.Pointer[core.System]
 	sysRef *core.System
 
+	// topoView is non-nil for topology-valued queries (internal/topo):
+	// reads and subscriptions go through the shared engine view and
+	// att/sys stay nil. topoClosed is their lock-free retirement flag,
+	// playing the role nil-sys plays for overlay queries.
+	topoView   *topo.View
+	topoClosed atomic.Bool
+
 	mu      sync.Mutex
 	att     *core.Attachment
 	closed  bool
@@ -928,6 +1035,12 @@ func (q *Query) system() (*core.System, error) {
 
 // Read returns the current value of the standing query at v.
 func (q *Query) Read(v NodeID) (Result, error) {
+	if vw := q.topoView; vw != nil {
+		if q.topoClosed.Load() {
+			return Result{}, ErrQueryClosed
+		}
+		return vw.Read(v)
+	}
 	sys, err := q.system()
 	if err != nil {
 		return Result{}, err
@@ -940,6 +1053,12 @@ func (q *Query) Read(v NodeID) (Result, error) {
 // one snapshot per shard with agg.MergeWires to answer a cross-shard read;
 // single-process callers should use Read.
 func (q *Query) ReadWire(v NodeID) (WirePAO, error) {
+	if q.topoView != nil {
+		// Topology values don't decompose into per-shard partials: with
+		// structure replicated to every shard (the sharding invariant),
+		// any single shard's Read already IS the exact answer.
+		return WirePAO{}, fmt.Errorf("eagr: %w: topology-valued queries have no wire PAO; read the exact value from any shard", ErrIncompatibleQuery)
+	}
 	sys, err := q.system()
 	if err != nil {
 		return WirePAO{}, err
@@ -954,6 +1073,9 @@ func (q *Query) ReadWire(v NodeID) (WirePAO, error) {
 // the optimizer's push/pull decisions and may change across Rebalance.
 // Unknown nodes and closed queries report false.
 func (q *Query) Covered(v NodeID) bool {
+	if vw := q.topoView; vw != nil {
+		return !q.topoClosed.Load() && vw.Covered(v)
+	}
 	sys := q.sys.Load()
 	if sys == nil {
 		return false
@@ -966,6 +1088,17 @@ func (q *Query) Covered(v NodeID) bool {
 // allows, so a hot read loop that retains res allocates nothing; *res is
 // overwritten on every call.
 func (q *Query) ReadInto(v NodeID, res *Result) error {
+	if vw := q.topoView; vw != nil {
+		if q.topoClosed.Load() {
+			return ErrQueryClosed
+		}
+		r, err := vw.Read(v)
+		if err != nil {
+			return err
+		}
+		*res = r
+		return nil
+	}
 	sys, err := q.system()
 	if err != nil {
 		return err
@@ -989,18 +1122,35 @@ func (q *Query) ReadInto(v NodeID, res *Result) error {
 // on a quasi-continuous query a subscription observes exactly the readers
 // the optimizer chose to pre-compute.
 func (q *Query) Subscribe(buffer int, nodes ...NodeID) (<-chan Update, func(), error) {
-	sys, err := q.system()
-	if err != nil {
-		return nil, nil, err
-	}
-	sub, err := sys.SubscribeView(q.tag, buffer, nodes...)
-	if err != nil {
-		return nil, nil, err
+	var sub *exec.Subscription
+	if vw := q.topoView; vw != nil {
+		// Topology-valued queries deliver structural updates through the
+		// same bounded drop-oldest channel: incremental aggregates on every
+		// edge-churn event that moves an observed ego's value, recompute
+		// aggregates at each scheduled watermark tick.
+		if q.topoClosed.Load() {
+			return nil, nil, ErrQueryClosed
+		}
+		s, err := vw.Subscribe(buffer, nodes...)
+		if err != nil {
+			return nil, nil, err
+		}
+		sub = s
+	} else {
+		sys, err := q.system()
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := sys.SubscribeView(q.tag, buffer, nodes...)
+		if err != nil {
+			return nil, nil, err
+		}
+		sub = s
 	}
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		sys.Unsubscribe(sub)
+		q.unsubscribe(sub)
 		return nil, nil, ErrQueryClosed
 	}
 	q.subs[sub] = struct{}{}
@@ -1027,9 +1177,14 @@ func (q *Query) cancelSub(sub *exec.Subscription) {
 
 // unsubscribe detaches sub via the query's system — sysRef survives Close,
 // and System.Unsubscribe targets the current engine even across
-// recompiles — and returns the final drop count.
+// recompiles — and returns the final drop count. Topology-valued queries
+// detach through their engine view instead (topoView also survives Close).
 func (q *Query) unsubscribe(sub *exec.Subscription) int64 {
-	q.sysRef.Unsubscribe(sub)
+	if vw := q.topoView; vw != nil {
+		vw.Unsubscribe(sub)
+	} else {
+		q.sysRef.Unsubscribe(sub)
+	}
 	return sub.Dropped()
 }
 
@@ -1099,6 +1254,11 @@ func (q *Query) closeInner() error {
 	s.mu.Lock()
 	delete(s.queries, q.id)
 	s.mu.Unlock()
+	if vw := q.topoView; vw != nil {
+		q.topoClosed.Store(true)
+		vw.Release()
+		return nil
+	}
 	return s.multi.Detach(q.att)
 }
 
@@ -1132,6 +1292,24 @@ type Stats struct {
 // Stats returns current overlay and configuration statistics; the zero
 // Stats after Close.
 func (q *Query) Stats() Stats {
+	if vw := q.topoView; vw != nil {
+		if q.topoClosed.Load() {
+			return Stats{}
+		}
+		alg := "windowed-recompute"
+		if vw.Incremental() {
+			alg = "incremental"
+		}
+		return Stats{
+			Algorithm:      alg,
+			Mode:           "topo",
+			Maintainable:   true,
+			Shared:         vw.Refs(),
+			Family:         1,
+			Subscribers:    vw.Subscribers(),
+			DroppedUpdates: q.dropped(),
+		}
+	}
 	sys := q.sys.Load()
 	if sys == nil {
 		return Stats{}
@@ -1162,6 +1340,12 @@ func (q *Query) Stats() Stats {
 // included — on the shared overlay (family), and how many reader nodes its
 // own view owns there (ownReaders). Zeros after Close.
 func (q *Query) Sharing() (shared, family, ownReaders int) {
+	if vw := q.topoView; vw != nil {
+		if q.topoClosed.Load() {
+			return 0, 0, 0
+		}
+		return vw.Refs(), 1, 0
+	}
 	sys := q.sys.Load()
 	if sys == nil {
 		return 0, 0, 0

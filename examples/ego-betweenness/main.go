@@ -1,0 +1,91 @@
+// Topology-valued queries, part 3: EGO-BETWEENNESS — how much of a broker
+// each user is within their own ego network (Everett–Borgatti: for every
+// non-adjacent pair of neighbors, the ego's share of the shortest paths
+// between them). Fixed point at eagr.TopoScale = 1.0.
+//
+// Two maintenance modes:
+//   - windowless: exact value computed on read, pushed on every structural
+//     change touching the ego;
+//   - windowed (QuerySpec.WindowTime > 0): recomputed for CHANGED egos on a
+//     watermark schedule — the temporal batch pattern for aggregates whose
+//     per-edge delta is not cheap. Reads serve the last scheduled snapshot.
+//
+// Run with: go run ./examples/ego-betweenness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eagr "repro"
+)
+
+func main() {
+	const users = 5
+	sess, err := eagr.Open(eagr.NewGraph(users))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Windowless: always exact, push-on-churn.
+	live, err := sess.Register(eagr.QuerySpec{Aggregate: "ego-betweenness"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Windowed: recompute dirty egos when the watermark advances >= 100
+	// time units past the last tick.
+	sched, err := sess.Register(eagr.QuerySpec{Aggregate: "ego-betweenness", WindowTime: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A broker topology: user 0 connects two otherwise-separate circles.
+	for _, e := range [][2]eagr.NodeID{
+		{1, 0}, {2, 0}, // circle A touches the broker
+		{3, 0}, {4, 0}, // circle B touches the broker
+		{1, 2}, {3, 4}, // the circles are internally tight
+	} {
+		if err := sess.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	eb := func(q *eagr.Query, v eagr.NodeID) float64 {
+		r, err := q.Read(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return float64(r.Scalar) / float64(eagr.TopoScale)
+	}
+	// Broker 0 sits between 4 of its 6 neighbor pairs (1-3, 1-4, 2-3, 2-4).
+	fmt.Printf("live EB: broker=%.2f circleA=%.2f circleB=%.2f\n",
+		eb(live, 0), eb(live, 1), eb(live, 3))
+
+	// The windowed view ticks off the expiry watermark: the first watermark
+	// arms the schedule and takes the initial snapshot.
+	sess.ExpireAll(100)
+	fmt.Printf("scheduled EB after first tick: broker=%.2f\n", eb(sched, 0))
+
+	// Bridge the circles directly: 1-3. The live view moves immediately;
+	// the scheduled view still serves its snapshot.
+	if err := sess.AddEdge(1, 3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after 1-3 bridge: live=%.2f scheduled(stale)=%.2f\n", eb(live, 0), eb(sched, 0))
+
+	// Not enough time has passed — no tick, still the old snapshot.
+	sess.ExpireAll(150)
+	fmt.Printf("watermark 150 (< window): scheduled=%.2f\n", eb(sched, 0))
+
+	// The next watermark past the window recomputes exactly the egos the
+	// churn dirtied and pushes the changed values to subscribers.
+	updates, cancel, err := sched.Subscribe(16, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancel()
+	sess.ExpireAll(220)
+	u := <-updates
+	fmt.Printf("watermark 220 ticks: scheduled broker EB -> %.2f (delivered ts=%d)\n",
+		float64(u.Result.Scalar)/float64(eagr.TopoScale), u.TS)
+}

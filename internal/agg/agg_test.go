@@ -2,6 +2,8 @@ package agg
 
 import (
 	"math/rand"
+	"slices"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -561,5 +563,33 @@ func TestMaxMultisetStress(t *testing.T) {
 		if got.Valid != valid || (valid && got.Scalar != want) {
 			t.Fatalf("step %d: max = %v, want (%d,%v)", i, got, want, valid)
 		}
+	}
+}
+
+// TestNamesSortedAndStable pins the Names() ordering contract: sorted
+// ascending, duplicate-free, and stable across calls. Error messages
+// ("unknown aggregate ... have a, b, c"), docs, and the topo registry's
+// parallel Names() all lean on this being deterministic.
+func TestNamesSortedAndStable(t *testing.T) {
+	first := Names()
+	if len(first) == 0 {
+		t.Fatal("no registered aggregates")
+	}
+	if !sort.StringsAreSorted(first) {
+		t.Fatalf("Names() not sorted: %v", first)
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i] == first[i-1] {
+			t.Fatalf("Names() has duplicate %q", first[i])
+		}
+	}
+	second := Names()
+	if !slices.Equal(first, second) {
+		t.Fatalf("Names() unstable across calls: %v vs %v", first, second)
+	}
+	// Mutating the returned slice must not corrupt the registry's view.
+	first[0] = "zzz-mutated"
+	if third := Names(); !slices.Equal(second, third) {
+		t.Fatalf("Names() aliases internal state: %v", third)
 	}
 }

@@ -56,6 +56,10 @@ type MultiSystem struct {
 	systems atomic.Pointer[[]*System]
 	// nextAnon disambiguates attachments that must never share.
 	nextAnon int
+	// listeners is the structural-listener fan-out snapshot (see
+	// StructuralListener), swapped copy-on-write under mu and loaded
+	// lock-free by the mutation and expiry paths.
+	listeners atomic.Pointer[[]StructuralListener]
 	// overflows counts registrations that found their merge family at
 	// member capacity and had to open a fresh overlay instead of joining
 	// the shared one (the 64-member tag-space cap).
@@ -102,7 +106,66 @@ func NewMulti(g *graph.Graph) *MultiSystem {
 		families: map[string]*family{},
 	}
 	m.systems.Store(&[]*System{})
+	m.listeners.Store(&[]StructuralListener{})
 	return m
+}
+
+// StructuralListener observes the shared graph's structure stream: it is
+// invoked once per SUCCESSFUL structural mutation (failed events — dup
+// edges, dead nodes — notify nobody), in event order, under the structural
+// mutation lock, plus once per watermark advance. This is the hook that
+// lets structure-consuming subsystems (topology-valued aggregates) ride the
+// same single graph-mutation path the overlay repair uses, without content
+// writes ever touching them. Callbacks must not re-enter the MultiSystem's
+// mutators and must not block: they run inside the ingestion path.
+type StructuralListener interface {
+	// EdgeAdded / EdgeRemoved report a directed edge u→w that was actually
+	// inserted into / deleted from the graph, with the event's timestamp.
+	EdgeAdded(u, w graph.NodeID, ts int64)
+	EdgeRemoved(u, w graph.NodeID, ts int64)
+	// NodeAdded reports a freshly allocated node id; NodeRemoved a node
+	// deletion AFTER the graph dropped it and its incident edges (listeners
+	// needing the incident edges keep their own mirror).
+	NodeAdded(v graph.NodeID, ts int64)
+	NodeRemoved(v graph.NodeID, ts int64)
+	// WatermarkAdvanced reports time moving to ts (ExpireAll), the clock
+	// for windowed-recompute consumers. Unlike the mutation callbacks it is
+	// NOT serialized under the structural lock; implementations synchronize
+	// themselves.
+	WatermarkAdvanced(ts int64)
+}
+
+// AttachStructuralListener installs the listener build returns. build runs
+// with the shared graph under the structural mutation lock, so the snapshot
+// it takes and the event stream the listener subsequently observes are
+// gap-free and overlap-free — the listener's state starts exactly current.
+func (m *MultiSystem) AttachStructuralListener(build func(g *graph.Graph) StructuralListener) StructuralListener {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := build(m.g)
+	if l == nil {
+		return nil
+	}
+	prev := *m.listeners.Load()
+	next := make([]StructuralListener, 0, len(prev)+1)
+	next = append(next, prev...)
+	next = append(next, l)
+	m.listeners.Store(&next)
+	return l
+}
+
+// DetachStructuralListener removes a previously attached listener.
+func (m *MultiSystem) DetachStructuralListener(l StructuralListener) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := *m.listeners.Load()
+	next := make([]StructuralListener, 0, len(prev))
+	for _, x := range prev {
+		if x != l {
+			next = append(next, x)
+		}
+	}
+	m.listeners.Store(&next)
 }
 
 // Attach registers a query with exact sharing only: attachments with equal
@@ -299,10 +362,14 @@ func (m *MultiSystem) WriteBatch(events []graph.Event) error {
 	return nil
 }
 
-// ExpireAll advances time-based windows to ts in every attached group.
+// ExpireAll advances time-based windows to ts in every attached group and
+// ticks the structural listeners' watermark clock.
 func (m *MultiSystem) ExpireAll(ts int64) {
 	for _, sys := range *m.systems.Load() {
 		sys.ExpireAll(ts)
+	}
+	for _, l := range *m.listeners.Load() {
+		l.WatermarkAdvanced(ts)
 	}
 }
 
@@ -468,6 +535,7 @@ func (m *MultiSystem) applyStructuralRun(run []graph.Event) ([]graph.NodeID, []e
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	systems := *m.systems.Load()
+	listeners := *m.listeners.Load()
 	batches := make([]*repairBatch, len(systems))
 	for i, sys := range systems {
 		batches[i] = sys.beginRepairBatch()
@@ -484,6 +552,9 @@ func (m *MultiSystem) applyStructuralRun(run []graph.Event) ([]graph.NodeID, []e
 			for i, sys := range systems {
 				sys.batchEdgeTouched(batches[i], ev.Node, ev.Peer)
 			}
+			for _, l := range listeners {
+				l.EdgeAdded(ev.Node, ev.Peer, ev.TS)
+			}
 		case graph.EdgeRemove:
 			if !m.g.HasEdge(ev.Node, ev.Peer) {
 				// Let the graph produce the precise typed error (dead node
@@ -496,12 +567,19 @@ func (m *MultiSystem) applyStructuralRun(run []graph.Event) ([]graph.NodeID, []e
 			}
 			if err := m.g.RemoveEdge(ev.Node, ev.Peer); err != nil {
 				errs = append(errs, err)
+				continue
+			}
+			for _, l := range listeners {
+				l.EdgeRemoved(ev.Node, ev.Peer, ev.TS)
 			}
 		case graph.NodeAdd:
 			v := m.g.AddNode()
 			added = append(added, v)
 			for i, sys := range systems {
 				sys.batchNodeAdded(batches[i], v)
+			}
+			for _, l := range listeners {
+				l.NodeAdded(v, ev.TS)
 			}
 		case graph.NodeRemove:
 			if !m.g.Alive(ev.Node) {
@@ -517,6 +595,9 @@ func (m *MultiSystem) applyStructuralRun(run []graph.Event) ([]graph.NodeID, []e
 			}
 			for i, sys := range systems {
 				sys.batchNodeRemoved(batches[i], ev.Node)
+			}
+			for _, l := range listeners {
+				l.NodeRemoved(ev.Node, ev.TS)
 			}
 		}
 	}

@@ -92,6 +92,40 @@ func (s *Subscription) close() {
 	}
 }
 
+// NewLooseSubscription creates a Subscription bound to no Engine: the same
+// bounded drop-oldest delivery channel, but fed by an external producer
+// (internal/topo's structural engines) via Deliver and retired via Retire.
+// The optional node list is recorded for the producer to filter on (loose
+// subscriptions have no overlay reader slots to resolve against); consumers
+// see the identical Updates/Dropped surface either way, which is what lets
+// the session layer hand both kinds through one code path.
+func NewLooseSubscription(buffer int, nodes ...graph.NodeID) *Subscription {
+	if buffer < 1 {
+		buffer = 16
+	}
+	s := &Subscription{ch: make(chan Update, buffer)}
+	if len(nodes) > 0 {
+		s.nodes = append([]graph.NodeID(nil), nodes...)
+	}
+	return s
+}
+
+// Nodes returns the node restriction the subscription was created with
+// (nil = unrestricted). Engine-owned subscriptions resolve this to reader
+// slots internally; loose producers filter on it themselves.
+func (s *Subscription) Nodes() []graph.NodeID { return s.nodes }
+
+// Deliver enqueues u from an external producer, with the same non-blocking
+// drop-oldest semantics as engine fan-out. Intended for loose
+// subscriptions; delivering to an engine-owned subscription is harmless but
+// bypasses the per-reader ordering contract.
+func (s *Subscription) Deliver(u Update) { s.deliver(u) }
+
+// Retire marks a loose subscription dead and closes its channel.
+// Idempotent. Engine-owned subscriptions are retired via Unsubscribe
+// instead, which also removes them from the fan-out table.
+func (s *Subscription) Retire() { s.close() }
+
 // notifyTable is the engine's immutable subscriber snapshot, swapped
 // copy-on-write under Engine.subMu. The write hot path loads it with one
 // atomic pointer read; it is nil whenever no subscription exists, so

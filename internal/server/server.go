@@ -217,6 +217,7 @@ func New(sess *eagr.Session, opts ...Option) *Server {
 	s.mux.HandleFunc("/rebalance", s.handleRebalance)
 	s.mux.HandleFunc("POST /expire", s.handleExpire)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
@@ -1066,6 +1067,17 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int{"flips": flips})
 }
 
+// handleHealthz is the liveness probe: a cheap 200 whenever the HTTP
+// front-end can reach the session. The router's fan-out health checks
+// (and anything else that needs "is this shard up?" without the cost of
+// /stats) poll it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"ok":      true,
+		"queries": len(s.sess.Queries()),
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
@@ -1117,6 +1129,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"servedWrites":    s.writes.Load(),
 		"servedReads":     s.reads.Load(),
 		"servedWatches":   s.watches.Load(),
+		"topoViews":       st.TopoViews,
 		"ingest":          ingest,
 		// Adaptivity state is always surfaced: POST /rebalance and the
 		// autotune controller both feed the same per-overlay telemetry.

@@ -827,3 +827,101 @@ func TestIngestorSlabMatchesPerLine(t *testing.T) {
 			accA, sumA, accB, sumB)
 	}
 }
+
+// TestTopoOverHTTP drives a topology-valued query through every relevant
+// endpoint: register, structural mutation via /edge, per-query read, the
+// PAO endpoint's 422 (topo values have no mergeable wire form), the
+// liveness probe, and the /stats topoViews gauge.
+func TestTopoOverHTTP(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/queries", map[string]any{"aggregate": "triangles"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register triangles status = %d", resp.StatusCode)
+	}
+	id := int(decode[map[string]any](t, resp)["id"].(float64))
+
+	// Fixture edges 1->0, 2->0, 3->2 hold no triangle; closing 1-2 forms
+	// {0,1,2}, giving every corner ego one triangle.
+	resp = post(t, ts.URL+"/edge", map[string]any{"from": 1, "to": 2})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("edge add status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	got := decode[map[string]any](t, mustGet(t, fmt.Sprintf("%s/queries/%d/read?node=0", ts.URL, id)))
+	if got["scalar"].(float64) != 1 {
+		t.Fatalf("triangles(0) over HTTP = %v, want 1", got)
+	}
+
+	// No wire PAO for topo: any shard's value is exact, so the router
+	// reads /read instead of merging /pao — the endpoint must say 422.
+	pao, err := http.Get(fmt.Sprintf("%s/queries/%d/pao?node=0", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pao.Body.Close()
+	if pao.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("topo PAO status = %d, want 422", pao.StatusCode)
+	}
+
+	hz := decode[map[string]any](t, mustGet(t, ts.URL+"/healthz"))
+	if hz["ok"] != true {
+		t.Fatalf("healthz = %v", hz)
+	}
+	st := decode[map[string]any](t, mustGet(t, ts.URL+"/stats"))
+	if st["topoViews"].(float64) != 1 {
+		t.Fatalf("stats topoViews = %v, want 1", st["topoViews"])
+	}
+}
+
+// TestTopoWatchSSE: structural churn must stream topo updates through the
+// ordinary SSE watch endpoint.
+func TestTopoWatchSSE(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/queries", map[string]any{"aggregate": "density"})
+	id := int(decode[map[string]any](t, resp)["id"].(float64))
+
+	watch, err := http.Get(fmt.Sprintf("%s/queries/%d/watch?node=0", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watch.Body.Close()
+
+	// Close 1-2: ego 0's neighborhood {1,2} becomes fully connected.
+	resp = post(t, ts.URL+"/edge", map[string]any{"from": 1, "to": 2})
+	resp.Body.Close()
+
+	sc := bufio.NewScanner(watch.Body)
+	deadline := time.After(5 * time.Second)
+	lines := make(chan string, 8)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("no SSE update for structural change on a topo query")
+		case ln, ok := <-lines:
+			if !ok {
+				t.Fatal("watch stream closed early")
+			}
+			if !strings.HasPrefix(ln, "data: ") {
+				continue
+			}
+			var u map[string]any
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(ln, "data: ")), &u); err != nil {
+				t.Fatalf("bad SSE payload %q: %v", ln, err)
+			}
+			if u["node"].(float64) != 0 {
+				continue
+			}
+			// density(0) = 1.0 in fixed point: one triangle over one pair.
+			if u["scalar"].(float64) != 1000000 {
+				t.Fatalf("SSE density update = %v, want scalar 1000000", u)
+			}
+			return
+		}
+	}
+}

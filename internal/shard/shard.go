@@ -34,6 +34,9 @@
 // aggregate except topk~ answers exactly as a single process would; topk~'s
 // bounded candidate list is admission-order dependent, so its sharded
 // answers are approximate in a different way than its single-process ones.
+// Topology-valued queries (density, triangles, …) read without merging:
+// they depend only on structure, which is replicated, so any single shard's
+// value is already the exact cluster-wide answer.
 package shard
 
 import (
@@ -44,6 +47,7 @@ import (
 	eagr "repro"
 	"repro/internal/agg"
 	"repro/internal/graph"
+	"repro/internal/topo"
 )
 
 // Owner maps a writer node to its owning shard with a splitmix64 hash —
@@ -136,9 +140,16 @@ func (c *Cluster) Register(spec eagr.QuerySpec, opts ...eagr.Options) (*Query, e
 	if name == "" {
 		name = "sum"
 	}
-	a, err := agg.Parse(name)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %w", eagr.ErrIncompatibleQuery, err)
+	a, aerr := agg.Parse(name)
+	isTopo := false
+	if aerr != nil {
+		if !topo.IsTopo(name) {
+			return nil, fmt.Errorf("%w: %w", eagr.ErrIncompatibleQuery, aerr)
+		}
+		// Topology-valued aggregate: structure is replicated to every
+		// shard, so each shard maintains the identical exact value — reads
+		// need no merge. The per-shard Register validates the spec.
+		a, isTopo = nil, true
 	}
 	qs := make([]*eagr.Query, 0, len(c.shards))
 	for i, sess := range c.shards {
@@ -154,7 +165,7 @@ func (c *Cluster) Register(spec eagr.QuerySpec, opts ...eagr.Options) (*Query, e
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
 	c.nextID++
-	q := &Query{c: c, id: c.nextID, spec: spec, agg: a, qs: qs}
+	q := &Query{c: c, id: c.nextID, spec: spec, agg: a, topo: isTopo, qs: qs}
 	c.queries[q.id] = q
 	return q, nil
 }
@@ -279,7 +290,8 @@ type Query struct {
 	c    *Cluster
 	id   int
 	spec eagr.QuerySpec
-	agg  eagr.Aggregate
+	agg  eagr.Aggregate // nil for topology-valued queries
+	topo bool
 	qs   []*eagr.Query
 }
 
@@ -294,7 +306,12 @@ func (q *Query) ShardQuery(i int) *eagr.Query { return q.qs[i] }
 
 // Read scatter-gathers the standing query at v: one wire snapshot per
 // shard, merged and finalized through the single-process aggregate path.
+// Topology-valued queries skip the merge entirely — structural replication
+// keeps every shard's topo value exact, so any one shard answers.
 func (q *Query) Read(v graph.NodeID) (eagr.Result, error) {
+	if q.topo {
+		return q.qs[0].Read(v)
+	}
 	ws := make([]agg.WirePAO, len(q.qs))
 	for i, sq := range q.qs {
 		w, err := sq.ReadWire(v)

@@ -50,6 +50,14 @@ var oracleSpecs = []eagr.QuerySpec{
 	{Aggregate: "topk(3)", WindowTuples: 5},
 	{Aggregate: "distinct", WindowTime: 50},
 	{Aggregate: "distinct~", WindowTime: 30},
+	// Topology-valued aggregates: structural replication must make these
+	// exact on every shard individually (checked in compareAll), not just
+	// on the designated read shard.
+	{Aggregate: "density"},
+	{Aggregate: "triangles"},
+	{Aggregate: "wedges"},
+	{Aggregate: "ego-betweenness"},
+	{Aggregate: "ego-betweenness", WindowTime: 45},
 }
 
 // TestShardedMatchesOracle is the correctness spine of the scale-out layer:
@@ -159,6 +167,22 @@ func compareAll(t *testing.T, batch int, oracle *eagr.Session, oqs []*eagr.Query
 			if werr == nil && !want.Eq(got) {
 				t.Fatalf("batch %d, query %+v, node %d: oracle %+v, cluster %+v",
 					batch, oqs[qi].Spec(), v, want, got)
+			}
+			if !cqs[qi].topo {
+				continue
+			}
+			// Topology-valued: every shard individually must hold the exact
+			// value, since structure (the only input) is fully replicated.
+			for si := range cqs[qi].qs {
+				sgot, sgerr := cqs[qi].ShardQuery(si).Read(eagr.NodeID(v))
+				if (werr != nil) != (sgerr != nil) {
+					t.Fatalf("batch %d, query %+v, node %d, shard %d: oracle err %v, shard err %v",
+						batch, oqs[qi].Spec(), v, si, werr, sgerr)
+				}
+				if werr == nil && !want.Eq(sgot) {
+					t.Fatalf("batch %d, query %+v, node %d, shard %d: oracle %+v, shard %+v",
+						batch, oqs[qi].Spec(), v, si, want, sgot)
+				}
 			}
 		}
 	}

@@ -1,0 +1,392 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/agg"
+	"repro/internal/exec"
+	"repro/internal/graph"
+)
+
+// Engine hosts every topology-valued view of one session's graph. It
+// implements the core structural-listener hook: the graph-mutation path
+// calls the *Added/*Removed methods after each successful structural
+// mutation (never on content writes, so content-only batches pay zero topo
+// cost), and ExpireAll calls WatermarkAdvanced — the clock that schedules
+// recompute-class views.
+//
+// One Engine serves all topo queries of a session; views are deduped by
+// compile key (aggregate spec + window cadence) with refcounts, the same
+// sharing model the numeric overlays use.
+type Engine struct {
+	mu     sync.RWMutex
+	mirror *Mirror
+	views  map[string]*View
+
+	scratch []graph.NodeID // affected-ego buffer, reused per mutation
+}
+
+// NewEngine creates an engine mirroring g's current topology. The caller
+// wires it to the mutation path (core.MultiSystem.AddStructuralListener);
+// every structural event after this snapshot must be forwarded, which the
+// session guarantees by constructing the engine under the core mutation
+// lock.
+func NewEngine(g *graph.Graph) *Engine {
+	m := NewMirror(g.MaxID())
+	m.Bootstrap(g)
+	return &Engine{mirror: m, views: map[string]*View{}}
+}
+
+// View is one refcounted topology query compiled into the engine: an
+// aggregate plus its window cadence, shared by every session query with the
+// same compile key. Incremental views read straight off the mirror;
+// recompute views additionally carry the per-ego value snapshot refreshed
+// on the watermark schedule.
+type View struct {
+	eng    *Engine
+	key    string
+	spec   Spec
+	agg    Aggregate
+	window int64
+	refs   int
+
+	// Recompute-class state (agg.Incremental() == false, window > 0):
+	// vals holds the last scheduled computation per ego, dirty the egos
+	// whose ego network changed since, armed/lastTick the schedule.
+	vals     map[graph.NodeID]int64
+	dirty    map[graph.NodeID]struct{}
+	lastTick int64
+	armed    bool
+	ticks    int64
+
+	subs map[*exec.Subscription]map[graph.NodeID]struct{} // filter; nil = all egos
+}
+
+// Acquire returns the view for (spec, window), creating it at refcount 1 or
+// bumping the existing view's refcount — compile-key sharing for topo.
+func (e *Engine) Acquire(spec Spec, window int64) (*View, error) {
+	a, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := spec.Key(window)
+	if v, ok := e.views[key]; ok {
+		v.refs++
+		return v, nil
+	}
+	v := &View{
+		eng:    e,
+		key:    key,
+		spec:   spec,
+		agg:    a,
+		window: window,
+		refs:   1,
+		subs:   map[*exec.Subscription]map[graph.NodeID]struct{}{},
+	}
+	if !a.Incremental() && window > 0 {
+		v.vals = map[graph.NodeID]int64{}
+		v.dirty = map[graph.NodeID]struct{}{}
+	}
+	e.views[key] = v
+	return v, nil
+}
+
+// Release drops one reference; the last release removes the view from the
+// engine and retires any subscriptions still attached.
+func (v *View) Release() {
+	v.eng.mu.Lock()
+	v.refs--
+	done := v.refs <= 0
+	var retire []*exec.Subscription
+	if done {
+		delete(v.eng.views, v.key)
+		for s := range v.subs {
+			retire = append(retire, s)
+		}
+		v.subs = map[*exec.Subscription]map[graph.NodeID]struct{}{}
+	}
+	v.eng.mu.Unlock()
+	for _, s := range retire {
+		s.Retire()
+	}
+}
+
+// Refs reports the current reference count (for sharing stats).
+func (v *View) Refs() int {
+	v.eng.mu.RLock()
+	defer v.eng.mu.RUnlock()
+	return v.refs
+}
+
+// Spec returns the view's parsed aggregate spec.
+func (v *View) Spec() Spec { return v.spec }
+
+// Window returns the recompute cadence (0 for incremental or on-the-fly).
+func (v *View) Window() int64 { return v.window }
+
+// Incremental reports the view's maintenance class.
+func (v *View) Incremental() bool { return v.agg.Incremental() }
+
+// Ticks reports completed scheduled recompute passes (0 for incremental).
+func (v *View) Ticks() int64 {
+	v.eng.mu.RLock()
+	defer v.eng.mu.RUnlock()
+	return v.ticks
+}
+
+// Dirty reports the egos awaiting the next scheduled recompute.
+func (v *View) Dirty() int {
+	v.eng.mu.RLock()
+	defer v.eng.mu.RUnlock()
+	return len(v.dirty)
+}
+
+// Subscribers reports the number of live subscriptions on the view.
+func (v *View) Subscribers() int {
+	v.eng.mu.RLock()
+	defer v.eng.mu.RUnlock()
+	return len(v.subs)
+}
+
+// Read returns the aggregate's current value for ego v. Unknown or dead
+// egos return exec.ErrUnknownNode, matching the numeric-query surface.
+//
+// Incremental views read the incrementally-maintained exact value.
+// Scheduled-recompute views read the last scheduled computation — the
+// windowed semantics — falling back to an on-the-fly computation for egos
+// never yet covered by a tick; windowless recompute views always compute on
+// the fly.
+func (vw *View) Read(v graph.NodeID) (agg.Result, error) {
+	vw.eng.mu.RLock()
+	defer vw.eng.mu.RUnlock()
+	if !vw.eng.mirror.Alive(v) {
+		return agg.Result{}, fmt.Errorf("topo: read node %d: %w", v, exec.ErrUnknownNode)
+	}
+	if vw.vals != nil {
+		if s, ok := vw.vals[v]; ok {
+			return agg.Result{Scalar: s, Valid: true}, nil
+		}
+	}
+	return vw.agg.Value(vw.eng.mirror, v), nil
+}
+
+// Covered reports whether ego v currently has a value (is alive).
+func (vw *View) Covered(v graph.NodeID) bool {
+	vw.eng.mu.RLock()
+	defer vw.eng.mu.RUnlock()
+	return vw.eng.mirror.Alive(v)
+}
+
+// Subscribe attaches a bounded drop-oldest listener to the view (buffer < 1
+// defaults to 16). With no nodes it observes every ego; otherwise only the
+// listed egos, each of which must currently be alive (exec.ErrUnknownNode
+// otherwise). Incremental views deliver on every structural change that
+// moves an observed ego's value; recompute views deliver changed values at
+// each scheduled tick. Cancel with Unsubscribe; the mutation path never
+// blocks on a slow consumer.
+func (vw *View) Subscribe(buffer int, nodes ...graph.NodeID) (*exec.Subscription, error) {
+	vw.eng.mu.Lock()
+	defer vw.eng.mu.Unlock()
+	var filter map[graph.NodeID]struct{}
+	if len(nodes) > 0 {
+		filter = make(map[graph.NodeID]struct{}, len(nodes))
+		for _, n := range nodes {
+			if !vw.eng.mirror.Alive(n) {
+				return nil, fmt.Errorf("topo: subscribe node %d: %w", n, exec.ErrUnknownNode)
+			}
+			filter[n] = struct{}{}
+		}
+	}
+	sub := exec.NewLooseSubscription(buffer, nodes...)
+	vw.subs[sub] = filter
+	return sub, nil
+}
+
+// Unsubscribe detaches sub and closes its channel. Idempotent.
+func (vw *View) Unsubscribe(sub *exec.Subscription) {
+	if sub == nil {
+		return
+	}
+	vw.eng.mu.Lock()
+	_, ok := vw.subs[sub]
+	delete(vw.subs, sub)
+	vw.eng.mu.Unlock()
+	if ok {
+		sub.Retire()
+	}
+}
+
+// --- structural listener hook (called by core.MultiSystem) ---
+
+// EdgeAdded folds directed edge u→w into the mirror and fans out.
+func (e *Engine) EdgeAdded(u, w graph.NodeID, ts int64) {
+	e.mu.Lock()
+	common, changed := e.mirror.EdgeDelta(u, w, true)
+	if changed {
+		e.structuralChange(u, w, common, ts)
+	}
+	e.mu.Unlock()
+}
+
+// EdgeRemoved folds the removal of directed edge u→w into the mirror.
+func (e *Engine) EdgeRemoved(u, w graph.NodeID, ts int64) {
+	e.mu.Lock()
+	common, changed := e.mirror.EdgeDelta(u, w, false)
+	if changed {
+		e.structuralChange(u, w, common, ts)
+	}
+	e.mu.Unlock()
+}
+
+// NodeAdded starts tracking v. A fresh node has an empty ego network, so
+// nothing fans out.
+func (e *Engine) NodeAdded(v graph.NodeID, ts int64) {
+	e.mu.Lock()
+	e.mirror.NodeAdded(v)
+	e.mu.Unlock()
+}
+
+// NodeRemoved drops v and its incident edges; every former neighbor's ego
+// network changed, so they all fan out / go dirty. v itself is dead and
+// stops being readable or deliverable.
+func (e *Engine) NodeRemoved(v graph.NodeID, ts int64) {
+	e.mu.Lock()
+	affected := e.mirror.NodeRemoved(v)
+	for _, vw := range e.views {
+		if vw.vals != nil {
+			delete(vw.vals, v)
+			delete(vw.dirty, v)
+		}
+	}
+	if len(affected) > 0 {
+		e.fanout(affected, ts)
+	}
+	e.mu.Unlock()
+}
+
+// WatermarkAdvanced is the recompute clock: every scheduled view whose
+// cadence has elapsed recomputes its dirty egos and delivers the changed
+// values. The schedule is a pure function of the watermark sequence (first
+// watermark always ticks), so replicas and recovery replays agree.
+func (e *Engine) WatermarkAdvanced(ts int64) {
+	e.mu.Lock()
+	for _, vw := range e.views {
+		if vw.vals == nil {
+			continue
+		}
+		if vw.armed && ts-vw.lastTick < vw.window {
+			continue
+		}
+		vw.armed = true
+		vw.lastTick = ts
+		vw.ticks++
+		for d := range vw.dirty {
+			if !e.mirror.Alive(d) {
+				delete(vw.vals, d)
+				continue
+			}
+			nv := vw.agg.Value(e.mirror, d).Scalar
+			if old, ok := vw.vals[d]; !ok || old != nv {
+				vw.vals[d] = nv
+				vw.deliver(d, agg.Result{Scalar: nv, Valid: true}, ts)
+			}
+		}
+		vw.dirty = map[graph.NodeID]struct{}{}
+	}
+	e.mu.Unlock()
+}
+
+// structuralChange handles a confirmed undirected-edge appearance or
+// disappearance between u and w. The exact set of egos whose ego network
+// changed is {u, w} ∪ common(u, w): any other ego would need both
+// endpoints inside its neighborhood, i.e. be a common neighbor. Callers
+// hold e.mu; common is mirror-owned scratch, consumed before returning.
+func (e *Engine) structuralChange(u, w graph.NodeID, common []graph.NodeID, ts int64) {
+	e.scratch = e.scratch[:0]
+	e.scratch = append(e.scratch, u, w)
+	e.scratch = append(e.scratch, common...)
+	e.fanout(e.scratch, ts)
+}
+
+// fanout routes the affected-ego set to every view: incremental views
+// deliver refreshed values immediately, windowless recompute views compute
+// and deliver on the spot, scheduled recompute views just mark dirty.
+func (e *Engine) fanout(affected []graph.NodeID, ts int64) {
+	for _, vw := range e.views {
+		switch {
+		case vw.vals != nil: // scheduled recompute: defer to the tick
+			for _, a := range affected {
+				vw.dirty[a] = struct{}{}
+			}
+		case len(vw.subs) == 0:
+			// No subscribers and nothing to maintain: incremental values
+			// live in the shared mirror, already updated.
+		default:
+			for _, a := range affected {
+				if !e.mirror.Alive(a) {
+					continue
+				}
+				if !vw.observed(a) {
+					continue
+				}
+				vw.deliver(a, vw.agg.Value(e.mirror, a), ts)
+			}
+		}
+	}
+}
+
+// observed reports whether any subscription covers ego a (callers hold the
+// engine lock).
+func (vw *View) observed(a graph.NodeID) bool {
+	for _, filter := range vw.subs {
+		if filter == nil {
+			return true
+		}
+		if _, ok := filter[a]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// deliver fans one ego's refreshed result to the covering subscriptions
+// (callers hold the engine lock; Deliver never blocks).
+func (vw *View) deliver(a graph.NodeID, res agg.Result, ts int64) {
+	u := exec.Update{Node: a, Result: res, TS: ts}
+	for s, filter := range vw.subs {
+		if filter != nil {
+			if _, ok := filter[a]; !ok {
+				continue
+			}
+		}
+		s.Deliver(u)
+	}
+}
+
+// Bootstrap re-mirrors g from scratch, resetting every recompute snapshot.
+// Used when a durable session swaps in a recovered graph underneath an
+// already-constructed engine.
+func (e *Engine) Bootstrap(g *graph.Graph) {
+	e.mu.Lock()
+	e.mirror.Bootstrap(g)
+	for _, vw := range e.views {
+		if vw.vals != nil {
+			vw.vals = map[graph.NodeID]int64{}
+			vw.dirty = map[graph.NodeID]struct{}{}
+			vw.armed = false
+			vw.lastTick = math.MinInt64
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Views reports the number of live compiled views (for stats).
+func (e *Engine) Views() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.views)
+}

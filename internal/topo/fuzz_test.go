@@ -1,0 +1,57 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTopoSpec pins the topology-aggregate spec grammar as a closed
+// loop (mirroring FuzzParseEventKind for event kinds): every accepted
+// spelling canonicalizes through String to a form that parses back to the
+// identical Spec, and equal-semantics spellings produce equal compile keys
+// — the property Session.Register's view sharing and the router's spec
+// re-encoding both depend on.
+func FuzzParseTopoSpec(f *testing.F) {
+	for _, s := range []string{
+		"", "density", "Density", " density ", "triangles", "triangle",
+		"tri", "wedges", "wedge", "ego-betweenness", "egobetweenness",
+		"ego_betweenness", "betweenness", "EBC", "density(3)", "sum",
+		"topk(5)", "density(", "density()", "wedges(x)", "tri(0)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := Parse(s)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		back, err := Parse(canon)
+		if err != nil || back != spec {
+			t.Fatalf("String/Parse not closed: %q -> %+v -> %q -> (%+v, %v)", s, spec, canon, back, err)
+		}
+		if spec.Key(0) != back.Key(0) || spec.Key(100) != back.Key(100) {
+			t.Fatalf("compile key unstable across round-trip for %q", s)
+		}
+		if !strings.HasPrefix(spec.Key(0), "topo|") {
+			t.Fatalf("key %q lost the topo| namespace prefix", spec.Key(0))
+		}
+		// Accepted names must be registered (Parse may not invent names):
+		// New must succeed, and the canonical name must appear in Names().
+		if _, err := New(spec); err != nil {
+			t.Fatalf("Parse accepted %q but New rejects: %v", s, err)
+		}
+		found := false
+		for _, n := range Names() {
+			if n == spec.Name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Parse accepted %q as %q, which Names() does not list", s, spec.Name)
+		}
+		if IsTopo(s) != true {
+			t.Fatalf("IsTopo(%q) disagrees with Parse", s)
+		}
+	})
+}

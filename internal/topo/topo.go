@@ -1,0 +1,253 @@
+// Package topo implements topology-valued aggregates: standing ego-centric
+// queries whose input is the graph's edge churn rather than the content
+// stream. Where internal/agg answers "aggregate F over the CONTENT written
+// by v's neighborhood", topo answers "aggregate F over the STRUCTURE of v's
+// ego network" — the density of the neighborhood, the triangles and wedges
+// through v, v's ego-betweenness.
+//
+// The ego network of v is undirected and 1-hop: its members are v and every
+// node u with an edge in either direction between u and v, and its edges
+// are the (undirected views of the) graph edges among members. Self-loops
+// never count.
+//
+// Aggregates come in two maintenance classes (see Aggregate.Incremental):
+//
+//   - Incremental (density, triangles, wedges): maintained exactly on every
+//     edge delta by the Engine's Mirror. An edge (u,w) arriving or leaving
+//     adjusts the triangle count of every ego adjacent to both endpoints,
+//     the classic streaming-triangle update, so reads are O(1).
+//   - Windowed recompute (ego-betweenness): recomputed over the current ego
+//     network, per ego, at a cadence scheduled off the ingestion watermark
+//     (QuerySpec.WindowTime), the TSBProxy-style temporal formulation.
+//
+// Either way a value is a pure function of the current topology (plus, for
+// recompute aggregates, the watermark schedule), which is what lets durable
+// sessions rebuild topo state from the recovered graph with no new WAL
+// record types.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+)
+
+// Scale is the fixed-point scale of ratio-valued results: density and
+// ego-betweenness are reported in millionths (a density of 0.5 reads as
+// Result.Scalar == 500000). Integer micro-units keep shard replicas and
+// recovery replays bit-identical — no float summation order to disagree on.
+const Scale = 1_000_000
+
+// Aggregate is one topology-valued aggregate: a pure function from an ego's
+// current undirected neighborhood structure (as held by a Mirror) to a
+// finalized result. Implementations must be stateless — per-query state
+// (recompute snapshots, subscriber sets) lives in the Engine's views.
+type Aggregate interface {
+	// Name is the canonical spec spelling.
+	Name() string
+	// Incremental reports the maintenance class: true means the Mirror
+	// maintains the value exactly on every edge delta and Value is O(1)
+	// (or O(deg)); false means the value is recomputed per ego on the
+	// watermark schedule.
+	Incremental() bool
+	// Value computes the aggregate for ego v. The caller guarantees v is
+	// alive and holds the mirror read-locked.
+	Value(m *Mirror, v graph.NodeID) agg.Result
+}
+
+// Factory constructs an Aggregate from an optional integer parameter (none
+// of the built-ins take one, but the registry keeps the same shape as
+// internal/agg so future parameterized aggregates fit).
+type Factory func(param int) Aggregate
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+	// aliases maps accepted spec spellings onto canonical names, so the
+	// spec parser and the compile key agree on one identity per aggregate.
+	aliases = map[string]string{
+		"triangle":        "triangles",
+		"tri":             "triangles",
+		"wedge":           "wedges",
+		"egobetweenness":  "ego-betweenness",
+		"ego_betweenness": "ego-betweenness",
+		"betweenness":     "ego-betweenness",
+		"ebc":             "ego-betweenness",
+	}
+)
+
+// Register installs a topology aggregate factory under its canonical name.
+// Built-ins are pre-registered; re-registering replaces the factory.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[strings.ToLower(name)] = f
+}
+
+// Names returns the sorted list of registered canonical aggregate names
+// (sorted so /stats and error messages are deterministic, matching
+// agg.Names).
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spec is a parsed topology-aggregate spec: the canonical name plus the
+// optional integer parameter. Window cadence is NOT part of the spec — it
+// arrives separately (QuerySpec.WindowTime) and joins the compile key.
+type Spec struct {
+	Name  string
+	Param int
+}
+
+// String renders the canonical spelling; Parse(s.String()) round-trips.
+func (s Spec) String() string {
+	if s.Param != 0 {
+		return fmt.Sprintf("%s(%d)", s.Name, s.Param)
+	}
+	return s.Name
+}
+
+// Key canonicalizes a spec plus its window cadence into the compile-sharing
+// key: queries with equal keys share one engine view (and its recompute
+// snapshots) outright. The "topo|" prefix keeps the key space disjoint from
+// the numeric-aggregate family keys.
+func (s Spec) Key(window int64) string {
+	return fmt.Sprintf("topo|%s|wt=%d", s.String(), window)
+}
+
+// IsTopo reports whether spec names a registered topology aggregate (in any
+// accepted spelling), without constructing it.
+func IsTopo(spec string) bool {
+	_, err := Parse(spec)
+	return err == nil
+}
+
+// Parse resolves a topology-aggregate spec of the form "name" or
+// "name(param)". Spellings are case-insensitive and aliases collapse to the
+// canonical name ("triangle" == "triangles", "ebc" == "ego-betweenness"),
+// so equal-semantics specs map to one Spec — the parse→Key closed loop the
+// fuzz target pins. Unknown names are errors; so are malformed parameter
+// forms and parameters on aggregates that take none.
+func Parse(spec string) (Spec, error) {
+	name := strings.ToLower(strings.TrimSpace(spec))
+	param := 0
+	hasParam := false
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		if !strings.HasSuffix(name, ")") {
+			return Spec{}, fmt.Errorf("topo: malformed spec %q", spec)
+		}
+		p, err := strconv.Atoi(strings.TrimSpace(name[i+1 : len(name)-1]))
+		if err != nil {
+			return Spec{}, fmt.Errorf("topo: bad parameter in %q: %v", spec, err)
+		}
+		param, hasParam = p, true
+		name = strings.TrimSpace(name[:i])
+	}
+	if canon, ok := aliases[name]; ok {
+		name = canon
+	}
+	registryMu.RLock()
+	_, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return Spec{}, fmt.Errorf("topo: unknown aggregate %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	if hasParam && param != 0 {
+		// None of the registered aggregates are parameterized yet; reject
+		// rather than silently ignore, so "density(3)" can't shadow a
+		// future meaning.
+		return Spec{}, fmt.Errorf("topo: aggregate %q takes no parameter", name)
+	}
+	return Spec{Name: name}, nil
+}
+
+// New constructs the aggregate a parsed Spec names.
+func New(s Spec) (Aggregate, error) {
+	registryMu.RLock()
+	f, ok := registry[s.Name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("topo: unknown aggregate %q", s.Name)
+	}
+	return f(s.Param), nil
+}
+
+// Density is the ego-network density of v: the fraction of its neighbor
+// pairs that are themselves connected, 2·T(v) / (k·(k−1)) for k = |N(v)|
+// neighbors and T(v) triangles through v, in millionths (Scale). Egos with
+// fewer than two neighbors have no pairs and report 0.
+type Density struct{}
+
+func (Density) Name() string      { return "density" }
+func (Density) Incremental() bool { return true }
+
+func (Density) Value(m *Mirror, v graph.NodeID) agg.Result {
+	k := int64(m.Degree(v))
+	if k < 2 {
+		return agg.Result{Valid: true}
+	}
+	// tri/wedges in millionths; integer arithmetic keeps replicas exact.
+	return agg.Result{Scalar: m.Triangles(v) * 2 * Scale / (k * (k - 1)), Valid: true}
+}
+
+// Triangles counts the triangles through v: neighbor pairs of v that are
+// themselves connected, maintained incrementally by the Mirror.
+type Triangles struct{}
+
+func (Triangles) Name() string      { return "triangles" }
+func (Triangles) Incremental() bool { return true }
+
+func (Triangles) Value(m *Mirror, v graph.NodeID) agg.Result {
+	return agg.Result{Scalar: m.Triangles(v), Valid: true}
+}
+
+// Wedges counts the wedges (open or closed two-paths) centered at v:
+// k·(k−1)/2 for k = |N(v)|.
+type Wedges struct{}
+
+func (Wedges) Name() string      { return "wedges" }
+func (Wedges) Incremental() bool { return true }
+
+func (Wedges) Value(m *Mirror, v graph.NodeID) agg.Result {
+	k := int64(m.Degree(v))
+	return agg.Result{Scalar: k * (k - 1) / 2, Valid: true}
+}
+
+// EgoBetweenness is the Everett–Borgatti ego-betweenness of v, computed
+// over v's current undirected ego network: for every non-adjacent neighbor
+// pair {a,b}, every shortest a–b path inside the ego network has length two
+// and runs through a common neighbor, one of which is always v itself — so
+// v's share of the pair is 1/(1+c) for c common neighbors of a and b within
+// N(v). The result sums ⌊Scale/(1+c)⌋ over pairs: fixed-point millionths,
+// summed in integers so the value is independent of iteration order.
+//
+// It is the recompute class: values refresh per ego on the watermark
+// schedule (see Engine), the temporal formulation of the TSBProxy exemplar
+// — recompute-over-the-current-ego-network rather than incremental deltas.
+type EgoBetweenness struct{}
+
+func (EgoBetweenness) Name() string      { return "ego-betweenness" }
+func (EgoBetweenness) Incremental() bool { return false }
+
+func (EgoBetweenness) Value(m *Mirror, v graph.NodeID) agg.Result {
+	return agg.Result{Scalar: m.egoBetweenness(v), Valid: true}
+}
+
+func init() {
+	Register("density", func(int) Aggregate { return Density{} })
+	Register("triangles", func(int) Aggregate { return Triangles{} })
+	Register("wedges", func(int) Aggregate { return Wedges{} })
+	Register("ego-betweenness", func(int) Aggregate { return EgoBetweenness{} })
+}
